@@ -1,0 +1,71 @@
+//===- bench/BenchUtil.h - shared bench harness helpers ---------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure regeneration binaries: run a
+/// workload under a named configuration and report deterministic simulated
+/// cycles plus wall time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_BENCH_BENCHUTIL_H
+#define SOFTBOUND_BENCH_BENCHUTIL_H
+
+#include "driver/Pipeline.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace softbound {
+namespace benchutil {
+
+/// One measured execution.
+struct Measurement {
+  RunResult R;
+  double WallSeconds = 0;
+};
+
+/// Builds (once) and runs a program, timing the run.
+inline Measurement measure(const BuildResult &Prog,
+                           const RunOptions &Opts = {}) {
+  Measurement M;
+  auto T0 = std::chrono::steady_clock::now();
+  M.R = runProgram(Prog, Opts);
+  auto T1 = std::chrono::steady_clock::now();
+  M.WallSeconds = std::chrono::duration<double>(T1 - T0).count();
+  return M;
+}
+
+/// Percent overhead of Cycles over a baseline cycle count.
+inline double overheadPct(uint64_t Instrumented, uint64_t Baseline) {
+  if (Baseline == 0)
+    return 0;
+  return (static_cast<double>(Instrumented) /
+              static_cast<double>(Baseline) -
+          1.0) *
+         100.0;
+}
+
+/// Builds a benchmark in a given instrumentation configuration; aborts the
+/// process with a message on build failure (benches must not run on broken
+/// inputs).
+inline BuildResult mustBuild(const std::string &Src, const BuildOptions &B) {
+  BuildResult Prog = buildProgram(Src, B);
+  if (!Prog.ok()) {
+    std::fprintf(stderr, "bench build failed:\n%s\n",
+                 Prog.errorText().c_str());
+    std::abort();
+  }
+  return Prog;
+}
+
+} // namespace benchutil
+} // namespace softbound
+
+#endif // SOFTBOUND_BENCH_BENCHUTIL_H

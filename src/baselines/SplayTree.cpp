@@ -1,0 +1,133 @@
+//===- baselines/SplayTree.cpp - interval splay tree -------------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SplayTree.h"
+
+#include <vector>
+
+using namespace softbound;
+
+IntervalSplayTree::Node *IntervalSplayTree::splay(Node *T, uint64_t Addr,
+                                                  uint64_t &Comparisons) {
+  if (!T)
+    return nullptr;
+  Node Header;
+  Node *L = &Header, *R = &Header;
+  for (;;) {
+    ++Comparisons;
+    if (Addr < T->Start) {
+      if (!T->L)
+        break;
+      if (Addr < T->L->Start) { // Zig-zig: rotate right.
+        ++Comparisons;
+        Node *Y = T->L;
+        T->L = Y->R;
+        Y->R = T;
+        T = Y;
+        if (!T->L)
+          break;
+      }
+      R->L = T; // Link right.
+      R = T;
+      T = T->L;
+    } else if (Addr >= T->Start + T->Size) {
+      if (!T->R)
+        break;
+      if (Addr >= T->R->Start + T->R->Size) { // Zag-zag: rotate left.
+        ++Comparisons;
+        Node *Y = T->R;
+        T->R = Y->L;
+        Y->L = T;
+        T = Y;
+        if (!T->R)
+          break;
+      }
+      L->R = T; // Link left.
+      L = T;
+      T = T->R;
+    } else {
+      break; // Containing interval found.
+    }
+  }
+  L->R = T->L;
+  R->L = T->R;
+  T->L = Header.R;
+  T->R = Header.L;
+  return T;
+}
+
+void IntervalSplayTree::insert(uint64_t Start, uint64_t Size) {
+  uint64_t Ignored = 0;
+  Node *N = new Node{Start, Size, nullptr, nullptr};
+  if (!Root) {
+    Root = N;
+    ++Count;
+    return;
+  }
+  Root = splay(Root, Start, Ignored);
+  if (Start < Root->Start) {
+    N->L = Root->L;
+    N->R = Root;
+    Root->L = nullptr;
+  } else {
+    N->R = Root->R;
+    N->L = Root;
+    Root->R = nullptr;
+  }
+  Root = N;
+  ++Count;
+}
+
+uint64_t IntervalSplayTree::erase(uint64_t Start) {
+  if (!Root)
+    return 0;
+  uint64_t Ignored = 0;
+  Root = splay(Root, Start, Ignored);
+  if (Root->Start != Start)
+    return 0;
+  uint64_t Size = Root->Size;
+  Node *Old = Root;
+  if (!Root->L) {
+    Root = Root->R;
+  } else {
+    Node *NewRoot = splay(Root->L, Start, Ignored);
+    NewRoot->R = Root->R;
+    Root = NewRoot;
+  }
+  delete Old;
+  --Count;
+  return Size;
+}
+
+bool IntervalSplayTree::find(uint64_t Addr, uint64_t &Start, uint64_t &Size,
+                             uint64_t &Comparisons) {
+  if (!Root)
+    return false;
+  Root = splay(Root, Addr, Comparisons);
+  if (Addr >= Root->Start && Addr < Root->Start + Root->Size) {
+    Start = Root->Start;
+    Size = Root->Size;
+    return true;
+  }
+  return false;
+}
+
+void IntervalSplayTree::clear() {
+  std::vector<Node *> Work;
+  if (Root)
+    Work.push_back(Root);
+  while (!Work.empty()) {
+    Node *N = Work.back();
+    Work.pop_back();
+    if (N->L)
+      Work.push_back(N->L);
+    if (N->R)
+      Work.push_back(N->R);
+    delete N;
+  }
+  Root = nullptr;
+  Count = 0;
+}

@@ -1,0 +1,64 @@
+//===- baselines/SplayTree.h - interval splay tree --------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A top-down splay tree over address intervals. Object-table bounds
+/// checkers (Jones–Kelly, Mudflap, and successors) classically use a splay
+/// tree for the object lookup; the paper cites it as their performance
+/// bottleneck (§2.1), which the object-table baseline reproduces by
+/// charging lookup cost proportional to the comparisons performed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_BASELINES_SPLAYTREE_H
+#define SOFTBOUND_BASELINES_SPLAYTREE_H
+
+#include <cstdint>
+#include <memory>
+
+namespace softbound {
+
+/// Splay tree of disjoint [Start, Start+Size) intervals.
+class IntervalSplayTree {
+public:
+  IntervalSplayTree() = default;
+  ~IntervalSplayTree() { clear(); }
+  IntervalSplayTree(const IntervalSplayTree &) = delete;
+  IntervalSplayTree &operator=(const IntervalSplayTree &) = delete;
+
+  /// Inserts an interval (intervals are assumed disjoint).
+  void insert(uint64_t Start, uint64_t Size);
+
+  /// Removes the interval starting exactly at \p Start; returns its size or
+  /// 0 when absent.
+  uint64_t erase(uint64_t Start);
+
+  /// Finds the interval containing \p Addr. Returns true and fills
+  /// Start/Size on success. \p Comparisons is incremented per node visited
+  /// (the baseline's cost model).
+  bool find(uint64_t Addr, uint64_t &Start, uint64_t &Size,
+            uint64_t &Comparisons);
+
+  size_t size() const { return Count; }
+  void clear();
+
+private:
+  struct Node {
+    uint64_t Start, Size;
+    Node *L = nullptr, *R = nullptr;
+  };
+
+  /// Top-down splay: moves the node whose interval is nearest \p Addr to
+  /// the root. Counts visited nodes into \p Comparisons.
+  Node *splay(Node *T, uint64_t Addr, uint64_t &Comparisons);
+
+  Node *Root = nullptr;
+  size_t Count = 0;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_BASELINES_SPLAYTREE_H

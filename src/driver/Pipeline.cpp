@@ -1,0 +1,100 @@
+//===- driver/Pipeline.cpp - end-to-end build & run helpers -----------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "runtime/HashTableMetadata.h"
+#include "runtime/ShadowSpaceMetadata.h"
+
+using namespace softbound;
+
+BuildResult softbound::buildProgram(const std::string &Source,
+                                    const BuildOptions &Opts) {
+  BuildResult Out;
+  CompileResult CR = compileC(Source);
+  if (!CR.ok()) {
+    Out.Errors = CR.Errors;
+    return Out;
+  }
+  Out.M = std::move(CR.M);
+
+  auto Errs = verifyModule(*Out.M);
+  if (!Errs.empty()) {
+    Out.Errors = std::move(Errs);
+    Out.M.reset();
+    return Out;
+  }
+
+  if (Opts.Optimize)
+    optimizeModule(*Out.M);
+
+  if (Opts.Instrument) {
+    Out.Stats = applySoftBound(*Out.M, Opts.SB);
+    Out.Instrumented = true;
+    Out.Mode = Opts.SB.Mode;
+  }
+
+  Errs = verifyModule(*Out.M);
+  if (!Errs.empty()) {
+    Out.Errors = std::move(Errs);
+    Out.M.reset();
+  }
+  return Out;
+}
+
+RunResult softbound::runProgram(const BuildResult &Prog,
+                                const RunOptions &Opts) {
+  std::unique_ptr<MetadataFacility> Meta;
+  VMConfig Cfg;
+  Cfg.StepLimit = Opts.StepLimit;
+  Cfg.Checker = Opts.Checker;
+  Cfg.RedzonePad = Opts.RedzonePad;
+  Cfg.GlobalPad = Opts.GlobalPad;
+  Cfg.CheckCost = Opts.CheckCost;
+
+  if (Prog.Instrumented) {
+    if (Opts.Facility == FacilityKind::Shadow)
+      Meta = std::make_unique<ShadowSpaceMetadata>();
+    else
+      Meta = std::make_unique<HashTableMetadata>();
+    Cfg.Meta = Meta.get();
+    Cfg.Instrumented = true;
+    switch (Prog.Mode) {
+    case CheckMode::Full:
+      Cfg.Wrappers = WrapperMode::Full;
+      break;
+    case CheckMode::StoreOnly:
+      Cfg.Wrappers = WrapperMode::StoreOnly;
+      break;
+    case CheckMode::None:
+      Cfg.Wrappers = WrapperMode::None;
+      break;
+    }
+  } else {
+    Cfg.Wrappers = WrapperMode::None;
+  }
+
+  VM Machine(*Prog.M, Cfg);
+  RunResult R = Machine.run(Opts.Entry, Opts.Args);
+  if (Meta && Opts.MetaStatsOut)
+    *Opts.MetaStatsOut = Meta->stats();
+  return R;
+}
+
+RunResult softbound::compileAndRun(const std::string &Source,
+                                   const BuildOptions &BOpts,
+                                   const RunOptions &ROpts) {
+  BuildResult Prog = buildProgram(Source, BOpts);
+  if (!Prog.ok()) {
+    RunResult R;
+    R.Trap = TrapKind::Segfault;
+    R.Message = "build failed: " + Prog.errorText();
+    return R;
+  }
+  return runProgram(Prog, ROpts);
+}

@@ -1,0 +1,82 @@
+//===- driver/Pipeline.h - end-to-end build & run helpers -------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-stop pipeline: mini-C source -> IR -> optimizer -> (optional)
+/// SoftBound instrumentation -> VM execution with a chosen metadata
+/// facility. This is the API the tests, benches and examples drive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_DRIVER_PIPELINE_H
+#define SOFTBOUND_DRIVER_PIPELINE_H
+
+#include "frontend/Compiler.h"
+#include "softbound/SoftBoundPass.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// Which §5.1 metadata facility implementation to execute with.
+enum class FacilityKind { Shadow, Hash };
+
+/// Build-time options.
+struct BuildOptions {
+  bool Optimize = true;    ///< Run the optimizer before instrumentation.
+  bool Instrument = false; ///< Apply the SoftBound transformation.
+  SoftBoundConfig SB;      ///< Pass configuration when instrumenting.
+};
+
+/// A built program ready to run.
+struct BuildResult {
+  std::unique_ptr<Module> M;
+  SoftBoundStats Stats;
+  std::vector<std::string> Errors;
+  bool Instrumented = false;
+  CheckMode Mode = CheckMode::Full;
+
+  bool ok() const { return M != nullptr && Errors.empty(); }
+  std::string errorText() const {
+    std::string S;
+    for (const auto &E : Errors)
+      S += E + "\n";
+    return S;
+  }
+};
+
+/// Compiles, verifies, optimizes and (optionally) instruments \p Source.
+BuildResult buildProgram(const std::string &Source, const BuildOptions &Opts);
+
+/// Run-time options.
+struct RunOptions {
+  FacilityKind Facility = FacilityKind::Shadow;
+  MemoryChecker *Checker = nullptr; ///< Baseline checker (uninstrumented).
+  uint64_t RedzonePad = 0;          ///< Heap red-zone padding.
+  uint64_t GlobalPad = 0;           ///< Global guard padding.
+  std::string Entry = "main";
+  std::vector<int64_t> Args;
+  uint64_t StepLimit = 4'000'000'000ULL;
+  uint64_t CheckCost = 3; ///< Simulated instructions per bounds check.
+  /// Out-parameter: facility statistics after the run (optional).
+  MetadataStats *MetaStatsOut = nullptr;
+};
+
+/// Runs a built program in a fresh VM. Creates the metadata facility for
+/// instrumented programs.
+RunResult runProgram(const BuildResult &Prog, const RunOptions &Opts = {});
+
+/// Convenience: build + run in one call. Reports build errors by returning
+/// a RunResult with a Segfault trap and the error text as Message.
+RunResult compileAndRun(const std::string &Source, const BuildOptions &BOpts,
+                        const RunOptions &ROpts = {});
+
+} // namespace softbound
+
+#endif // SOFTBOUND_DRIVER_PIPELINE_H

@@ -1,0 +1,204 @@
+//===- formal/Semantics.h - §4 operational semantics ------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable model of the paper's §4 formalism: the straight-line C
+/// fragment (lhs/rhs expressions, assignments, malloc, address-of, casts,
+/// named structs), the metadata-propagating operational semantics
+/// (values v(b,e)), the well-formed-environment predicate, and executable
+/// statements of the Preservation and Progress theorems, checked by
+/// property-based testing over randomly generated well-formed programs.
+///
+/// Modelling choice: locations are word-granular (sizeof(int) =
+/// sizeof(ptr) = 1 word; struct fields at consecutive words), matching the
+/// abstract "addresses and locations" view of the Coq development.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_FORMAL_SEMANTICS_H
+#define SOFTBOUND_FORMAL_SEMANTICS_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace softbound {
+namespace formal {
+
+//===----------------------------------------------------------------------===//
+// Syntax (§4.1)
+//===----------------------------------------------------------------------===//
+
+/// Pointer types p ::= a | s | n | void ; atomic types a ::= int | p*.
+struct FType {
+  enum Kind { Int, Ptr, Struct, Void } K = Int;
+  /// Pointee for Ptr.
+  std::shared_ptr<FType> Inner;
+  /// Field types for Struct (named structures are expanded on use; the
+  /// model unfolds one level, which suffices for the checked properties).
+  std::vector<std::pair<std::string, std::shared_ptr<FType>>> Fields;
+
+  bool isAtomic() const { return K == Int || K == Ptr; }
+  /// Size in words.
+  uint64_t size() const {
+    if (K == Struct) {
+      uint64_t S = 0;
+      for (auto &F : Fields)
+        S += F.second->size();
+      return S ? S : 1;
+    }
+    return K == Void ? 0 : 1;
+  }
+};
+
+std::shared_ptr<FType> intTy();
+std::shared_ptr<FType> ptrTy(std::shared_ptr<FType> Inner);
+std::shared_ptr<FType>
+structTy(std::vector<std::pair<std::string, std::shared_ptr<FType>>> Fields);
+
+/// LHS expressions: x | *lhs | lhs.id | lhs->id.
+struct LHS {
+  enum Kind { Var, Deref, Dot, Arrow } K = Var;
+  std::string Name; ///< Variable or field name.
+  std::shared_ptr<LHS> Base;
+};
+
+/// RHS expressions: i | rhs+rhs | lhs | &lhs | (a)rhs | sizeof(a) |
+/// malloc(rhs).
+struct RHS {
+  enum Kind { Const, Add, Lhs, AddrOf, Cast, SizeOf, Malloc } K = Const;
+  int64_t I = 0;
+  std::shared_ptr<RHS> A, B;
+  std::shared_ptr<LHS> L;
+  std::shared_ptr<FType> Ty; ///< Cast target / sizeof argument.
+};
+
+/// Commands: c ; c | lhs = rhs.
+struct Cmd {
+  enum Kind { Seq, Assign } K = Assign;
+  std::shared_ptr<Cmd> C1, C2;
+  std::shared_ptr<LHS> L;
+  std::shared_ptr<RHS> R;
+};
+
+std::shared_ptr<LHS> var(const std::string &N);
+std::shared_ptr<LHS> deref(std::shared_ptr<LHS> B);
+std::shared_ptr<LHS> dot(std::shared_ptr<LHS> B, const std::string &F);
+std::shared_ptr<LHS> arrow(std::shared_ptr<LHS> B, const std::string &F);
+std::shared_ptr<RHS> constant(int64_t V);
+std::shared_ptr<RHS> add(std::shared_ptr<RHS> A, std::shared_ptr<RHS> B);
+std::shared_ptr<RHS> lhsExpr(std::shared_ptr<LHS> L);
+std::shared_ptr<RHS> addrOf(std::shared_ptr<LHS> L);
+std::shared_ptr<RHS> castTo(std::shared_ptr<FType> T, std::shared_ptr<RHS> R);
+std::shared_ptr<RHS> mallocOf(std::shared_ptr<RHS> N);
+std::shared_ptr<Cmd> assign(std::shared_ptr<LHS> L, std::shared_ptr<RHS> R);
+std::shared_ptr<Cmd> seq(std::shared_ptr<Cmd> A, std::shared_ptr<Cmd> B);
+
+//===----------------------------------------------------------------------===//
+// Environments (§4.2)
+//===----------------------------------------------------------------------===//
+
+/// A value with its base/bound metadata: v(b,e).
+struct MValue {
+  int64_t V = 0;
+  uint64_t Base = 0, Bound = 0;
+};
+
+/// One memory cell (word-granular).
+struct Cell {
+  MValue D;
+};
+
+/// The environment E = (S, M): stack frame + partial memory.
+struct Env {
+  /// Variable name -> (address, atomic type).
+  std::map<std::string, std::pair<uint64_t, std::shared_ptr<FType>>> Stack;
+  /// Partial memory: only allocated locations are present.
+  std::map<uint64_t, Cell> Mem;
+  uint64_t NextAlloc = 0x1000;
+  uint64_t MaxAddr = 0x100000;
+
+  bool allocated(uint64_t L) const { return Mem.count(L) != 0; }
+};
+
+/// The Table-2 primitives.
+bool readMem(const Env &E, uint64_t L, MValue &Out);
+bool writeMem(Env &E, uint64_t L, const MValue &D);
+/// Returns 0 on out-of-memory.
+uint64_t mallocMem(Env &E, uint64_t Words);
+
+//===----------------------------------------------------------------------===//
+// Evaluation (§4.2) — results are values, Abort, or OutOfMem; a separate
+// Stuck outcome marks exactly the cases the paper's semantics leaves
+// undefined (Progress proves it is unreachable from well-formed states).
+//===----------------------------------------------------------------------===//
+
+enum class Outcome { Ok, Abort, OutOfMem, Stuck };
+
+struct LResult {
+  Outcome O = Outcome::Stuck;
+  uint64_t Addr = 0;
+  std::shared_ptr<FType> Ty;
+};
+
+struct RResult {
+  Outcome O = Outcome::Stuck;
+  MValue V;
+  std::shared_ptr<FType> Ty;
+};
+
+LResult evalLHS(Env &E, const LHS &L);
+RResult evalRHS(Env &E, const RHS &R);
+Outcome evalCmd(Env &E, const Cmd &C);
+
+//===----------------------------------------------------------------------===//
+// Well-formedness (§4.3)
+//===----------------------------------------------------------------------===//
+
+/// `M |-D d(b,e)`: b = 0, or every location in [b, e) is allocated and
+/// minAddr <= b <= e < maxAddr.
+bool wfValue(const Env &E, const MValue &D);
+
+/// `|-M M`: every allocated location's contents are well formed.
+bool wfMem(const Env &E);
+
+/// Well-formed stack: every variable maps to an allocated address.
+bool wfStack(const Env &E);
+
+/// `|-E E`.
+bool wfEnv(const Env &E);
+
+/// `S |-c c`: the command typechecks against the stack frame's types.
+bool wfCmd(const Env &E, const Cmd &C);
+
+//===----------------------------------------------------------------------===//
+// Theorem checking (§4.3)
+//===----------------------------------------------------------------------===//
+
+/// One theorem-check run over a program.
+struct TheoremCheck {
+  bool PreservationHolds = true; ///< wfEnv preserved by evaluation.
+  bool ProgressHolds = true;     ///< Never Stuck from a well-formed state.
+  Outcome Result = Outcome::Ok;
+};
+
+/// Evaluates \p C from \p E, checking Preservation and Progress.
+TheoremCheck checkTheorems(Env E, const Cmd &C);
+
+/// Builds a well-formed initial environment with int/ptr/struct variables.
+Env makeInitialEnv(RNG &R);
+
+/// Generates a random well-typed command of roughly \p Size assignments.
+std::shared_ptr<Cmd> generateProgram(RNG &R, const Env &E, int Size);
+
+} // namespace formal
+} // namespace softbound
+
+#endif // SOFTBOUND_FORMAL_SEMANTICS_H

@@ -1,0 +1,127 @@
+//===- frontend/Lexer.h - mini-C lexer --------------------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the mini-C dialect the workloads are written in: C's
+/// expression/statement core, pointers, arrays, structs/unions, function
+/// pointers and varargs — the features SoftBound's transformation must
+/// handle (§5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_FRONTEND_LEXER_H
+#define SOFTBOUND_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// Token kinds. Punctuators are named after their spelling.
+enum class Tok {
+  End,
+  Ident,
+  IntLit,
+  StrLit,
+  CharLit,
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwUnsigned,
+  KwStruct,
+  KwUnion,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  KwNull,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Ellipsis,
+  Question,
+  Colon,
+  // Operators.
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  PercentAssign,
+  AmpAssign,
+  PipeAssign,
+  CaretAssign,
+  ShlAssign,
+  ShrAssign,
+  PlusPlus,
+  MinusMinus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+};
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;  ///< Identifier or string-literal contents.
+  int64_t IntVal = 0;
+  int Line = 0;
+};
+
+/// Tokenizes a whole source buffer up front.
+class Lexer {
+public:
+  /// Lexes \p Source. On bad input an error is recorded and lexing stops.
+  explicit Lexer(const std::string &Source);
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+  const std::string &error() const { return Error; }
+  bool hadError() const { return !Error.empty(); }
+
+private:
+  void lex(const std::string &Src);
+
+  std::vector<Token> Tokens;
+  std::string Error;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_FRONTEND_LEXER_H

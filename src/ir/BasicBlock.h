@@ -1,0 +1,94 @@
+//===- ir/BasicBlock.h - basic blocks ---------------------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: an owning list of instructions ending in a terminator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_IR_BASICBLOCK_H
+#define SOFTBOUND_IR_BASICBLOCK_H
+
+#include "ir/Instructions.h"
+
+#include <list>
+#include <memory>
+
+namespace softbound {
+
+class Function;
+
+/// A straight-line instruction sequence with a single terminator.
+class BasicBlock {
+public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+  using iterator = InstList::iterator;
+  using const_iterator = InstList::const_iterator;
+
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &name() const { return Name; }
+  Function *parent() const { return Parent; }
+
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  InstList &instructions() { return Insts; }
+
+  Instruction *front() { return Insts.front().get(); }
+  Instruction *back() { return Insts.back().get(); }
+  const Instruction *back() const { return Insts.back().get(); }
+
+  /// Appends an instruction, taking ownership, and returns it.
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Inserts before \p Where, taking ownership, and returns the instruction.
+  Instruction *insertBefore(iterator Where, std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    return Insts.insert(Where, std::move(I))->get();
+  }
+
+  /// Removes and destroys the instruction at \p Where; returns the next
+  /// iterator. Callers must have rewritten all uses first.
+  iterator erase(iterator Where) { return Insts.erase(Where); }
+
+  /// The block terminator, or null for still-under-construction blocks.
+  Instruction *terminator() {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back().get();
+  }
+  const Instruction *terminator() const {
+    return const_cast<BasicBlock *>(this)->terminator();
+  }
+
+  /// Successor blocks derived from the terminator (empty for ret).
+  std::vector<BasicBlock *> successors() const {
+    const Instruction *T = terminator();
+    std::vector<BasicBlock *> Out;
+    if (const auto *Br = dyn_cast<BrInst>(T))
+      for (unsigned I = 0; I < Br->numSuccessors(); ++I)
+        Out.push_back(Br->successor(I));
+    return Out;
+  }
+
+private:
+  std::string Name;
+  Function *Parent;
+  InstList Insts;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_IR_BASICBLOCK_H

@@ -1,0 +1,30 @@
+//===- ir/Function.cpp - functions ----------------------------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace softbound;
+
+unsigned Function::renumber() {
+  int Next = 0;
+  for (auto &A : Args)
+    A->setSlot(Next++);
+  for (auto &BB : Blocks)
+    for (auto &I : *BB) {
+      if (I->type()->isVoid())
+        I->setSlot(-1);
+      else
+        I->setSlot(Next++);
+    }
+  NumRegs = static_cast<unsigned>(Next);
+  return NumRegs;
+}
+
+void Function::replaceAllUsesWith(Value *From, Value *To) {
+  for (auto &BB : Blocks)
+    for (auto &I : *BB)
+      I->replaceUsesOf(From, To);
+}

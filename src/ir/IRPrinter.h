@@ -1,0 +1,35 @@
+//===- ir/IRPrinter.h - textual IR dumping ----------------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules/functions in an LLVM-like textual form for debugging,
+/// tests and golden-output checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_IR_IRPRINTER_H
+#define SOFTBOUND_IR_IRPRINTER_H
+
+#include <string>
+
+namespace softbound {
+
+class Module;
+class Function;
+class Instruction;
+
+/// Renders the whole module as text.
+std::string printModule(const Module &M);
+
+/// Renders one function as text.
+std::string printFunction(const Function &F);
+
+/// Renders one instruction (single line, no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+} // namespace softbound
+
+#endif // SOFTBOUND_IR_IRPRINTER_H

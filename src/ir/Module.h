@@ -1,0 +1,94 @@
+//===- ir/Module.h - top-level IR container ---------------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module: owns the type context, functions, globals, and interned
+/// constants of one translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_IR_MODULE_H
+#define SOFTBOUND_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// One translation unit of IR.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  TypeContext &ctx() { return Ctx; }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a function with a unique name.
+  Function *createFunction(const std::string &Name, FunctionType *FTy,
+                           bool Builtin = false);
+
+  /// Returns the named function, or null.
+  Function *getFunction(const std::string &Name) const;
+
+  /// Renames a function, updating the lookup map (the `_sb_` rewrite).
+  void renameFunction(Function *F, const std::string &NewName);
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Globals
+  //===--------------------------------------------------------------------===//
+
+  GlobalVariable *createGlobal(const std::string &Name, Type *ValueTy,
+                               GlobalInitializer Init, bool Constant = false);
+
+  GlobalVariable *getGlobal(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  /// Creates a private constant i8-array global holding \p Str plus NUL.
+  GlobalVariable *createStringLiteral(const std::string &Str);
+
+  //===--------------------------------------------------------------------===//
+  // Constants (interned)
+  //===--------------------------------------------------------------------===//
+
+  ConstantInt *constInt(IntType *Ty, int64_t V);
+  ConstantInt *constI64(int64_t V) { return constInt(Ctx.i64(), V); }
+  ConstantInt *constI32(int64_t V) { return constInt(Ctx.i32(), V); }
+  ConstantInt *constI1(bool B) { return constInt(Ctx.i1(), B ? 1 : 0); }
+  ConstantNull *nullPtr(PointerType *Ty);
+  ConstantUndef *undef(Type *Ty);
+
+private:
+  TypeContext Ctx;
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::map<std::string, Function *> FuncMap;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<std::string, GlobalVariable *> GlobalMap;
+  std::map<std::pair<IntType *, int64_t>, std::unique_ptr<ConstantInt>>
+      IntConsts;
+  std::map<PointerType *, std::unique_ptr<ConstantNull>> NullConsts;
+  std::map<Type *, std::unique_ptr<ConstantUndef>> UndefConsts;
+  unsigned NextStrId = 0;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_IR_MODULE_H

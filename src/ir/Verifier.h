@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - structural IR validation -----------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type-level validation of IR modules, run after the
+/// frontend, after each optimization pass (in tests), and after the
+/// SoftBound transformation — instrumented modules must stay well typed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_IR_VERIFIER_H
+#define SOFTBOUND_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+class Module;
+class Function;
+
+/// Verifies \p F; appends human-readable problems to \p Errors.
+void verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies the whole module. Returns the list of problems (empty = valid).
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace softbound
+
+#endif // SOFTBOUND_IR_VERIFIER_H

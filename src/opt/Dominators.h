@@ -1,0 +1,73 @@
+//===- opt/Dominators.h - dominator tree and frontiers ----------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree (Cooper–Harvey–Kennedy iterative algorithm) and dominance
+/// frontiers, used by mem2reg for SSA construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_DOMINATORS_H
+#define SOFTBOUND_OPT_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace softbound {
+
+/// Dominator information for one function.
+class DomTree {
+public:
+  explicit DomTree(Function &F);
+
+  /// Immediate dominator, or null for the entry block.
+  BasicBlock *idom(BasicBlock *BB) const {
+    auto It = IDom.find(BB);
+    return It == IDom.end() ? nullptr : It->second;
+  }
+
+  /// True if A dominates B (reflexive).
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+
+  /// Dominance frontier of a block.
+  const std::set<BasicBlock *> &frontier(BasicBlock *BB) const {
+    static const std::set<BasicBlock *> Empty;
+    auto It = DF.find(BB);
+    return It == DF.end() ? Empty : It->second;
+  }
+
+  /// Dominator-tree children (for the mem2reg renaming walk).
+  const std::vector<BasicBlock *> &children(BasicBlock *BB) const {
+    static const std::vector<BasicBlock *> Empty;
+    auto It = Kids.find(BB);
+    return It == Kids.end() ? Empty : It->second;
+  }
+
+  /// Blocks in reverse postorder (reachable blocks only).
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+  /// Predecessors of reachable blocks.
+  const std::vector<BasicBlock *> &preds(BasicBlock *BB) const {
+    static const std::vector<BasicBlock *> Empty;
+    auto It = Preds.find(BB);
+    return It == Preds.end() ? Empty : It->second;
+  }
+
+private:
+  std::map<BasicBlock *, BasicBlock *> IDom;
+  std::map<BasicBlock *, std::set<BasicBlock *>> DF;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Kids;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::map<BasicBlock *, int> Order; ///< RPO index.
+  std::vector<BasicBlock *> RPO;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_DOMINATORS_H

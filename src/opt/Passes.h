@@ -1,0 +1,58 @@
+//===- opt/Passes.h - optimization pass entry points ------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizer the paper layers SoftBound on: register promotion
+/// (mem2reg), CFG simplification, constant folding, local CSE and DCE.
+/// Instrumentation happens *after* optimization so register promotion has
+/// already removed most scalar memory traffic (§6.1), and the optimizer is
+/// re-run afterwards, which — together with eliminateRedundantChecks —
+/// removes duplicate bounds checks (§6.1, §6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_PASSES_H
+#define SOFTBOUND_OPT_PASSES_H
+
+#include "ir/Module.h"
+
+namespace softbound {
+
+/// Promotes non-address-taken scalar allocas to SSA registers (classic
+/// iterated-dominance-frontier phi placement + renaming).
+void mem2reg(Function &F);
+
+/// Removes unreachable blocks, folds constant branches, merges straight-line
+/// block chains. Returns true if anything changed.
+bool simplifyCFG(Function &F);
+
+/// Folds constant expressions and algebraic identities. Returns true if
+/// anything changed.
+bool constantFold(Function &F, Module &M);
+
+/// Removes side-effect-free instructions whose results are unused.
+bool dce(Function &F);
+
+/// Block-local common-subexpression elimination over pure instructions.
+bool localCSE(Function &F);
+
+/// Standard pipeline: mem2reg then (fold, CSE, simplify, DCE) to fixpoint.
+void optimizeFunction(Function &F, Module &M);
+
+/// Runs optimizeFunction over every definition in the module.
+void optimizeModule(Module &M);
+
+/// SoftBound-specific cleanup run after instrumentation: removes bounds
+/// checks dominated by an identical check and block-local duplicate
+/// metadata loads. Returns the number of instructions removed.
+unsigned eliminateRedundantChecks(Function &F);
+
+/// Module-wide eliminateRedundantChecks; returns total removed.
+unsigned eliminateRedundantChecks(Module &M);
+
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_PASSES_H

@@ -1,0 +1,133 @@
+//===- runtime/HashTableMetadata.cpp - open-hash metadata ------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HashTableMetadata.h"
+
+#include <cassert>
+
+using namespace softbound;
+
+HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size) {
+  Entries.resize(size_t(1) << InitialLog2Size);
+}
+
+HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
+                                                  bool ForInsert) {
+  // Tag is the slot address itself; addresses 0 and 1 never hold pointers.
+  size_t Idx = hash(Addr);
+  Entry *FirstTombstone = nullptr;
+  for (size_t Probe = 0; Probe < Entries.size(); ++Probe) {
+    Entry &E = Entries[(Idx + Probe) & (Entries.size() - 1)];
+    if (E.Tag == Addr) {
+      if (Probe)
+        Stats.Collisions += Probe;
+      return &E;
+    }
+    if (E.Tag == EmptyTag) {
+      if (Probe)
+        Stats.Collisions += Probe;
+      if (ForInsert)
+        return FirstTombstone ? FirstTombstone : &E;
+      return nullptr;
+    }
+    if (E.Tag == TombstoneTag && !FirstTombstone)
+      FirstTombstone = &E;
+  }
+  return ForInsert ? FirstTombstone : nullptr;
+}
+
+void HashTableMetadata::lookup(uint64_t Addr, uint64_t &Base,
+                               uint64_t &Bound) {
+  ++Stats.Lookups;
+  if (Entry *E = find(Addr, /*ForInsert=*/false)) {
+    Base = E->Base;
+    Bound = E->Bound;
+    return;
+  }
+  Base = 0;
+  Bound = 0;
+}
+
+void HashTableMetadata::update(uint64_t Addr, uint64_t Base, uint64_t Bound) {
+  ++Stats.Updates;
+  if (Used * 2 >= Entries.size())
+    grow();
+  Entry *E = find(Addr, /*ForInsert=*/true);
+  assert(E && "hash table full despite growth policy");
+  if (E->Tag != Addr) {
+    if (E->Tag == EmptyTag)
+      ++Used;
+    E->Tag = Addr;
+    ++Live;
+  }
+  E->Base = Base;
+  E->Bound = Bound;
+}
+
+uint64_t HashTableMetadata::clearRange(uint64_t Addr, uint64_t Size) {
+  uint64_t Cleared = 0;
+  uint64_t First = Addr & ~7ULL;
+  for (uint64_t A = First; A < Addr + Size; A += 8) {
+    Entry *E = find(A, /*ForInsert=*/false);
+    if (!E)
+      continue;
+    E->Tag = TombstoneTag;
+    E->Base = E->Bound = 0;
+    --Live;
+    ++Cleared;
+  }
+  Stats.Clears += Cleared;
+  return Cleared;
+}
+
+uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
+                                      uint64_t Size) {
+  uint64_t Copied = 0;
+  for (uint64_t Off = 0; Off + 8 <= Size + 7; Off += 8) {
+    uint64_t SA = (Src & ~7ULL) + Off;
+    if (SA >= Src + Size)
+      break;
+    Entry *E = find(SA, /*ForInsert=*/false);
+    uint64_t DA = Dst + (SA - Src);
+    if (E) {
+      update(DA, E->Base, E->Bound);
+      ++Copied;
+    } else {
+      // Destination slots whose source had no metadata must be cleared, or
+      // stale bounds could leak into the copied region.
+      clearRange(DA, 8);
+    }
+  }
+  return Copied;
+}
+
+uint64_t HashTableMetadata::memoryBytes() const {
+  return Entries.size() * sizeof(Entry);
+}
+
+void HashTableMetadata::reset() {
+  for (auto &E : Entries)
+    E = Entry();
+  Live = Used = 0;
+  Stats = MetadataStats();
+}
+
+void HashTableMetadata::grow() {
+  std::vector<Entry> Old;
+  Old.swap(Entries);
+  Entries.resize(Old.size() * 2);
+  Live = Used = 0;
+  for (const auto &E : Old) {
+    if (E.Tag == EmptyTag || E.Tag == TombstoneTag)
+      continue;
+    Entry *N = find(E.Tag, /*ForInsert=*/true);
+    N->Tag = E.Tag;
+    N->Base = E.Base;
+    N->Bound = E.Bound;
+    ++Live;
+    ++Used;
+  }
+}

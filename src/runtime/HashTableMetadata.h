@@ -1,0 +1,77 @@
+//===- runtime/HashTableMetadata.h - open-hash metadata ---------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hash-table implementation of the metadata facility (§5.1): entries of
+/// {tag, base, bound} (24 bytes assuming 64-bit pointers), a shift-and-mask
+/// hash of the double-word address, and open addressing. In the common
+/// no-collision case a lookup models ~9 x86 instructions: shift, mask,
+/// multiply, add, three loads, compare, branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_RUNTIME_HASHTABLEMETADATA_H
+#define SOFTBOUND_RUNTIME_HASHTABLEMETADATA_H
+
+#include "runtime/MetadataFacility.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace softbound {
+
+/// Open-addressing hash table keyed by pointer-slot address.
+class HashTableMetadata : public MetadataFacility {
+public:
+  /// \p InitialLog2Size is the log2 of the initial entry count. The paper
+  /// sizes the table "large enough to keep average utilization low"; we grow
+  /// at 50% occupancy.
+  explicit HashTableMetadata(unsigned InitialLog2Size = 16);
+
+  const char *name() const override { return "hashtable"; }
+  void lookup(uint64_t Addr, uint64_t &Base, uint64_t &Bound) override;
+  void update(uint64_t Addr, uint64_t Base, uint64_t Bound) override;
+  uint64_t clearRange(uint64_t Addr, uint64_t Size) override;
+  uint64_t copyRange(uint64_t Dst, uint64_t Src, uint64_t Size) override;
+  uint64_t lookupCost() const override { return 9; }
+  uint64_t updateCost() const override { return 9; }
+  uint64_t memoryBytes() const override;
+  void reset() override;
+
+  /// Table occupancy in [0, 1] (for the ablation bench).
+  double loadFactor() const {
+    return static_cast<double>(Live) / static_cast<double>(Entries.size());
+  }
+
+private:
+  struct Entry {
+    uint64_t Tag = 0; ///< Slot address | state; 0 = empty, 1 = tombstone.
+    uint64_t Base = 0;
+    uint64_t Bound = 0;
+  };
+  static constexpr uint64_t EmptyTag = 0;
+  static constexpr uint64_t TombstoneTag = 1;
+
+  size_t hash(uint64_t Addr) const {
+    // Double-word address modulo table size: shift and mask (§5.1), with a
+    // multiplicative mix so adjacent slots spread.
+    uint64_t H = (Addr >> 3) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(H & (Entries.size() - 1));
+  }
+
+  /// Finds the entry for Addr, or the insertion slot; counts collisions.
+  Entry *find(uint64_t Addr, bool ForInsert);
+
+  void grow();
+
+  std::vector<Entry> Entries;
+  size_t Live = 0;
+  size_t Used = 0; ///< Live + tombstones.
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_RUNTIME_HASHTABLEMETADATA_H

@@ -1,0 +1,80 @@
+//===- runtime/ShadowSpaceMetadata.cpp - tag-less shadow space -------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ShadowSpaceMetadata.h"
+
+using namespace softbound;
+
+ShadowSpaceMetadata::Pair *ShadowSpaceMetadata::slotFor(uint64_t Addr,
+                                                        bool Materialize) {
+  uint64_t Slot = Addr >> 3;
+  uint64_t PageId = Slot / SlotsPerPage;
+  auto It = Pages.find(PageId);
+  if (It == Pages.end()) {
+    if (!Materialize)
+      return nullptr;
+    It = Pages.emplace(PageId, std::make_unique<Pair[]>(SlotsPerPage)).first;
+  }
+  return &It->second[Slot % SlotsPerPage];
+}
+
+void ShadowSpaceMetadata::lookup(uint64_t Addr, uint64_t &Base,
+                                 uint64_t &Bound) {
+  ++Stats.Lookups;
+  if (Pair *P = slotFor(Addr, /*Materialize=*/false)) {
+    Base = P->Base;
+    Bound = P->Bound;
+    return;
+  }
+  Base = 0;
+  Bound = 0;
+}
+
+void ShadowSpaceMetadata::update(uint64_t Addr, uint64_t Base,
+                                 uint64_t Bound) {
+  ++Stats.Updates;
+  Pair *P = slotFor(Addr, /*Materialize=*/true);
+  P->Base = Base;
+  P->Bound = Bound;
+}
+
+uint64_t ShadowSpaceMetadata::clearRange(uint64_t Addr, uint64_t Size) {
+  uint64_t Cleared = 0;
+  for (uint64_t A = Addr & ~7ULL; A < Addr + Size; A += 8) {
+    Pair *P = slotFor(A, /*Materialize=*/false);
+    if (!P || (P->Base == 0 && P->Bound == 0))
+      continue;
+    *P = Pair();
+    ++Cleared;
+  }
+  Stats.Clears += Cleared;
+  return Cleared;
+}
+
+uint64_t ShadowSpaceMetadata::copyRange(uint64_t Dst, uint64_t Src,
+                                        uint64_t Size) {
+  uint64_t Copied = 0;
+  for (uint64_t A = Src & ~7ULL; A < Src + Size; A += 8) {
+    Pair *SP = slotFor(A, /*Materialize=*/false);
+    uint64_t DA = Dst + (A - Src);
+    if (SP && (SP->Base || SP->Bound)) {
+      update(DA, SP->Base, SP->Bound);
+      ++Copied;
+    } else if (Pair *DP = slotFor(DA, /*Materialize=*/false)) {
+      *DP = Pair();
+    }
+  }
+  return Copied;
+}
+
+uint64_t ShadowSpaceMetadata::memoryBytes() const {
+  return Pages.size() * SlotsPerPage * sizeof(Pair);
+}
+
+void ShadowSpaceMetadata::reset() {
+  Pages.clear();
+  Stats = MetadataStats();
+}

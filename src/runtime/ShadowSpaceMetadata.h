@@ -1,0 +1,59 @@
+//===- runtime/ShadowSpaceMetadata.h - tag-less shadow space ----*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow-space implementation of the metadata facility (§5.1): a region
+/// of the (simulated) virtual address space large enough that collisions
+/// cannot occur, so entries carry no tag and no tag check is needed — a
+/// lookup models ~5 x86 instructions (shift, mask, add, two loads). Pages
+/// are materialized on demand, modelling mmap's zero-fill-on-demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_RUNTIME_SHADOWSPACEMETADATA_H
+#define SOFTBOUND_RUNTIME_SHADOWSPACEMETADATA_H
+
+#include "runtime/MetadataFacility.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace softbound {
+
+/// Demand-paged, tag-less shadow of the simulated address space; one
+/// {base, bound} pair per 8-byte pointer slot.
+class ShadowSpaceMetadata : public MetadataFacility {
+public:
+  ShadowSpaceMetadata() = default;
+
+  const char *name() const override { return "shadowspace"; }
+  void lookup(uint64_t Addr, uint64_t &Base, uint64_t &Bound) override;
+  void update(uint64_t Addr, uint64_t Base, uint64_t Bound) override;
+  uint64_t clearRange(uint64_t Addr, uint64_t Size) override;
+  uint64_t copyRange(uint64_t Dst, uint64_t Src, uint64_t Size) override;
+  uint64_t lookupCost() const override { return 5; }
+  uint64_t updateCost() const override { return 5; }
+  uint64_t memoryBytes() const override;
+  void reset() override;
+
+private:
+  /// Slots per shadow page; one page shadows 8 * SlotsPerPage bytes.
+  static constexpr uint64_t SlotsPerPage = 4096;
+
+  struct Pair {
+    uint64_t Base = 0;
+    uint64_t Bound = 0;
+  };
+  using Page = std::unique_ptr<Pair[]>;
+
+  Pair *slotFor(uint64_t Addr, bool Materialize);
+
+  std::unordered_map<uint64_t, Page> Pages;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_RUNTIME_SHADOWSPACEMETADATA_H

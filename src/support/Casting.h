@@ -1,0 +1,66 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of LLVM's llvm/Support/Casting.h.
+/// A class hierarchy participates by exposing a Kind discriminator and a
+/// static `bool classof(const Base *)` on each subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_SUPPORT_CASTING_H
+#define SOFTBOUND_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace softbound {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace softbound
+
+#endif // SOFTBOUND_SUPPORT_CASTING_H

@@ -1,0 +1,63 @@
+//===- support/RNG.h - deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny, seedable xorshift128+ generator so that workloads, property tests
+/// and benchmarks are bit-for-bit reproducible across runs and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_SUPPORT_RNG_H
+#define SOFTBOUND_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace softbound {
+
+/// Deterministic xorshift128+ PRNG.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding avoids the all-zero state.
+    auto Mix = [&Seed]() {
+      Seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return Z ^ (Z >> 31);
+    };
+    S0 = Mix();
+    S1 = Mix();
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t X = S0;
+    const uint64_t Y = S1;
+    S0 = Y;
+    X ^= X << 23;
+    S1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return S1 + Y;
+  }
+
+  /// Returns a value uniformly distributed in [0, N). N must be nonzero.
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t S0, S1;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_SUPPORT_RNG_H

@@ -1,0 +1,65 @@
+//===- support/TablePrinter.cpp - aligned ASCII table output --------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace softbound;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::fmt(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+std::string TablePrinter::pct(double Ratio, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Ratio * 100.0);
+  return Buf;
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto EmitRow = [&](const std::vector<std::string> &Cells, std::string &Out) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out += "| ";
+      Out += Cells[I];
+      Out.append(Widths[I] - Cells[I].size() + 1, ' ');
+    }
+    Out += "|\n";
+  };
+
+  std::string Out;
+  EmitRow(Headers, Out);
+  for (size_t I = 0; I < Widths.size(); ++I) {
+    Out += "|";
+    Out.append(Widths[I] + 2, '-');
+  }
+  Out += "|\n";
+  for (const auto &Row : Rows)
+    EmitRow(Row, Out);
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::fputs(render().c_str(), stdout);
+}

@@ -1,0 +1,48 @@
+//===- support/TablePrinter.h - aligned ASCII table output ------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats benchmark results as aligned ASCII tables so that every bench
+/// binary can print the same rows/series the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_SUPPORT_TABLEPRINTER_H
+#define SOFTBOUND_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends one row; pads or truncates to the header width.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string fmt(double V, int Precision = 1);
+
+  /// Convenience: formats a percentage such as "79.3%".
+  static std::string pct(double Ratio, int Precision = 1);
+
+  /// Renders the table (headers, separator, rows) to a string.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,123 @@
+//===- vm/SimMemory.h - simulated address space -----------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated 64-bit address space programs execute in: a function
+/// segment (code addresses), a global/data segment, a heap with a first-fit
+/// free-list allocator, and a downward-growing stack. Return addresses,
+/// saved frame pointers and jmp_bufs live as ordinary words in this space,
+/// which is what makes the Wilander attack suite (§6.2) expressible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_VM_SIMMEMORY_H
+#define SOFTBOUND_VM_SIMMEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace softbound {
+
+/// Segment base addresses. The layout mirrors a classic process image; the
+/// null page is never mapped so null dereferences fault.
+namespace simlayout {
+inline constexpr uint64_t FuncBase = 0x0000'0010'0000ULL;
+inline constexpr uint64_t FuncStride = 16; ///< Address distance of functions.
+inline constexpr uint64_t GlobalBase = 0x0000'1000'0000ULL;
+inline constexpr uint64_t HeapBase = 0x0000'2000'0000ULL;
+inline constexpr uint64_t StackBase = 0x0000'7000'0000ULL;
+} // namespace simlayout
+
+/// Byte-addressable simulated memory with segment bounds checking.
+/// read/write return false on access outside mapped segments — the VM turns
+/// that into a simulated segmentation fault.
+class SimMemory {
+public:
+  SimMemory(uint64_t GlobalSize, uint64_t HeapSize, uint64_t StackSize);
+
+  //===--------------------------------------------------------------------===//
+  // Raw access
+  //===--------------------------------------------------------------------===//
+
+  /// Reads \p Size (1/2/4/8) bytes at \p Addr, zero-extended into \p Out.
+  bool read(uint64_t Addr, unsigned Size, uint64_t &Out) const;
+
+  /// Writes the low \p Size bytes of \p Val at \p Addr.
+  bool write(uint64_t Addr, unsigned Size, uint64_t Val);
+
+  bool readBytes(uint64_t Addr, uint64_t N, uint8_t *Out) const;
+  bool writeBytes(uint64_t Addr, uint64_t N, const uint8_t *In);
+
+  /// True if [Addr, Addr+N) lies entirely inside one mapped segment.
+  bool accessible(uint64_t Addr, uint64_t N) const;
+
+  //===--------------------------------------------------------------------===//
+  // Globals
+  //===--------------------------------------------------------------------===//
+
+  /// Reserves \p Size bytes (aligned) in the global segment; returns the
+  /// address, or 0 when the segment is exhausted.
+  uint64_t allocateGlobal(uint64_t Size, uint64_t Align);
+
+  //===--------------------------------------------------------------------===//
+  // Heap (first-fit free list, 16-byte aligned, no headers so that
+  // consecutive allocations are adjacent — heap overflow attacks depend on
+  // deterministic adjacency)
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates \p Size bytes (plus \p RedzonePad bytes of unusable padding
+  /// after the block, for the red-zone baseline). Returns 0 on OOM.
+  uint64_t heapAlloc(uint64_t Size, uint64_t RedzonePad = 0);
+
+  /// Frees a heap block. Returns the block size, or UINT64_MAX for an
+  /// invalid free.
+  uint64_t heapFree(uint64_t Addr);
+
+  /// Returns the size of the live allocation starting at \p Addr, or 0.
+  uint64_t heapBlockSize(uint64_t Addr) const;
+
+  /// Returns the live allocation containing \p Addr as {start, size}, or
+  /// {0, 0} when the address is not inside any live block.
+  std::pair<uint64_t, uint64_t> heapBlockContaining(uint64_t Addr) const;
+
+  uint64_t heapBytesLive() const { return HeapLive; }
+  uint64_t heapHighWater() const { return HeapHigh; }
+
+  //===--------------------------------------------------------------------===//
+  // Stack
+  //===--------------------------------------------------------------------===//
+
+  uint64_t stackTop() const { return StackTopAddr; }
+  uint64_t stackLimit() const { return simlayout::StackBase; }
+
+  /// Zeroes a byte range (used when reusing stack memory).
+  void zeroRange(uint64_t Addr, uint64_t Size);
+
+private:
+  const uint8_t *resolve(uint64_t Addr, uint64_t N) const;
+  uint8_t *resolve(uint64_t Addr, uint64_t N) {
+    return const_cast<uint8_t *>(
+        static_cast<const SimMemory *>(this)->resolve(Addr, N));
+  }
+
+  std::vector<uint8_t> Globals;
+  std::vector<uint8_t> Heap;
+  std::vector<uint8_t> Stack;
+  uint64_t GlobalUsed = 0;
+  uint64_t StackTopAddr;
+
+  // Heap allocator state.
+  std::map<uint64_t, uint64_t> Allocs;   ///< start -> size (live blocks).
+  std::map<uint64_t, uint64_t> FreeList; ///< start -> size (freed blocks).
+  uint64_t HeapBump = simlayout::HeapBase;
+  uint64_t HeapLive = 0;
+  uint64_t HeapHigh = 0;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_VM_SIMMEMORY_H

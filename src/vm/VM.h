@@ -1,0 +1,170 @@
+//===- vm/VM.h - IR interpreter with simulated process image ----*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate standing in for the paper's native x86 runs: an
+/// IR interpreter whose call frames live in simulated memory (return
+/// address and saved frame-pointer words included), with deterministic
+/// cycle accounting (1 per instruction, §5.1 costs per metadata operation,
+/// 3 per bounds check) so the overhead ratios of Figure 2 are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_VM_VM_H
+#define SOFTBOUND_VM_VM_H
+
+#include "ir/Module.h"
+#include "runtime/MetadataFacility.h"
+#include "support/RNG.h"
+#include "vm/MemoryChecker.h"
+#include "vm/SimMemory.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace softbound {
+
+/// How a run ended (TrapKind::None = normal exit).
+enum class TrapKind {
+  None,
+  SpatialViolation, ///< SoftBound bounds check failed.
+  FuncPtrViolation, ///< SoftBound function-pointer encoding check failed.
+  BaselineViolation, ///< A comparison baseline (red zone / object table) hit.
+  Segfault,
+  OutOfMemory,
+  InvalidFree,
+  CorruptedReturn,
+  CorruptedFrame,
+  CorruptedJmpBuf,
+  BadIndirectCall,
+  DivByZero,
+  UnreachableExecuted,
+  StackOverflow,
+  StepLimit,
+  Hijacked, ///< Corrupted control data redirected control flow (attack won).
+};
+
+/// Human-readable trap name.
+const char *trapName(TrapKind K);
+
+/// Dynamic execution statistics.
+struct VMCounters {
+  uint64_t Insts = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t PtrLoads = 0;  ///< Loads whose result type is a pointer (Fig. 1).
+  uint64_t PtrStores = 0; ///< Stores whose value type is a pointer (Fig. 1).
+  uint64_t Checks = 0;
+  uint64_t FuncPtrChecks = 0;
+  uint64_t MetaLoads = 0;
+  uint64_t MetaStores = 0;
+  uint64_t Calls = 0;
+  uint64_t Cycles = 0;
+  uint64_t MaxFrameDepth = 0;
+
+  uint64_t memOps() const { return Loads + Stores; }
+  double ptrOpFraction() const {
+    uint64_t M = memOps();
+    return M ? static_cast<double>(PtrLoads + PtrStores) / M : 0.0;
+  }
+};
+
+/// Result of one VM run.
+struct RunResult {
+  TrapKind Trap = TrapKind::None;
+  int64_t ExitCode = 0;
+  std::string Message;
+  std::string HijackTarget; ///< Function name control flow escaped to.
+  std::string Output;       ///< Text produced by print builtins.
+  VMCounters Counters;
+  uint64_t MetadataMemory = 0;
+  uint64_t HeapHighWater = 0;
+
+  bool ok() const { return Trap == TrapKind::None; }
+  /// True when the run shows the attacker winning (for the attack suite).
+  bool attackLanded() const {
+    return Trap == TrapKind::Hijacked || ExitCode == 66;
+  }
+  /// True when a spatial-safety tool stopped the program.
+  bool violationDetected() const {
+    return Trap == TrapKind::SpatialViolation ||
+           Trap == TrapKind::FuncPtrViolation ||
+           Trap == TrapKind::BaselineViolation;
+  }
+};
+
+/// Which accesses the instrumented-builtin wrappers check (§6: full vs
+/// store-only checking).
+enum class WrapperMode { None, StoreOnly, Full };
+
+/// VM construction options.
+struct VMConfig {
+  MetadataFacility *Meta = nullptr;  ///< Required for instrumented modules.
+  MemoryChecker *Checker = nullptr;  ///< Baseline checker (uninstrumented).
+  WrapperMode Wrappers = WrapperMode::Full;
+  uint64_t GlobalSize = 4ULL << 20;
+  uint64_t HeapSize = 64ULL << 20;
+  uint64_t StackSize = 2ULL << 20;
+  uint64_t StepLimit = 4'000'000'000ULL;
+  uint64_t CheckCost = 3;      ///< Simulated instructions per bounds check.
+  uint64_t RedzonePad = 0;     ///< Heap padding for checker baselines.
+  uint64_t GlobalPad = 0;      ///< Global padding for checker baselines.
+  bool ClearMetadataOnFree = true;
+  bool ClearMetadataOnFrameExit = true;
+  bool Instrumented = false;   ///< Module carries SoftBound instrumentation.
+  size_t OutputLimit = 1u << 20;
+  uint64_t MaxFrames = 100'000;
+};
+
+/// One SSA value at runtime: scalars use A; bounds use {A=base, B=bound};
+/// ptrpair uses {A=ptr, B=base, C=bound}.
+struct VMVal {
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint64_t C = 0;
+};
+
+/// The interpreter. One VM instance loads one module image and can run one
+/// entry function (construct a fresh VM per run for isolation).
+class VM {
+public:
+  VM(Module &M, VMConfig Config);
+  ~VM();
+
+  /// Runs \p EntryName (falls back to the `_sb_`-renamed form), passing
+  /// integer arguments to the leading integer parameters.
+  RunResult run(const std::string &EntryName = "main",
+                const std::vector<int64_t> &Args = {});
+
+  uint64_t functionAddress(const Function *F) const;
+  uint64_t globalAddress(const GlobalVariable *G) const;
+  SimMemory &memory() { return Mem; }
+
+private:
+  struct Frame;
+  struct JmpRecord;
+  class Impl;
+
+  Module &M;
+  VMConfig Cfg;
+  SimMemory Mem;
+  RNG Rand;
+
+  // Module image.
+  std::vector<Function *> FuncByIndex;
+  std::unordered_map<const Function *, uint64_t> FuncAddr;
+  std::unordered_map<const GlobalVariable *, uint64_t> GlobalAddr;
+  std::unordered_map<const Function *, int> BuiltinOf;
+
+  void loadImage();
+
+  friend class VMExec;
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_VM_VM_H

@@ -1,0 +1,338 @@
+//===- workloads/Attacks.cpp - the 18 Table-3 attacks -----------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Wilander-style attack suite (Table 3). Each program really corrupts
+/// control data living in simulated memory: return-address words, saved
+/// frame pointers, function-pointer variables/parameters, and jmp_buf PC
+/// fields. "Attack landed" = the VM reports hijacked control flow or the
+/// payload runs (exit code 66). Under SoftBound both checking modes must
+/// trap at the out-of-bounds *write* before any corruption takes effect.
+///
+/// Frame layout recap (vm/VM.cpp): [locals… ↑][saved FP][return addr],
+/// allocas laid out downward in declaration order, so the LAST declared
+/// buffer sits lowest and overflows sweep upward through earlier locals
+/// into the control words.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace softbound;
+
+namespace {
+
+/// Shared prologue: a benign function, the attack payload, and escape
+/// sinks used to pin parameters into stack memory.
+const char *Prologue = R"(
+char* g_sink;
+long g_dummy;
+
+int legit(int x) { return x + 1; }
+
+int attack_payload(int x) {
+  print_str("HIJACKED");
+  exit(66);
+  return 0;
+}
+)";
+
+std::string withPrologue(const char *Body) {
+  return std::string(Prologue) + Body;
+}
+
+} // namespace
+
+const std::vector<AttackCase> &softbound::attackSuite() {
+  static const std::vector<AttackCase> Suite = {
+
+      //===------------------------------------------------------------===//
+      // Group 1: buffer overflow on the stack, all the way to the target.
+      //===------------------------------------------------------------===//
+
+      {"stack-direct-retaddr", "direct overflow", "stack", "return address",
+       withPrologue(R"(
+int f() {
+  char buf[16];            /* [buf 16][saved fp][ret addr]               */
+  long* w = (long*)buf;
+  w[2] = (long)attack_payload;   /* saved fp word (swept through)       */
+  w[3] = (long)attack_payload;   /* return address word                 */
+  return 1;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-direct-basepointer", "direct overflow", "stack",
+       "old base pointer", withPrologue(R"(
+int f() {
+  char buf[16];
+  long* w = (long*)buf;
+  w[2] = (long)attack_payload;   /* saved frame pointer word only       */
+  return 1;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-direct-funcptr-local", "direct overflow", "stack",
+       "function pointer local variable", withPrologue(R"(
+int f() {
+  int (*fp[1])(int);       /* first local: just below the saved fp      */
+  char buf[16];            /* below fp: buf+16 == &fp[0]                */
+  fp[0] = legit;
+  long* w = (long*)buf;
+  w[2] = (long)attack_payload;
+  return fp[0](7);
+}
+int main() { return f(); }
+)")},
+
+      {"stack-direct-funcptr-param", "direct overflow", "stack",
+       "function pointer parameter", withPrologue(R"(
+int f(int (*fp)(int)) {
+  char buf[16];
+  g_sink = (char*)&fp;     /* pin the parameter spill slot in memory    */
+  long* w = (long*)buf;
+  w[2] = (long)attack_payload;   /* buf+16 == parameter slot            */
+  return fp(5);
+}
+int main() { return f(legit); }
+)")},
+
+      {"stack-direct-longjmpbuf-local", "direct overflow", "stack",
+       "longjmp buffer local variable", withPrologue(R"(
+int f() {
+  long jb[4];              /* first local                               */
+  char buf[16];            /* buf+16 == &jb[0]                          */
+  if (setjmp(jb) != 0) return 1;
+  long* w = (long*)buf;
+  w[2] = 1;                /* jb[0]: magic (swept)                      */
+  w[3] = 1;                /* jb[1]: token                              */
+  w[4] = (long)attack_payload;   /* jb[2]: PC field                     */
+  longjmp(jb, 1);
+  return 0;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-direct-longjmpbuf-param", "direct overflow", "stack",
+       "longjmp buffer function parameter", withPrologue(R"(
+int f(long* jb) {
+  char buf[16];            /* caller's jb sits above f's control words  */
+  long* w = (long*)buf;
+  w[2] = 1; w[3] = 1;      /* f's saved fp + ret addr (swept through)   */
+  w[4] = 1; w[5] = 1;      /* jb[0], jb[1]                              */
+  w[6] = (long)attack_payload;   /* jb[2]: PC field                     */
+  longjmp(jb, 1);
+  return 0;
+}
+int main() {
+  long jb[4];
+  if (setjmp(jb) != 0) return 1;
+  return f(jb);
+}
+)")},
+
+      //===------------------------------------------------------------===//
+      // Group 2: buffer overflow on heap/BSS/data, all the way.
+      //===------------------------------------------------------------===//
+
+      {"heap-direct-funcptr", "direct overflow", "heap", "function pointer",
+       withPrologue(R"(
+int main() {
+  char* buf = malloc(16);
+  long* fpslot = (long*)malloc(8);   /* adjacent: buf+16 == fpslot      */
+  fpslot[0] = (long)legit;
+  long* w = (long*)buf;
+  w[2] = (long)attack_payload;
+  int (*fp)(int);
+  fp = (int (*)(int))(char*)fpslot[0];
+  return fp(3);
+}
+)")},
+
+      {"data-direct-longjmpbuf", "direct overflow", "data",
+       "longjmp buffer", withPrologue(R"(
+long gbuf[2];              /* 8-aligned so gjb is exactly gbuf + 16     */
+long gjb[4];
+int main() {
+  if (setjmp(gjb) != 0) return 1;
+  long* w = (long*)gbuf;
+  w[2] = 1; w[3] = 1;      /* gjb[0], gjb[1]                            */
+  w[4] = (long)attack_payload;   /* gjb[2]: PC field                    */
+  longjmp(gjb, 1);
+  return 0;
+}
+)")},
+
+      //===------------------------------------------------------------===//
+      // Group 3: overflow a data pointer on the stack, then write through
+      // it to the target.
+      //===------------------------------------------------------------===//
+
+      {"stack-indirect-retaddr", "overflow pointer, then write", "stack",
+       "return address", withPrologue(R"(
+int f() {
+  long* p[1];              /* pointer variable just below saved fp      */
+  char buf[16];            /* buf+16 == &p[0]                           */
+  long* w = (long*)buf;
+  w[2] = (long)buf + 32;   /* ret addr slot = buf + 32                  */
+  *(p[0]) = (long)attack_payload;
+  return 1;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-indirect-basepointer", "overflow pointer, then write",
+       "stack", "old base pointer", withPrologue(R"(
+int f() {
+  long* p[1];
+  char buf[16];
+  long* w = (long*)buf;
+  w[2] = (long)buf + 24;   /* saved fp slot = buf + 24                  */
+  *(p[0]) = (long)attack_payload;
+  return 1;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-indirect-funcptr-local", "overflow pointer, then write",
+       "stack", "function pointer variable", withPrologue(R"(
+int f() {
+  int (*fp[1])(int);       /* at buf + 24                               */
+  long* p[1];              /* at buf + 16                               */
+  char buf[16];
+  fp[0] = legit;
+  long* w = (long*)buf;
+  w[2] = (long)buf + 24;
+  *(p[0]) = (long)attack_payload;
+  return fp[0](2);
+}
+int main() { return f(); }
+)")},
+
+      {"stack-indirect-funcptr-param", "overflow pointer, then write",
+       "stack", "function pointer parameter", withPrologue(R"(
+int f(int (*fp)(int)) {
+  long* p[1];
+  char buf[16];
+  g_sink = (char*)&fp;     /* parameter slot ends up at buf + 24        */
+  long* w = (long*)buf;
+  w[2] = (long)buf + 24;
+  *(p[0]) = (long)attack_payload;
+  return fp(2);
+}
+int main() { return f(legit); }
+)")},
+
+      {"stack-indirect-longjmpbuf-local", "overflow pointer, then write",
+       "stack", "longjmp buffer variable", withPrologue(R"(
+int f() {
+  long jb[4];              /* jb[2] (PC field) sits at buf + 40         */
+  long* p[1];              /* at buf + 16                               */
+  char buf[16];
+  if (setjmp(jb) != 0) return 1;
+  long* w = (long*)buf;
+  w[2] = (long)buf + 40;
+  *(p[0]) = (long)attack_payload;
+  longjmp(jb, 1);
+  return 0;
+}
+int main() { return f(); }
+)")},
+
+      {"stack-indirect-longjmpbuf-param", "overflow pointer, then write",
+       "stack", "longjmp buffer function parameter", withPrologue(R"(
+int f(long* jb) {
+  long* p[1];              /* at buf + 16                               */
+  char buf[16];            /* caller jb[2] sits at buf + 56             */
+  long* w = (long*)buf;
+  w[2] = (long)buf + 56;
+  *(p[0]) = (long)attack_payload;
+  longjmp(jb, 1);
+  return 0;
+}
+int main() {
+  long jb[4];
+  if (setjmp(jb) != 0) return 1;
+  return f(jb);
+}
+)")},
+
+      //===------------------------------------------------------------===//
+      // Group 4: overflow a data pointer on heap/BSS, then write through.
+      //===------------------------------------------------------------===//
+
+      {"heap-indirect-retaddr", "overflow pointer, then write", "heap",
+       "return address", withPrologue(R"(
+int f() {
+  long anchor;             /* only pinned local: ret slot = &anchor+16  */
+  anchor = 5;
+  g_sink = (char*)&anchor;
+  char* buf = malloc(16);
+  long** slot = (long**)malloc(8);   /* adjacent: buf+16 == slot        */
+  *slot = &g_dummy;
+  long* w = (long*)buf;
+  w[2] = (long)&anchor + 16;
+  long* t = *slot;
+  *t = (long)attack_payload;
+  return (int)anchor;
+}
+int main() { return f(); }
+)")},
+
+      {"heap-indirect-basepointer", "overflow pointer, then write", "heap",
+       "old base pointer", withPrologue(R"(
+int f() {
+  long anchor;
+  anchor = 5;
+  g_sink = (char*)&anchor;
+  char* buf = malloc(16);
+  long** slot = (long**)malloc(8);
+  *slot = &g_dummy;
+  long* w = (long*)buf;
+  w[2] = (long)&anchor + 8;        /* saved fp slot                     */
+  long* t = *slot;
+  *t = (long)attack_payload;
+  return (int)anchor;
+}
+int main() { return f(); }
+)")},
+
+      {"bss-indirect-funcptr", "overflow pointer, then write", "data",
+       "function pointer", withPrologue(R"(
+int (*g_fp)(int);
+int main() {
+  g_fp = legit;
+  char* buf = malloc(16);
+  long** slot = (long**)malloc(8);
+  *slot = &g_dummy;
+  long* w = (long*)buf;
+  w[2] = (long)(char*)&g_fp;
+  long* t = *slot;
+  *t = (long)attack_payload;
+  return g_fp(1);
+}
+)")},
+
+      {"bss-indirect-longjmpbuf", "overflow pointer, then write", "data",
+       "longjmp buffer", withPrologue(R"(
+long g_jb[4];
+int main() {
+  if (setjmp(g_jb) != 0) return 1;
+  char* buf = malloc(16);
+  long** slot = (long**)malloc(8);
+  *slot = &g_dummy;
+  long* w = (long*)buf;
+  w[2] = (long)&g_jb[2];           /* the PC field                      */
+  long* t = *slot;
+  *t = (long)attack_payload;
+  longjmp(g_jb, 1);
+  return 0;
+}
+)")},
+  };
+  return Suite;
+}

@@ -1,0 +1,837 @@
+//===- workloads/Benchmarks.cpp - the 15 Figure-1/2 kernels -----------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mini-C kernels named after the paper's benchmarks. Each reproduces its
+/// namesake's pointer-operation density class: the SPEC-style kernels are
+/// array codes with almost no pointer loads/stores, the Olden-style
+/// kernels are pointer-chasing data-structure codes. Floating-point
+/// originals (lbm, bh) use fixed-point arithmetic; this preserves the
+/// memory-operation mix that drives Figures 1 and 2 (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace softbound;
+
+namespace {
+
+// SPEC go: board-scan flood fill over global int arrays. ~0% pointer ops.
+const char *GoSrc = R"(
+int board[361];
+int mark[361];
+int stk[400];
+long chk = 0;
+
+int gen = 0;
+
+int liberties(int pos) {
+  int top = 0;
+  int libs = 0;
+  gen++;                      /* generation stamp: no O(board) clearing */
+  stk[top] = pos; top++;
+  mark[pos] = gen;
+  int color = board[pos];
+  while (top > 0) {
+    top--;
+    int p = stk[top];
+    int r = p / 19;
+    int c = p % 19;
+    for (int d = 0; d < 4; d++) {
+      int nr = r; int nc = c;
+      if (d == 0) nr = r - 1;
+      if (d == 1) nr = r + 1;
+      if (d == 2) nc = c - 1;
+      if (d == 3) nc = c + 1;
+      if (nr < 0 || nr >= 19 || nc < 0 || nc >= 19) continue;
+      int np = nr * 19 + nc;
+      if (mark[np] == gen) continue;
+      mark[np] = gen;
+      if (board[np] == 0) {
+        /* Positional scoring: edge distance, influence falloff. */
+        int er = nr; if (er > 9) er = 18 - er;
+        int ec = nc; if (ec > 9) ec = 18 - ec;
+        int infl = (er * ec * 7 + er + ec) % 13;
+        int score = (infl * infl + 3 * infl + np % 5) % 11;
+        libs += 1 + score % 2;
+      }
+      else if (board[np] == color && top < 399) { stk[top] = np; top++; }
+    }
+  }
+  return libs;
+}
+
+int main() {
+  sb_srand(7);
+  for (int i = 0; i < 361; i++) board[i] = (int)(sb_rand() % 3);
+  for (int t = 0; t < 50; t++) {
+    int pos = (int)(sb_rand() % 361);
+    if (board[pos] == 0) board[pos] = 1 + (t % 2);
+    chk += liberties(pos);
+  }
+  return (int)(chk % 251);
+}
+)";
+
+// SPEC lbm: fixed-point 3-point lattice relaxation. ~0% pointer ops.
+const char *LbmSrc = R"(
+long cur[1024];
+long nxt[1024];
+
+int main() {
+  for (int i = 0; i < 1024; i++) cur[i] = (i * 37) % 1000;
+  for (int t = 0; t < 40; t++) {
+    for (int i = 1; i < 1023; i++) {
+      long w = cur[i - 1];
+      long c = cur[i];
+      long e = cur[i + 1];
+      /* Collision operator (fixed point): equilibrium + relaxation. */
+      long rho = w + c + e;
+      long u = (e - w) * 341 / 1024;
+      long eq0 = rho * 4 / 9 - u * u / 3;
+      long eq1 = rho / 9 + u / 3 + u * u / 2;
+      long eq2 = rho / 9 - u / 3 + u * u / 2;
+      long v = (eq0 * 2 + eq1 * 3 + eq2 * 3 + c * 4) / 12;
+      v += ((v * 7) % 5) - 2;
+      if (c > 500) v = v - 3; else v = v + 3;
+      nxt[i] = v;
+    }
+    nxt[0] = nxt[1];
+    nxt[1023] = nxt[1022];
+    for (int i = 0; i < 1024; i++) cur[i] = nxt[i];
+  }
+  long chk = 0;
+  for (int i = 0; i < 1024; i++) chk += cur[i];
+  return (int)(chk % 251);
+}
+)";
+
+// SPEC hmmer: Viterbi-style dynamic programming over int tables. ~1%.
+const char *HmmerSrc = R"(
+int dpm[130 * 130];
+int dpi[130 * 130];
+int score[130];
+int seq[130];
+
+int max2(int a, int b) { if (a > b) return a; return b; }
+
+int main() {
+  sb_srand(11);
+  for (int i = 0; i < 130; i++) {
+    score[i] = (int)(sb_rand() % 17) - 8;
+    seq[i] = (int)(sb_rand() % 4);
+  }
+  for (int r = 0; r < 6; r++) {
+    for (int i = 1; i < 128; i++) {
+      for (int j = 1; j < 128; j++) {
+        int emit = score[(seq[i] * 31 + j) % 130];
+        /* Odds-ratio scaling in fixed point. */
+        int sc = emit * 17 + (emit * emit) % 23 - j % 3;
+        sc = sc - sc / 4 + (sc * 3) % 7;
+        int m = dpm[(i - 1) * 130 + (j - 1)] + sc % 16;
+        int ins = dpi[(i - 1) * 130 + j] - 2;
+        int best = max2(m, ins);
+        dpm[i * 130 + j] = best;
+        dpi[i * 130 + j] = max2(best - 5, dpi[i * 130 + j - 1] - 1);
+      }
+    }
+  }
+  long chk = 0;
+  for (int j = 0; j < 128; j++) chk += dpm[127 * 130 + j];
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// SPEC compress: LZW coding with open-addressed int hash tables. ~2%.
+const char *CompressSrc = R"(
+char inbuf[4096];
+int hprefix[8192];
+int hchar[8192];
+int hcode[8192];
+int outcodes[4096];
+
+int main() {
+  sb_srand(13);
+  for (int i = 0; i < 4096; i++) {
+    if (i % 7 < 4) inbuf[i] = (char)('a' + i % 5);
+    else inbuf[i] = (char)('a' + (int)(sb_rand() % 9));
+  }
+  for (int i = 0; i < 8192; i++) hcode[i] = -1;
+  int nextcode = 256;
+  int nout = 0;
+  long crc = 0xffff;
+  int prefix = inbuf[0];
+  for (int i = 1; i < 4096; i++) {
+    int c = inbuf[i];
+    /* CRC-style mixing (register-only). */
+    crc = crc ^ c;
+    for (int b = 0; b < 6; b++) {
+      if ((crc & 1) != 0) crc = (crc >> 1) ^ 0xa001;
+      else crc = crc >> 1;
+    }
+    int h = (prefix * 313 + c * 7 + 1) % 8192;
+    if (h < 0) h = h + 8192;
+    int found = -1;
+    while (hcode[h] != -1) {
+      if (hprefix[h] == prefix && hchar[h] == c) { found = hcode[h]; break; }
+      h = (h + 1) % 8192;
+    }
+    if (found >= 0) { prefix = found; continue; }
+    outcodes[nout] = prefix;
+    nout++;
+    if (nextcode < 4096) {
+      hprefix[h] = prefix; hchar[h] = c; hcode[h] = nextcode;
+      nextcode++;
+    }
+    prefix = c;
+  }
+  outcodes[nout] = prefix; nout++;
+  long chk = crc % 97;
+  for (int i = 0; i < nout; i++) chk += outcodes[i] * (i % 13 + 1);
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// SPEC ijpeg: integer 8x8 DCT over an image buffer. ~3%.
+const char *IjpegSrc = R"(
+int image[32 * 32];
+int coef[32 * 32];
+int cosT[64];
+
+int main() {
+  sb_srand(17);
+  for (int i = 0; i < 64; i++) cosT[i] = ((i * 29) % 181) - 90;
+  for (int i = 0; i < 32 * 32; i++) image[i] = (int)(sb_rand() % 256) - 128;
+  for (int pass = 0; pass < 8; pass++) {
+    for (int by = 0; by < 4; by++) {
+      for (int bx = 0; bx < 4; bx++) {
+        for (int u = 0; u < 8; u++) {
+          for (int v = 0; v < 8; v++) {
+            int acc = 0;
+            for (int x = 0; x < 8; x++) {
+              int px = image[(by * 8 + u) * 32 + bx * 8 + x];
+              acc += px * cosT[(v * 8 + x) % 64];
+            }
+            coef[(by * 8 + u) * 32 + bx * 8 + v] = acc / 128;
+          }
+        }
+      }
+    }
+    for (int i = 0; i < 32 * 32; i++)
+      image[i] = (image[i] + coef[i] / 4) % 256;
+  }
+  long chk = 0;
+  for (int i = 0; i < 32 * 32; i++) chk += coef[i];
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden bh: Barnes-Hut-style pairwise forces on a body array plus a
+// pointer-linked quadtree build. ~10% pointer ops.
+const char *BhSrc = R"(
+struct qnode {
+  long cx; long cy; long mass;
+  struct qnode* kid[4];
+};
+long bx[128]; long by[128]; long bm[128];
+long fx[128]; long fy[128];
+
+struct qnode* newnode(long cx, long cy) {
+  struct qnode* n = (struct qnode*)malloc(sizeof(struct qnode));
+  n->cx = cx; n->cy = cy; n->mass = 0;
+  n->kid[0] = NULL; n->kid[1] = NULL; n->kid[2] = NULL; n->kid[3] = NULL;
+  return n;
+}
+
+void insert(struct qnode* root, long x, long y, long m, int depth) {
+  root->mass += m;
+  if (depth >= 6) return;
+  int q = 0;
+  if (x > root->cx) q = q + 1;
+  if (y > root->cy) q = q + 2;
+  if (root->kid[q] == NULL) {
+    long step = 512 >> depth;
+    long nx = root->cx; long ny = root->cy;
+    if (q % 2 == 1) nx = nx + step; else nx = nx - step;
+    if (q / 2 == 1) ny = ny + step; else ny = ny - step;
+    root->kid[q] = newnode(nx, ny);
+  }
+  insert(root->kid[q], x, y, m, depth + 1);
+}
+
+long treemass(struct qnode* n) {
+  if (n == NULL) return 0;
+  long s = n->mass;
+  for (int i = 0; i < 4; i++) s += treemass(n->kid[i]);
+  return s;
+}
+
+int main() {
+  sb_srand(19);
+  for (int i = 0; i < 128; i++) {
+    bx[i] = (long)(sb_rand() % 2048);
+    by[i] = (long)(sb_rand() % 2048);
+    bm[i] = 1 + (long)(sb_rand() % 9);
+  }
+  for (int step = 0; step < 4; step++) {
+    struct qnode* root = newnode(1024, 1024);
+    for (int i = 0; i < 128; i++) insert(root, bx[i], by[i], bm[i], 0);
+    for (int i = 0; i < 128; i++) {
+      long ax = 0; long ay = 0;
+      for (int j = 0; j < 128; j++) {
+        if (i == j) continue;
+        long dx = bx[j] - bx[i];
+        long dy = by[j] - by[i];
+        long d2 = dx * dx + dy * dy + 16;
+        ax += dx * bm[j] * 256 / d2;
+        ay += dy * bm[j] * 256 / d2;
+      }
+      fx[i] = ax; fy[i] = ay;
+    }
+    long tm = treemass(root);
+    for (int i = 0; i < 128; i++) {
+      bx[i] = (bx[i] + fx[i] / 16 + tm % 3) % 2048;
+      by[i] = (by[i] + fy[i] / 16) % 2048;
+      if (bx[i] < 0) bx[i] = -bx[i];
+      if (by[i] < 0) by[i] = -by[i];
+    }
+  }
+  long chk = 0;
+  for (int i = 0; i < 128; i++) chk += bx[i] * 3 + by[i];
+  return (int)(chk % 251);
+}
+)";
+
+// Olden tsp: nearest-neighbour tour over a linked city list. ~15%.
+const char *TspSrc = R"(
+struct city {
+  long x; long y;
+  int visited;
+  struct city* next;
+};
+
+int main() {
+  sb_srand(23);
+  struct city* head = NULL;
+  for (int i = 0; i < 150; i++) {
+    struct city* c = (struct city*)malloc(sizeof(struct city));
+    c->x = (long)(sb_rand() % 4096);
+    c->y = (long)(sb_rand() % 4096);
+    c->visited = 0;
+    c->next = head;
+    head = c;
+  }
+  struct city* cur = head;
+  cur->visited = 1;
+  long tour = 0;
+  for (int leg = 0; leg < 149; leg++) {
+    struct city* best = NULL;
+    long bestd = 0x7fffffffffffffff;
+    for (struct city* p = head; p != NULL; p = p->next) {
+      if (p->visited) continue;
+      long dx = p->x - cur->x;
+      long dy = p->y - cur->y;
+      long d2 = dx * dx + dy * dy + 1;
+      /* Integer Newton sqrt to convergence precision. */
+      long r = d2 / 2 + 1;
+      for (int it = 0; it < 12; it++) r = (r + d2 / r) / 2;
+      if (r < bestd) { bestd = r; best = p; }
+    }
+    best->visited = 1;
+    tour += bestd % 1000;
+    cur = best;
+  }
+  return (int)(tour % 251);
+}
+)";
+
+// SPEC libquantum: gate simulation over a register of amplitude cells
+// addressed through a pointer table. ~18%.
+const char *LibquantumSrc = R"(
+struct amp { long state; long re; long im; };
+struct amp* reg[512];
+
+int main() {
+  sb_srand(29);
+  for (int i = 0; i < 512; i++) {
+    struct amp* a = (struct amp*)malloc(sizeof(struct amp));
+    a->state = i;
+    a->re = 1000;
+    a->im = 0;
+    reg[i] = a;
+  }
+  for (int gate = 0; gate < 24; gate++) {
+    int bit = gate % 9;
+    int mask = 1 << bit;
+    for (int i = 0; i < 512; i++) {
+      struct amp* a = reg[i];
+      if ((a->state & mask) != 0) {
+        long re = a->re;
+        long im = a->im;
+        /* Fixed-point rotation with renormalization. */
+        long nr = (re * 70 - im * 70) / 99;
+        long ni = (re * 70 + im * 70) / 99;
+        long norm = nr * nr + ni * ni;
+        long scale = 1000;
+        for (int it = 0; it < 14; it++)
+          scale = (scale + (norm / 1000) * 1000 / (scale + 1)) / 2;
+        nr = nr * 997 / (scale + 7);
+        ni = ni * 997 / (scale + 7);
+        a->re = nr % 100000;
+        a->im = ni % 100000;
+      } else {
+        long re = a->re;
+        long ph = (re * 13 + gate * 7) % 97;
+        for (int it = 0; it < 7; it++)
+          ph = (ph * ph + 3 * ph + it) % 89;
+        a->re = re + ph % 5;
+      }
+    }
+    // CNOT: swap amplitude cells whose control bit is set.
+    int cbit = (gate + 3) % 9;
+    int cmask = 1 << cbit;
+    for (int i = 0; i < 512; i++) {
+      int j = i ^ mask;
+      if ((i & cmask) != 0 && j > i) {
+        struct amp* t = reg[i];
+        reg[i] = reg[j];
+        reg[j] = t;
+      }
+    }
+  }
+  long chk = 0;
+  for (int i = 0; i < 512; i++) chk += reg[i]->re + reg[i]->im * 3;
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden perimeter: quadtree over a bitmap; perimeter via recursive walks.
+// ~28%.
+const char *PerimeterSrc = R"(
+struct quad {
+  int color;
+  struct quad* kid[4];
+};
+
+int hist[64];
+
+struct quad* build(int x, int y, int size, int depth) {
+  struct quad* q = (struct quad*)malloc(sizeof(struct quad));
+  /* Scalar bookkeeping: level statistics (dilutes pointer traffic the way
+     the original's image analysis does). */
+  for (int h = 0; h < 3; h++) hist[(x + y + h) % 64] += size + h;
+  if (depth == 0 || size == 1) {
+    int v = (x * x + y * y + x * 3 + y) % 7;
+    if (v < 3) q->color = 1; else q->color = 0;
+    q->kid[0] = NULL; q->kid[1] = NULL; q->kid[2] = NULL; q->kid[3] = NULL;
+    return q;
+  }
+  int h = size / 2;
+  q->kid[0] = build(x, y, h, depth - 1);
+  q->kid[1] = build(x + h, y, h, depth - 1);
+  q->kid[2] = build(x, y + h, h, depth - 1);
+  q->kid[3] = build(x + h, y + h, h, depth - 1);
+  if (q->kid[0]->color == 1 && q->kid[1]->color == 1 &&
+      q->kid[2]->color == 1 && q->kid[3]->color == 1) q->color = 1;
+  else if (q->kid[0]->color == 0 && q->kid[1]->color == 0 &&
+           q->kid[2]->color == 0 && q->kid[3]->color == 0) q->color = 0;
+  else q->color = 2;
+  return q;
+}
+
+long perim(struct quad* q, int size) {
+  if (q == NULL) return 0;
+  hist[size % 64] += 1;
+  if (q->color == 1) return 4 * size;
+  if (q->color == 0) return 0;
+  long s = 0;
+  for (int i = 0; i < 4; i++) s += perim(q->kid[i], size / 2);
+  return s - size;
+}
+
+int main() {
+  long chk = 0;
+  for (int round = 0; round < 6; round++) {
+    struct quad* root = build(round, round * 2, 64, 6);
+    chk += perim(root, 64);
+  }
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden health: hospital hierarchy with patient queues (linked lists
+// moving between levels). ~35%.
+const char *HealthSrc = R"(
+struct patient { int id; int time; struct patient* next; };
+struct village {
+  struct patient* waiting;
+  struct patient* treated;
+  struct village* kid[4];
+  int level;
+};
+
+struct village* buildv(int level) {
+  struct village* v = (struct village*)malloc(sizeof(struct village));
+  v->waiting = NULL; v->treated = NULL; v->level = level;
+  for (int i = 0; i < 4; i++) {
+    if (level > 0) v->kid[i] = buildv(level - 1);
+    else v->kid[i] = NULL;
+  }
+  return v;
+}
+
+int nextid = 0;
+
+int vstats[32];
+
+void step(struct village* v) {
+  if (v == NULL) return;
+  /* Scalar epidemiology bookkeeping per village visit. */
+  for (int h = 0; h < 9; h++) vstats[(v->level * 5 + h) % 32] += h + 1;
+  for (int i = 0; i < 4; i++) step(v->kid[i]);
+  // New patients arrive at leaves.
+  if (v->level == 0 && sb_rand() % 3 == 0) {
+    struct patient* p = (struct patient*)malloc(sizeof(struct patient));
+    p->id = nextid; nextid++;
+    p->time = 0;
+    p->next = v->waiting;
+    v->waiting = p;
+  }
+  // Treat one waiting patient; escalate every third to the parent level
+  // by leaving it in 'waiting' of a child pulled up below.
+  if (v->waiting != NULL) {
+    struct patient* p = v->waiting;
+    v->waiting = p->next;
+    p->time += v->level + 1;
+    p->next = v->treated;
+    v->treated = p;
+  }
+  // Pull one treated patient up from each child.
+  for (int i = 0; i < 4; i++) {
+    struct village* k = v->kid[i];
+    if (k != NULL && k->treated != NULL) {
+      struct patient* p = k->treated;
+      k->treated = p->next;
+      p->next = v->waiting;
+      v->waiting = p;
+    }
+  }
+}
+
+long count(struct patient* p, int mul) {
+  long s = 0;
+  while (p != NULL) { s += p->time * mul + p->id; p = p->next; }
+  return s;
+}
+
+long tally(struct village* v) {
+  if (v == NULL) return 0;
+  long s = count(v->waiting, 2) + count(v->treated, 3);
+  for (int i = 0; i < 4; i++) s += tally(v->kid[i]);
+  return s;
+}
+
+int main() {
+  sb_srand(31);
+  struct village* root = buildv(3);
+  for (int t = 0; t < 30; t++) step(root);
+  long extra = 0;
+  for (int i = 0; i < 32; i++) extra += vstats[i];
+  return (int)(((tally(root) + extra) % 251 + 251) % 251);
+}
+)";
+
+// Olden bisort: binary-tree sort with recursive merge phases. ~42%.
+const char *BisortSrc = R"(
+struct tnode { long val; struct tnode* l; struct tnode* r; };
+
+int depthhist[64];
+
+struct tnode* insert(struct tnode* t, long v) {
+  if (t == NULL) {
+    struct tnode* n = (struct tnode*)malloc(sizeof(struct tnode));
+    n->val = v; n->l = NULL; n->r = NULL;
+    return n;
+  }
+  depthhist[(int)(v % 64)] += 1;
+  if ((v & 1) == 0) depthhist[(int)((v >> 1) % 64)] += 1;
+  if (v < t->val) t->l = insert(t->l, v);
+  else t->r = insert(t->r, v);
+  return t;
+}
+
+long walk(struct tnode* t, long acc) {
+  if (t == NULL) return acc;
+  acc = walk(t->l, acc);
+  acc = acc * 3 + t->val % 97;
+  return walk(t->r, acc);
+}
+
+long minv(struct tnode* t) {
+  while (t->l != NULL) t = t->l;
+  return t->val;
+}
+
+int main() {
+  sb_srand(37);
+  long chk = 0;
+  for (int round = 0; round < 5; round++) {
+    struct tnode* root = NULL;
+    for (int i = 0; i < 300; i++)
+      root = insert(root, (long)(sb_rand() % 100000));
+    chk += walk(root, 0) % 10007;
+    chk += minv(root);
+  }
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden mst: adjacency-list graph, Prim-style growth over a linked
+// vertex worklist. ~48%.
+const char *MstSrc = R"(
+struct edge { long w; struct vert* to; struct edge* next; };
+struct vert {
+  struct edge* adj;
+  long dist;
+  struct vert* next;     /* unvisited worklist link */
+};
+struct vert* pool[96];
+
+void addedge(struct vert* a, struct vert* b, long w) {
+  struct edge* e = (struct edge*)malloc(sizeof(struct edge));
+  e->to = b; e->w = w; e->next = a->adj; a->adj = e;
+  struct edge* f = (struct edge*)malloc(sizeof(struct edge));
+  f->to = a; f->w = w; f->next = b->adj; b->adj = f;
+}
+
+int main() {
+  sb_srand(41);
+  for (int i = 0; i < 96; i++) {
+    struct vert* v = (struct vert*)malloc(sizeof(struct vert));
+    v->adj = NULL; v->dist = 1 << 30; v->next = NULL;
+    pool[i] = v;
+  }
+  for (int i = 1; i < 96; i++)
+    addedge(pool[i], pool[(int)(sb_rand() % i)], 1 + (long)(sb_rand() % 1000));
+  for (int i = 0; i < 240; i++) {
+    int a = (int)(sb_rand() % 96);
+    int b = (int)(sb_rand() % 96);
+    if (a != b) addedge(pool[a], pool[b], 1 + (long)(sb_rand() % 1000));
+  }
+  /* Unvisited worklist. */
+  struct vert* work = NULL;
+  for (int i = 95; i >= 1; i--) { pool[i]->next = work; work = pool[i]; }
+  pool[0]->dist = 0;
+  struct vert* cur = pool[0];
+  long total = 0;
+  for (int round = 0; round < 8; round++) {
+    /* Re-run Prim from scratch to scale the kernel. */
+    for (int i = 0; i < 96; i++) pool[i]->dist = 1 << 30;
+    work = NULL;
+    for (int i = 95; i >= 1; i--) { pool[i]->next = work; work = pool[i]; }
+    pool[0]->dist = 0;
+    cur = pool[0];
+    while (cur != NULL) {
+      total += cur->dist % 1000;
+      for (struct edge* e = cur->adj; e != NULL; e = e->next)
+        if (e->w < e->to->dist) e->to->dist = e->w;
+      /* Pick the nearest unvisited vertex, unlinking it. */
+      struct vert* best = NULL;
+      struct vert* bestprev = NULL;
+      struct vert* prev = NULL;
+      for (struct vert* p = work; p != NULL; p = p->next) {
+        if (best == NULL || p->dist < best->dist) { best = p; bestprev = prev; }
+        prev = p;
+      }
+      if (best == NULL) { cur = NULL; }
+      else {
+        if (bestprev == NULL) work = best->next;
+        else bestprev->next = best->next;
+        cur = best;
+      }
+    }
+  }
+  return (int)(total % 251);
+}
+)";
+
+// SPEC li: cons-cell expression interpreter (eval over list structures).
+// ~52%.
+const char *LiSrc = R"(
+struct cell {
+  int tag;           /* 0 = number, 1 = pair */
+  long num;
+  struct cell* car;
+  struct cell* cdr;
+};
+
+struct cell* mknum(long v) {
+  struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+  c->tag = 0; c->num = v; c->car = NULL; c->cdr = NULL;
+  return c;
+}
+
+struct cell* mkpair(struct cell* a, struct cell* d) {
+  struct cell* c = (struct cell*)malloc(sizeof(struct cell));
+  c->tag = 1; c->num = 0; c->car = a; c->cdr = d;
+  return c;
+}
+
+/* Build a random expression tree: (op lhs rhs) encoded as nested pairs. */
+struct cell* gen(int depth) {
+  if (depth == 0 || sb_rand() % 4 == 0)
+    return mknum((long)(sb_rand() % 100) - 50);
+  struct cell* op = mknum((long)(sb_rand() % 3));
+  return mkpair(op, mkpair(gen(depth - 1), mkpair(gen(depth - 1), NULL)));
+}
+
+long eval(struct cell* e) {
+  if (e->tag == 0) return e->num;
+  long op = e->car->num;
+  struct cell* args = e->cdr;
+  long a = eval(args->car);
+  long b = eval(args->cdr->car);
+  if (op == 0) return a + b;
+  if (op == 1) return a - b;
+  return (a % 31) * (b % 31);
+}
+
+/* Copy an expression (exercises allocation + pointer stores). */
+struct cell* copy(struct cell* e) {
+  if (e == NULL) return NULL;
+  if (e->tag == 0) return mknum(e->num);
+  return mkpair(copy(e->car), copy(e->cdr));
+}
+
+int main() {
+  sb_srand(43);
+  long chk = 0;
+  for (int i = 0; i < 40; i++) {
+    struct cell* e = gen(6);
+    struct cell* e2 = copy(e);
+    chk += eval(e) + eval(e2) * 2;
+  }
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden em3d: bipartite graph relaxation through per-node pointer
+// arrays. ~58%.
+const char *Em3dSrc = R"(
+struct node {
+  long value;
+  int degree;
+  struct node** from;
+  long* coeff;
+  struct node* next;
+};
+
+struct node* mklist(int n, long seed) {
+  struct node* head = NULL;
+  for (int i = 0; i < n; i++) {
+    struct node* nd = (struct node*)malloc(sizeof(struct node));
+    nd->value = (seed * (i + 3)) % 1000;
+    nd->degree = 0;
+    nd->from = NULL;
+    nd->coeff = NULL;
+    nd->next = head;
+    head = nd;
+  }
+  return head;
+}
+
+struct node* pick(struct node* head, int idx) {
+  struct node* p = head;
+  for (int i = 0; i < idx; i++) p = p->next;
+  return p;
+}
+
+void wire(struct node* dsts, struct node* srcs, int n, int degree) {
+  for (struct node* d = dsts; d != NULL; d = d->next) {
+    d->degree = degree;
+    d->from = (struct node**)malloc(sizeof(struct node*) * degree);
+    d->coeff = (long*)malloc(sizeof(long) * degree);
+    for (int k = 0; k < degree; k++) {
+      d->from[k] = pick(srcs, (int)(sb_rand() % n));
+      d->coeff[k] = (long)(sb_rand() % 7) + 1;
+    }
+  }
+}
+
+void relax(struct node* list) {
+  for (struct node* d = list; d != NULL; d = d->next) {
+    long acc = d->value;
+    for (int k = 0; k < d->degree; k++)
+      acc -= d->from[k]->value * d->coeff[k] / 8;
+    d->value = acc % 100000;
+  }
+}
+
+int main() {
+  sb_srand(47);
+  struct node* e = mklist(64, 17);
+  struct node* h = mklist(64, 29);
+  wire(e, h, 64, 6);
+  wire(h, e, 64, 6);
+  for (int t = 0; t < 12; t++) { relax(e); relax(h); }
+  long chk = 0;
+  for (struct node* p = e; p != NULL; p = p->next) chk += p->value;
+  for (struct node* p = h; p != NULL; p = p->next) chk += 3 * p->value;
+  return (int)((chk % 251 + 251) % 251);
+}
+)";
+
+// Olden treeadd: recursive binary-tree summation — the most pointer-
+// dominant kernel. ~62%.
+const char *TreeaddSrc = R"(
+struct tree { long val; struct tree* l; struct tree* r; };
+
+struct tree* build(int depth, long seed) {
+  struct tree* t = (struct tree*)malloc(sizeof(struct tree));
+  t->val = seed % 100;
+  if (depth <= 1) { t->l = NULL; t->r = NULL; return t; }
+  t->l = build(depth - 1, seed * 3 + 1);
+  t->r = build(depth - 1, seed * 5 + 2);
+  return t;
+}
+
+long sum(struct tree* t) {
+  if (t == NULL) return 0;
+  return t->val + sum(t->l) + sum(t->r);
+}
+
+int main() {
+  struct tree* root = build(11, 9);
+  long chk = 0;
+  for (int i = 0; i < 10; i++) chk += sum(root) % 10007;
+  return (int)(chk % 251);
+}
+)";
+
+} // namespace
+
+const std::vector<Workload> &softbound::benchmarkSuite() {
+  static const std::vector<Workload> Suite = {
+      {"go", "SPEC", GoSrc, "board flood-fill liberty counting"},
+      {"lbm", "SPEC", LbmSrc, "fixed-point lattice relaxation"},
+      {"hmmer", "SPEC", HmmerSrc, "Viterbi dynamic programming"},
+      {"compress", "SPEC", CompressSrc, "LZW coding with int hash tables"},
+      {"ijpeg", "SPEC", IjpegSrc, "integer 8x8 DCT"},
+      {"bh", "Olden", BhSrc, "Barnes-Hut forces + quadtree build"},
+      {"tsp", "Olden", TspSrc, "nearest-neighbour tour over linked list"},
+      {"libquantum", "SPEC", LibquantumSrc,
+       "gate simulation over pointer-addressed register"},
+      {"perimeter", "Olden", PerimeterSrc, "quadtree perimeter"},
+      {"health", "Olden", HealthSrc, "hierarchical patient queues"},
+      {"bisort", "Olden", BisortSrc, "binary-tree sort rounds"},
+      {"mst", "Olden", MstSrc, "Prim over adjacency lists"},
+      {"li", "SPEC", LiSrc, "cons-cell expression interpreter"},
+      {"em3d", "Olden", Em3dSrc, "bipartite graph relaxation"},
+      {"treeadd", "Olden", TreeaddSrc, "recursive tree summation"},
+  };
+  return Suite;
+}

@@ -1,0 +1,77 @@
+//===- workloads/BugBench.cpp - the Table-4 seeded bug kernels --------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Four kernels reproducing the documented overflow class of each BugBench
+/// program the paper evaluates (Table 4). The detection matrix depends
+/// only on the class:
+///   go        — sub-object READ overflow (global struct): only full
+///               checking sees it (not store-only, not red zones, not the
+///               object table).
+///   compress  — global array WRITE overflow crossing into the next
+///               object: missed by heap-only red zones (Valgrind).
+///   polymorph — heap strcpy WRITE overflow: everyone sees it.
+///   gzip      — heap loop WRITE overflow: everyone sees it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace softbound;
+
+const std::vector<BugCase> &softbound::bugbenchSuite() {
+  static const std::vector<BugCase> Suite = {
+
+      {"go", "sub-object read overflow (global struct)", R"(
+/* Off-by-one read past a struct-internal array, as in BugBench go:
+   the read stays inside the enclosing object, so object-granularity
+   tools pass it and store-only checking never looks at loads. */
+struct position { int joseki[8]; int owner; };
+struct position g_pos;
+int main() {
+  g_pos.owner = 7;
+  for (int i = 0; i < 8; i++) g_pos.joseki[i] = i + 1;
+  long s = 0;
+  for (int i = 0; i <= 8; i++) s += g_pos.joseki[i];  /* reads owner */
+  return (int)(s % 100);
+}
+)"},
+
+      {"compress", "global array write overflow", R"(
+/* Write one slot past a global table into the adjacent table, as in
+   BugBench compress. Heap-only checkers never see global writes. */
+int htab[64];
+int codetab[64];
+int main() {
+  codetab[0] = 42;
+  for (int i = 0; i <= 64; i++) htab[i] = i;  /* htab[64] hits codetab */
+  return codetab[0];
+}
+)"},
+
+      {"polymorph", "heap strcpy write overflow", R"(
+/* Unbounded filename copy into a small heap buffer (polymorph's bug). */
+int main() {
+  char* fname = malloc(8);
+  strcpy(fname, "very_long_filename_overflowing.txt");
+  return (int)(strlen(fname) % 100);
+}
+)"},
+
+      {"gzip", "heap loop write overflow", R"(
+/* Window fill loop runs past its heap buffer into the neighbouring
+   allocation (gzip's bug shape). */
+int main() {
+  char* window = malloc(32);
+  char* head = malloc(16);
+  head[0] = 9;
+  for (int i = 0; i < 40; i++) window[i] = (char)(i % 100);
+  return head[0];
+}
+)"},
+  };
+  return Suite;
+}

@@ -1,0 +1,195 @@
+//===- workloads/Servers.cpp - §6.4 network-server case studies -------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §6.4 compatibility case studies: an HTTP request handler
+/// (nhttpd-style) and an FTP command loop (tinyftp-style), driven by
+/// embedded synthetic sessions. The claim reproduced: SoftBound transforms
+/// them with no source changes and no false positives, while a classic
+/// unbounded-copy vulnerability (enabled by a flag) is caught.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace softbound;
+
+std::string softbound::httpServerSource() {
+  return R"(
+/* nhttpd-style request handling: parse a request line, route it, build a
+   response. All copies are bounded; vulnerable mode (g_vuln) uses the
+   classic unbounded strcpy on the query string. */
+
+char* g_requests[6] = {
+  "GET / HTTP/1.0",
+  "GET /index.html HTTP/1.0",
+  "GET /cgi-bin/form?name=alice&age=30&token=0123456789abcdef0123456789abcdef HTTP/1.0",
+  "POST /upload HTTP/1.0",
+  "GET /images/logo.png HTTP/1.0",
+  "GET /a/very/deep/path/with/segments/file.txt HTTP/1.0"
+};
+
+int g_vuln;
+long g_handled;
+
+int copyToken(char* dst, int cap, char* src, int start, int stopch) {
+  int i = start;
+  int o = 0;
+  while (src[i] != 0 && src[i] != stopch && src[i] != ' ') {
+    if (o < cap - 1) { dst[o] = src[i]; o++; }
+    i++;
+  }
+  dst[o] = 0;
+  return i;
+}
+
+int handle(char* req) {
+  char method[8];
+  char path[64];
+  char query[32];
+  char resp[128];
+
+  int pos = copyToken(method, 8, req, 0, ' ');
+  while (req[pos] == ' ') pos++;
+  int qpos = copyToken(path, 64, req, pos, '?');
+
+  query[0] = 0;
+  if (req[qpos] == '?') {
+    if (g_vuln) {
+      /* CVE-style bug: unbounded copy of attacker-controlled data. */
+      strcpy(query, req + qpos + 1);
+    } else {
+      copyToken(query, 32, req, qpos + 1, ' ');
+    }
+  }
+
+  int code = 200;
+  if (strcmp(method, "GET") != 0 && strcmp(method, "POST") != 0) code = 405;
+  if (strlen(path) > 40) code = 414;
+
+  strcpy(resp, "HTTP/1.0 ");
+  if (code == 200) strcat(resp, "200 OK");
+  if (code == 405) strcat(resp, "405 Method Not Allowed");
+  if (code == 414) strcat(resp, "414 URI Too Long");
+  strcat(resp, " path=");
+  strcat(resp, path);
+  print_str(resp);
+  print_char('\n');
+  return code;
+}
+
+int main(int vuln) {
+  g_vuln = vuln;
+  for (int round = 0; round < 20; round++) {
+    for (int i = 0; i < 6; i++) {
+      g_handled += handle(g_requests[i]);
+    }
+  }
+  if (g_handled == 20 * 6 * 200) return 0;
+  return 1;
+}
+)";
+}
+
+std::string softbound::ftpServerSource() {
+  return R"(
+/* tinyftp-style command loop: parse commands, track session state,
+   answer with status strings. All buffers bounded. */
+
+char* g_session[10] = {
+  "USER alice",
+  "PASS hunter2",
+  "SYST",
+  "PWD",
+  "CWD /pub/files",
+  "LIST",
+  "RETR readme.txt",
+  "CWD ..",
+  "RETR data/archive2024.tar",
+  "QUIT"
+};
+
+char g_cwd[64];
+int g_loggedin;
+long g_sum;
+
+int startsWith(char* s, char* prefix) {
+  int i = 0;
+  while (prefix[i] != 0) {
+    if (s[i] != prefix[i]) return 0;
+    i++;
+  }
+  return 1;
+}
+
+void reply(int code, char* text) {
+  char line[96];
+  line[0] = (char)('0' + code / 100);
+  line[1] = (char)('0' + code / 10 % 10);
+  line[2] = (char)('0' + code % 10);
+  line[3] = ' ';
+  line[4] = 0;
+  strcat(line, text);
+  print_str(line);
+  print_char('\n');
+  g_sum += code;
+}
+
+void handle(char* cmd) {
+  if (startsWith(cmd, "USER ")) { reply(331, "user ok, need password"); return; }
+  if (startsWith(cmd, "PASS ")) { g_loggedin = 1; reply(230, "logged in"); return; }
+  if (!g_loggedin) { reply(530, "not logged in"); return; }
+  if (startsWith(cmd, "SYST")) { reply(215, "UNIX Type: L8"); return; }
+  if (startsWith(cmd, "PWD")) { reply(257, g_cwd); return; }
+  if (startsWith(cmd, "CWD ")) {
+    char arg[48];
+    int i = 4; int o = 0;
+    while (cmd[i] != 0 && o < 47) { arg[o] = cmd[i]; o++; i++; }
+    arg[o] = 0;
+    if (strcmp(arg, "..") == 0) {
+      long n = strlen(g_cwd);
+      while (n > 1 && g_cwd[n - 1] != '/') { n--; }
+      if (n > 1) n--;
+      g_cwd[n] = 0;
+      if (g_cwd[0] == 0) { g_cwd[0] = '/'; g_cwd[1] = 0; }
+    } else if (arg[0] == '/') {
+      if (strlen(arg) < 60) strcpy(g_cwd, arg);
+    } else {
+      if (strlen(g_cwd) + strlen(arg) + 2 < 60) {
+        if (strcmp(g_cwd, "/") != 0) strcat(g_cwd, "/");
+        strcat(g_cwd, arg);
+      }
+    }
+    reply(250, g_cwd);
+    return;
+  }
+  if (startsWith(cmd, "LIST")) { reply(226, "transfer complete"); return; }
+  if (startsWith(cmd, "RETR ")) {
+    char fname[64];
+    int i = 5; int o = 0;
+    while (cmd[i] != 0 && o < 63) { fname[o] = cmd[i]; o++; i++; }
+    fname[o] = 0;
+    long bytes = strlen(fname) * 100 + 37;
+    reply(226, fname);
+    g_sum += bytes % 7;
+    return;
+  }
+  if (startsWith(cmd, "QUIT")) { reply(221, "goodbye"); return; }
+  reply(500, "unknown command");
+}
+
+int main() {
+  g_cwd[0] = '/';
+  g_cwd[1] = 0;
+  for (int round = 0; round < 15; round++) {
+    g_loggedin = 0;
+    g_cwd[0] = '/'; g_cwd[1] = 0;
+    for (int i = 0; i < 10; i++) handle(g_session[i]);
+  }
+  return (int)(g_sum % 251);
+}
+)";
+}

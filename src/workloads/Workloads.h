@@ -1,0 +1,70 @@
+//===- workloads/Workloads.h - benchmark/attack/bug registry ----*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload registry standing in for the paper's evaluation inputs:
+///   * 15 benchmark kernels named after the paper's SPEC/Olden programs,
+///     each reproducing that program's pointer-operation density class
+///     (Figure 1's independent variable),
+///   * the 18 Wilander-style attacks of Table 3,
+///   * the four BugBench overflow kernels of Table 4,
+///   * the two §6.4 network-server case studies.
+///
+/// All programs are deterministic mini-C (seeded PRNG, no input files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_WORKLOADS_WORKLOADS_H
+#define SOFTBOUND_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// One performance benchmark.
+struct Workload {
+  std::string Name;     ///< Paper benchmark this models (e.g. "treeadd").
+  std::string Suite;    ///< "SPEC" or "Olden".
+  std::string Source;   ///< mini-C program text.
+  std::string Comment;  ///< What the kernel computes.
+};
+
+/// The 15 benchmarks of Figure 1/Figure 2, in the paper's sorted order
+/// (ascending pointer-operation frequency).
+const std::vector<Workload> &benchmarkSuite();
+
+/// One synthetic attack from the Wilander-style suite (Table 3).
+struct AttackCase {
+  std::string Name;
+  std::string Technique; ///< Table 3 grouping (direct overflow / via ptr).
+  std::string Location;  ///< stack / heap / data.
+  std::string Target;    ///< return address / old base ptr / func ptr / …
+  std::string Source;
+};
+
+/// The 18 attacks of Table 3.
+const std::vector<AttackCase> &attackSuite();
+
+/// One seeded-bug kernel from the BugBench set (Table 4).
+struct BugCase {
+  std::string Name;     ///< go / compress / polymorph / gzip.
+  std::string BugClass; ///< e.g. "sub-object read overflow (global)".
+  std::string Source;
+};
+
+/// The four BugBench kernels of Table 4.
+const std::vector<BugCase> &bugbenchSuite();
+
+/// §6.4 case studies: protocol servers driven by embedded sessions.
+/// Exit code 0 = all sessions handled; output holds response transcript.
+std::string httpServerSource();
+std::string ftpServerSource();
+
+} // namespace softbound
+
+#endif // SOFTBOUND_WORKLOADS_WORKLOADS_H

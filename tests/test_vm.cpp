@@ -1,0 +1,201 @@
+//===- tests/test_vm.cpp - VM substrate unit tests --------------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the execution substrate: the simulated memory's heap
+/// allocator (adjacency, free-list reuse, red-zone padding), segment
+/// fault behaviour, and the VM's control-data corruption detection that
+/// the attack suite relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "vm/SimMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace softbound;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SimMemory
+//===----------------------------------------------------------------------===//
+
+TEST(SimMemory, SegmentsAndFaults) {
+  SimMemory M(1 << 20, 1 << 20, 1 << 20);
+  uint64_t V = 0;
+  // Null page and random low addresses are unmapped.
+  EXPECT_FALSE(M.read(0, 8, V));
+  EXPECT_FALSE(M.write(0x10, 8, 1));
+  // Globals are mapped from GlobalBase.
+  EXPECT_TRUE(M.write(simlayout::GlobalBase, 8, 0x1234));
+  EXPECT_TRUE(M.read(simlayout::GlobalBase, 8, V));
+  EXPECT_EQ(V, 0x1234u);
+  // Straddling a segment end faults.
+  EXPECT_FALSE(M.read(simlayout::GlobalBase + (1 << 20) - 4, 8, V));
+}
+
+TEST(SimMemory, SubWordAccessLittleEndian) {
+  SimMemory M(1 << 16, 1 << 16, 1 << 16);
+  ASSERT_TRUE(M.write(simlayout::HeapBase, 8, 0x0102030405060708ULL));
+  uint64_t B = 0;
+  ASSERT_TRUE(M.read(simlayout::HeapBase, 1, B));
+  EXPECT_EQ(B, 0x08u);
+  ASSERT_TRUE(M.read(simlayout::HeapBase + 7, 1, B));
+  EXPECT_EQ(B, 0x01u);
+  ASSERT_TRUE(M.read(simlayout::HeapBase + 2, 2, B));
+  EXPECT_EQ(B, 0x0506u);
+}
+
+TEST(SimMemory, HeapAdjacencyIsDeterministic) {
+  // The attack suite depends on consecutive mallocs being adjacent
+  // (16-byte aligned, no headers).
+  SimMemory M(1 << 16, 1 << 20, 1 << 16);
+  uint64_t A = M.heapAlloc(16);
+  uint64_t B = M.heapAlloc(8);
+  uint64_t C = M.heapAlloc(24);
+  EXPECT_EQ(B, A + 16);
+  EXPECT_EQ(C, B + 16); // 8 rounds up to 16.
+}
+
+TEST(SimMemory, FreeListReusesFirstFit) {
+  SimMemory M(1 << 16, 1 << 20, 1 << 16);
+  uint64_t A = M.heapAlloc(64);
+  M.heapAlloc(16); // Keep the bump pointer moving.
+  EXPECT_EQ(M.heapFree(A), 64u);
+  // Same-size allocation reuses the freed block (stale-metadata test
+  // depends on this).
+  EXPECT_EQ(M.heapAlloc(64), A);
+  // Splitting: a smaller allocation carves the front of a freed block.
+  uint64_t D = M.heapAlloc(128);
+  M.heapFree(D);
+  EXPECT_EQ(M.heapAlloc(32), D);
+  EXPECT_EQ(M.heapAlloc(32), D + 32);
+}
+
+TEST(SimMemory, RedzonePaddingSeparatesBlocks) {
+  SimMemory M(1 << 16, 1 << 20, 1 << 16);
+  uint64_t A = M.heapAlloc(16, /*RedzonePad=*/16);
+  uint64_t B = M.heapAlloc(16, /*RedzonePad=*/16);
+  EXPECT_GE(B - A, 32u);
+  // The gap belongs to no live block.
+  EXPECT_EQ(M.heapBlockContaining(A + 20).second, 0u);
+  EXPECT_EQ(M.heapBlockContaining(A + 4).first, A);
+}
+
+TEST(SimMemory, InvalidFreeReported) {
+  SimMemory M(1 << 16, 1 << 20, 1 << 16);
+  uint64_t A = M.heapAlloc(16);
+  EXPECT_EQ(M.heapFree(A + 4), UINT64_MAX); // Interior pointer.
+  EXPECT_EQ(M.heapFree(A), 16u);
+  EXPECT_EQ(M.heapFree(A), UINT64_MAX); // Double free.
+}
+
+//===----------------------------------------------------------------------===//
+// VM control-data integrity (the attack substrate)
+//===----------------------------------------------------------------------===//
+
+TEST(VMControlData, GarbageReturnAddressIsACrash) {
+  // Corrupting the return word with a non-function value is a crash
+  // (CorruptedReturn), not a hijack.
+  RunResult R = compileAndRun("int f() {\n"
+                              "  char buf[16];\n"
+                              "  long* w = (long*)buf;\n"
+                              "  w[3] = 0x41414141;\n"
+                              "  return 1;\n"
+                              "}\n"
+                              "int main() { return f(); }",
+                              BuildOptions{});
+  EXPECT_EQ(R.Trap, TrapKind::CorruptedReturn) << trapName(R.Trap);
+}
+
+TEST(VMControlData, FunctionAddressInReturnSlotHijacks) {
+  RunResult R = compileAndRun(
+      "int pay(int x) { return x; }\n"
+      "int f() {\n"
+      "  char buf[16];\n"
+      "  long* w = (long*)buf;\n"
+      "  w[3] = (long)pay;\n"
+      "  return 1;\n"
+      "}\n"
+      "int main() { return f(); }",
+      BuildOptions{});
+  EXPECT_EQ(R.Trap, TrapKind::Hijacked);
+  EXPECT_EQ(R.HijackTarget, "pay");
+}
+
+TEST(VMControlData, CorruptedJmpBufMagicTraps) {
+  RunResult R = compileAndRun("long jb[4];\n"
+                              "int main() {\n"
+                              "  if (setjmp(jb) != 0) return 7;\n"
+                              "  jb[0] = 12345;\n" // Smash the magic.
+                              "  longjmp(jb, 1);\n"
+                              "  return 0;\n"
+                              "}",
+                              BuildOptions{});
+  EXPECT_EQ(R.Trap, TrapKind::CorruptedJmpBuf);
+}
+
+TEST(VMControlData, LongjmpToDeadFrameTraps) {
+  RunResult R = compileAndRun("long jb[4];\n"
+                              "int arm() { return setjmp(jb); }\n"
+                              "int main() {\n"
+                              "  arm();\n" // The armed frame returns.
+                              "  longjmp(jb, 1);\n"
+                              "  return 0;\n"
+                              "}",
+                              BuildOptions{});
+  EXPECT_EQ(R.Trap, TrapKind::CorruptedJmpBuf);
+}
+
+TEST(VMControlData, DeepRecursionHitsStackGuard) {
+  RunResult R = compileAndRun("int down(int n) {\n"
+                              "  long pad[64];\n"
+                              "  pad[0] = n;\n"
+                              "  if (n == 0) return 0;\n"
+                              "  return down(n - 1) + (int)pad[0];\n"
+                              "}\n"
+                              "int main() { return down(1000000); }",
+                              BuildOptions{});
+  EXPECT_EQ(R.Trap, TrapKind::StackOverflow);
+}
+
+TEST(VMCounters, CycleModelComponentsAdd) {
+  // Instrumented cycles = base + 3 per check + 5 per shadow metadata op.
+  const char *Src = "int main() {\n"
+                    "  long* p = (long*)malloc(80);\n"
+                    "  long* q;\n"
+                    "  for (int i = 0; i < 10; i++) p[i] = i;\n"
+                    "  q = p;\n"
+                    "  return (int)q[9];\n"
+                    "}";
+  RunResult Plain = compileAndRun(Src, BuildOptions{});
+  BuildOptions B;
+  B.Instrument = true;
+  RunResult SB = compileAndRun(Src, B);
+  ASSERT_TRUE(Plain.ok() && SB.ok()) << SB.Message;
+  EXPECT_EQ(SB.ExitCode, 9);
+  uint64_t Expected = SB.Counters.Insts + 3 * SB.Counters.Checks +
+                      5 * (SB.Counters.MetaLoads + SB.Counters.MetaStores);
+  // Builtin costs (malloc) and frame metadata clearing add a remainder;
+  // the modeled components must account for the bulk.
+  EXPECT_GE(SB.Counters.Cycles, Expected);
+  EXPECT_LT(SB.Counters.Cycles, Expected + 200);
+}
+
+TEST(VMCounters, MaxFrameDepthTracksRecursion) {
+  RunResult R = compileAndRun("int f(int n) {\n"
+                              "  if (n == 0) return 0;\n"
+                              "  return f(n - 1) + 1;\n"
+                              "}\n"
+                              "int main() { return f(40); }",
+                              BuildOptions{});
+  EXPECT_EQ(R.ExitCode, 40);
+  EXPECT_GE(R.Counters.MaxFrameDepth, 41u);
+}
+
+} // namespace
