@@ -11,7 +11,10 @@
 ///   2. §5.2 memcpy pointer-free inference on vs off,
 ///   3. sub-object bound shrinking cost (it must be ~free),
 ///   4. object-table (splay) baseline cost on pointer-dense code — the
-///      §2.1 claim that splay lookups are the bottleneck.
+///      §2.1 claim that splay lookups are the bottleneck,
+///   5. the static check-optimization subsystem (opt/checks/) with each
+///      sub-pass (dominance RCE, range subsumption, loop hoisting)
+///      toggled independently.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -148,6 +151,58 @@ int main() {
                 std::to_string(OT.totalComparisons())});
     }
     T.print();
+  }
+
+  // 5. Static check-optimization subsystem (opt/checks/): each sub-pass
+  //    toggled independently on counted-loop-heavy kernels.
+  {
+    std::printf("\n-- 5. static check optimization sub-passes (opt/checks/) "
+                "--\n");
+    struct Knobs {
+      const char *Name;
+      bool Dominated, Range, Hoist;
+    };
+    const Knobs Configs[] = {
+        {"off", false, false, false},
+        {"+dominated", true, false, false},
+        {"+range", false, true, false},
+        {"+hoist", false, false, true},
+        {"all", true, true, true},
+    };
+    for (const auto &Name :
+         {std::string("lbm"), std::string("hmmer"), std::string("ijpeg"),
+          std::string("compress")}) {
+      const Workload *W = nullptr;
+      for (const auto &Cand : benchmarkSuite())
+        if (Cand.Name == Name)
+          W = &Cand;
+      if (!W) {
+        std::fprintf(stderr, "workload %s missing from suite\n",
+                     Name.c_str());
+        return 1;
+      }
+      std::printf("  %s:\n", Name.c_str());
+      TablePrinter T({"config", "static checks", "elim %", "dyn checks",
+                      "cycles", "hoisted", "dom", "range"});
+      for (const auto &K : Configs) {
+        BuildOptions B;
+        B.Instrument = true;
+        B.CheckOpt.EliminateDominated = K.Dominated;
+        B.CheckOpt.RangeSubsumption = K.Range;
+        B.CheckOpt.HoistLoopChecks = K.Hoist;
+        BuildResult Prog = mustBuild(W->Source, B);
+        Measurement M = measure(Prog);
+        const CheckOptStats &S = Prog.Stats.CheckOpt;
+        T.addRow({K.Name, std::to_string(S.ChecksAfter),
+                  TablePrinter::fmt(100.0 * S.eliminationRate(), 1),
+                  std::to_string(M.R.Counters.Checks),
+                  std::to_string(M.R.Counters.Cycles),
+                  std::to_string(S.LoopChecksHoisted),
+                  std::to_string(S.DominatedEliminated),
+                  std::to_string(S.RangeEliminated)});
+      }
+      T.print();
+    }
   }
   return 0;
 }

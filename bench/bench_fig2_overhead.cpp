@@ -21,6 +21,8 @@
 
 #include "bench/BenchUtil.h"
 
+#include <set>
+
 using namespace softbound;
 using namespace softbound::benchutil;
 
@@ -99,6 +101,63 @@ int main() {
             TablePrinter::fmt(Sum[1] / N, 1), TablePrinter::fmt(Sum[2] / N, 1),
             TablePrinter::fmt(Sum[3] / N, 1), ""});
   T.print();
+
+  // ------------------------------------------------------------------
+  // Static check optimization (opt/checks/): dynamic checks executed with
+  // the subsystem off vs on, and the static elimination rate. The checks
+  // counter is facility-independent (both facilities execute the same
+  // instrumented module), so one table covers hash and shadow runs.
+  // ------------------------------------------------------------------
+  std::printf("\n=== Check optimization: dynamic checks executed ===\n\n");
+  TablePrinter C({"benchmark", "full unopt", "full opt", "red %",
+                  "store unopt", "store opt", "red %", "static elim %"});
+  // Workloads dominated by counted loops, where hull hoisting applies; the
+  // pointer-chasing Olden kernels keep their inherently dynamic checks.
+  const std::set<std::string> CountedLoopSet = {"lbm", "hmmer", "compress",
+                                                "ijpeg"};
+  double CountedRedSum = 0;
+  int CountedN = 0;
+  bool CountedAllOver30 = true;
+  for (const auto &W : benchmarkSuite()) {
+    uint64_t Checks[4]; // full-unopt, full-opt, store-unopt, store-opt
+    double ElimRate = 0;
+    for (int K = 0; K < 4; ++K) {
+      BuildOptions B;
+      B.Instrument = true;
+      B.SB.Mode = K < 2 ? CheckMode::Full : CheckMode::StoreOnly;
+      B.CheckOpt.Enable = K % 2 == 1;
+      BuildResult Prog = mustBuild(W.Source, B);
+      Measurement M = measure(Prog);
+      if (!M.R.ok()) {
+        std::fprintf(stderr, "%s checkopt run failed: %s\n", W.Name.c_str(),
+                     M.R.Message.c_str());
+        return 1;
+      }
+      Checks[K] = M.R.Counters.Checks;
+      if (K == 1)
+        ElimRate = 100.0 * Prog.Stats.CheckOpt.eliminationRate();
+    }
+    double RedFull =
+        Checks[0] ? 100.0 * (1.0 - double(Checks[1]) / Checks[0]) : 0;
+    double RedStore =
+        Checks[2] ? 100.0 * (1.0 - double(Checks[3]) / Checks[2]) : 0;
+    if (CountedLoopSet.count(W.Name)) {
+      CountedRedSum += RedFull;
+      ++CountedN;
+      if (RedFull < 30.0)
+        CountedAllOver30 = false;
+    }
+    C.addRow({W.Name, std::to_string(Checks[0]), std::to_string(Checks[1]),
+              TablePrinter::fmt(RedFull, 1), std::to_string(Checks[2]),
+              std::to_string(Checks[3]), TablePrinter::fmt(RedStore, 1),
+              TablePrinter::fmt(ElimRate, 1)});
+  }
+  C.print();
+  std::printf("\ncheck-optimization shape checks:\n");
+  std::printf("  counted-loop workloads >=30%% fewer checks:  %s "
+              "(avg %.1f%% over %d benchmarks)\n",
+              CountedAllOver30 ? "yes" : "NO", CountedRedSum / CountedN,
+              CountedN);
 
   std::printf("\npaper shape checks:\n");
   std::printf("  hash-full avg > shadow-full avg:          %s (%.1f%% vs "

@@ -37,6 +37,9 @@ BuildResult softbound::buildProgram(const std::string &Source,
     Out.Stats = applySoftBound(*Out.M, Opts.SB);
     Out.Instrumented = true;
     Out.Mode = Opts.SB.Mode;
+    // Static check optimization (range analysis, dominance RCE, loop
+    // hoisting) runs on the instrumented module, before execution.
+    Out.Stats.CheckOpt = optimizeChecks(*Out.M, Opts.CheckOpt);
   }
 
   Errs = verifyModule(*Out.M);

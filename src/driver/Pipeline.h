@@ -32,6 +32,9 @@ struct BuildOptions {
   bool Optimize = true;    ///< Run the optimizer before instrumentation.
   bool Instrument = false; ///< Apply the SoftBound transformation.
   SoftBoundConfig SB;      ///< Pass configuration when instrumenting.
+  /// Static check-optimization subsystem (opt/checks/), run after the
+  /// SoftBound pass. On by default; per-sub-pass ablation knobs inside.
+  CheckOptConfig CheckOpt;
 };
 
 /// A built program ready to run.

@@ -1,0 +1,17 @@
+//===- ir/InstOrder.cpp - intra-block instruction ordering ------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/InstOrder.h"
+
+using namespace softbound;
+
+InstOrder::InstOrder(const Function &F) {
+  for (const auto &BB : F.blocks()) {
+    int N = 0;
+    for (const auto &I : *BB)
+      Ord[I.get()] = N++;
+  }
+}

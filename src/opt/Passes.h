@@ -18,6 +18,7 @@
 #define SOFTBOUND_OPT_PASSES_H
 
 #include "ir/Module.h"
+#include "opt/checks/CheckOpt.h"
 
 namespace softbound {
 
@@ -52,6 +53,12 @@ unsigned eliminateRedundantChecks(Function &F);
 
 /// Module-wide eliminateRedundantChecks; returns total removed.
 unsigned eliminateRedundantChecks(Module &M);
+
+// The static check-optimization subsystem (range analysis, dominance-based
+// redundant-check elimination, loop-invariant check hoisting) is declared
+// in opt/checks/CheckOpt.h and re-exported here: run
+// optimizeChecks(Module&, CheckOptConfig) after applySoftBound and before
+// VM execution.
 
 } // namespace softbound
 

@@ -1,0 +1,67 @@
+//===- opt/checks/CheckOpt.cpp - check-optimization driver ------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/checks/CheckOpt.h"
+
+#include "opt/Passes.h"
+#include "support/Casting.h"
+
+using namespace softbound;
+
+namespace softbound {
+namespace checkopt {
+
+// Sub-pass entry points (RedundantChecks.cpp / LoopHoist.cpp).
+void eliminateRedundantSpatialChecks(Function &F, const CheckOptConfig &Cfg,
+                                     CheckOptStats &Stats);
+void hoistLoopChecks(Function &F, CheckOptStats &Stats);
+
+} // namespace checkopt
+} // namespace softbound
+
+namespace {
+
+unsigned countSpatialChecks(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : *BB)
+      if (isa<SpatialCheckInst>(I.get()))
+        ++N;
+  return N;
+}
+
+} // namespace
+
+void softbound::optimizeChecks(Function &F, const CheckOptConfig &Cfg,
+                               CheckOptStats &Stats) {
+  if (!Cfg.Enable || !F.isDefinition())
+    return;
+  Stats.ChecksBefore += countSpatialChecks(F);
+
+  // Hoist first: the hull checks it plants in preheaders become dominating
+  // facts that the elimination walk can use to subsume checks in later
+  // loops over the same object.
+  if (Cfg.HoistLoopChecks) {
+    checkopt::hoistLoopChecks(F, Stats);
+    // Identical hull pointers materialized for several checks of the same
+    // loop collapse here, letting exact-fact elimination dedup their checks.
+    localCSE(F);
+  }
+  if (Cfg.EliminateDominated || Cfg.RangeSubsumption)
+    checkopt::eliminateRedundantSpatialChecks(F, Cfg, Stats);
+
+  // Deleted checks strand their bounds/GEP arithmetic; sweep it.
+  dce(F);
+
+  Stats.ChecksAfter += countSpatialChecks(F);
+}
+
+CheckOptStats softbound::optimizeChecks(Module &M, const CheckOptConfig &Cfg) {
+  CheckOptStats Stats;
+  for (const auto &F : M.functions())
+    optimizeChecks(*F, Cfg, Stats);
+  return Stats;
+}

@@ -1,0 +1,116 @@
+//===- opt/checks/CheckOpt.h - static spatial-check optimization *- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static check-optimization subsystem that runs after the SoftBound
+/// transformation and before VM execution. It implements the §6.1 claim
+/// that re-running the optimizers removes most redundant bounds checks,
+/// with three cooperating sub-passes (each independently toggleable):
+///
+///   1. Value-range analysis (RangeAnalysis.h): pointers are decomposed
+///      into an SSA root plus a constant byte offset, and a scoped table
+///      of proven-in-bounds byte intervals per (root, bounds) pair is
+///      carried down the dominator tree.
+///   2. Dominance-based redundant-check elimination (RedundantChecks.cpp):
+///      a spatial check dominated by an equal-or-stronger check on the
+///      same pointer — or, with range subsumption, on any pointer whose
+///      proven interval covers it — is deleted. Checks consume only SSA
+///      values (the pointer and its bounds), so no call or store can
+///      invalidate an established fact; this generalizes the paper's
+///      "monotonically increasing pointer" example beyond single blocks.
+///   3. Loop-invariant check hoisting with range widening (LoopHoist.cpp):
+///      in counted loops, per-iteration checks on loop-invariant pointers
+///      collapse to one pre-loop check, and checks on `base[affine(iv)]`
+///      are replaced by checks at the two endpoints of the access range's
+///      convex hull (à la CHOP), turning O(trip-count) dynamic checks
+///      into O(1).
+///
+/// Soundness contract: the subsystem only ever *strengthens or moves
+/// earlier* the set of conditions checked on any path — a program that
+/// would have trapped still traps (possibly at an earlier instruction),
+/// and a program that ran clean still runs clean. Every transformation is
+/// gated on static proofs (constant trip counts, single-exit loops, no
+/// in-loop control-flow escapes) described in LoopHoist.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_CHECKOPT_H
+#define SOFTBOUND_OPT_CHECKS_CHECKOPT_H
+
+#include "ir/Module.h"
+
+namespace softbound {
+
+class DomTree;
+class InstOrder;
+
+/// Per-sub-pass toggles (ablation knobs, in the style of
+/// SoftBoundConfig::ElideSafePointerChecks).
+struct CheckOptConfig {
+  /// Master switch for the whole subsystem.
+  bool Enable = true;
+  /// Delete checks dominated by an equal-or-stronger check on the same
+  /// pointer SSA value.
+  bool EliminateDominated = true;
+  /// Use value-range analysis to also delete checks covered by dominating
+  /// checks on *different* pointers into the same object (constant-offset
+  /// subsumption with interval merging).
+  bool RangeSubsumption = true;
+  /// Hoist loop-invariant and affine-indexed checks out of counted loops.
+  bool HoistLoopChecks = true;
+};
+
+/// What the subsystem did (reported by benches and asserted by tests).
+struct CheckOptStats {
+  unsigned ChecksBefore = 0;   ///< Static spatial checks entering the pass.
+  unsigned ChecksAfter = 0;    ///< Static spatial checks remaining.
+  unsigned DominatedEliminated = 0; ///< Same-pointer dominance deletions.
+  unsigned RangeEliminated = 0;     ///< Range-subsumption deletions.
+  unsigned FuncPtrEliminated = 0;   ///< Duplicate function-pointer checks.
+  unsigned LoopChecksHoisted = 0;   ///< In-loop checks replaced/deleted.
+  unsigned HoistedChecksInserted = 0; ///< Pre-loop hull checks added.
+  unsigned LoopsAnalyzed = 0;  ///< Natural loops inspected.
+  unsigned LoopsCounted = 0;   ///< Loops with a provable constant trip set.
+
+  /// Fraction of static checks removed, in [0, 1].
+  double eliminationRate() const {
+    return ChecksBefore
+               ? 1.0 - static_cast<double>(ChecksAfter) / ChecksBefore
+               : 0.0;
+  }
+
+  CheckOptStats &operator+=(const CheckOptStats &O) {
+    ChecksBefore += O.ChecksBefore;
+    ChecksAfter += O.ChecksAfter;
+    DominatedEliminated += O.DominatedEliminated;
+    RangeEliminated += O.RangeEliminated;
+    FuncPtrEliminated += O.FuncPtrEliminated;
+    LoopChecksHoisted += O.LoopChecksHoisted;
+    HoistedChecksInserted += O.HoistedChecksInserted;
+    LoopsAnalyzed += O.LoopsAnalyzed;
+    LoopsCounted += O.LoopsCounted;
+    return *this;
+  }
+};
+
+/// Runs the configured sub-passes over one function, accumulating into
+/// \p Stats. The function must be verifier-clean; it stays verifier-clean.
+void optimizeChecks(Function &F, const CheckOptConfig &Cfg,
+                    CheckOptStats &Stats);
+
+/// Module-wide driver (hoist, then eliminate, then DCE the dead bounds
+/// arithmetic the deletions exposed).
+CheckOptStats optimizeChecks(Module &M, const CheckOptConfig &Cfg = {});
+
+/// Instruction-level dominance: true when \p A executes before \p B on
+/// every path reaching \p B (strict; an instruction does not dominate
+/// itself). \p DT and \p Ord must be current for the containing function.
+bool instDominates(const DomTree &DT, const InstOrder &Ord,
+                   const Instruction *A, const Instruction *B);
+
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_CHECKOPT_H

@@ -1,0 +1,457 @@
+//===- opt/checks/LoopHoist.cpp - loop check hoisting w/ range widening -----===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces per-iteration spatial checks in counted loops with pre-loop
+/// checks over the access range's convex hull. The checked address is
+/// linearized into `Root + sum(Ak * ivk) + B` bytes, where Root is a
+/// loop-invariant pointer, each ivk is the induction variable of the loop
+/// being hoisted or of an enclosing counted loop in the same rectangular
+/// nest, and the Ak/B are compile-time constants accumulated through
+/// bitcasts, GEPs, and affine integer arithmetic. The hull is the pair of
+/// addresses at the minimum and maximum of that linear form over the IV
+/// box; one check per endpoint goes into the preheader (one total for an
+/// invariant address) and the in-loop check is deleted — O(trip count)
+/// dynamic checks become O(1), à la CHOP. Hull checks emitted for an inner
+/// loop use only constants, so the enclosing loop's pass (loops are
+/// processed innermost-first) hoists them again, collapsing a whole nest's
+/// checks to two.
+///
+/// Soundness rests on three proofs, all established before any rewrite:
+///
+///   1. Exact iteration sets. analyzeCountedLoop() gives each IV sequence;
+///      a check's block dominating the latch means the check runs on every
+///      completed iteration (header checks also run on the exiting pass,
+///      so they widen to the exit IV). loopBodyIsSafe() excludes anything
+///      that could keep a normally-completing run from finishing every
+///      iteration, and enclosing IVs are only used when the hoisted loop's
+///      header dominates the enclosing latch (the nest runs every
+///      enclosing iteration). Hence on a clean run the original program
+///      itself evaluates checks at both hull corners: the hoisted checks
+///      are a subset of the original dynamic checks, moved earlier. A run
+///      that would have trapped still traps — though possibly earlier and,
+///      when the original trap was of another kind (say, a division by
+///      zero three iterations before the out-of-bounds access), as a
+///      spatial violation instead. Clean runs are never affected.
+///
+///   2. Faithful re-evaluation. The linearizer verifies that every
+///      intermediate node of the index expression stays inside its bit
+///      width over the whole IV box; each node is linear (separable) in
+///      the IVs, so its extremes sit at box corners and corner checks
+///      cover every iteration. The real (wrapping) arithmetic therefore
+///      equals the exact linear value, and the emitted `Root + constant`
+///      address is bit-identical to what the deleted check would have
+///      computed at that iteration.
+///
+///   3. Monotonicity. The byte offset is linear over the box, so the two
+///      extreme-corner checks imply every intermediate one: an underflow
+///      (addr < base) surfaces at the low corner, an overflow
+///      (addr + size > bound) at the high one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "opt/Dominators.h"
+#include "opt/checks/CheckOpt.h"
+#include "opt/checks/Loops.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace softbound;
+using namespace softbound::checkopt;
+
+namespace {
+
+/// Offsets are capped well below any simulated address-space distance so
+/// 64-bit address arithmetic can never wrap.
+constexpr int64_t MaxByteOffset = int64_t(1) << 40;
+
+/// Inclusive range of values an IV takes at the program point of interest.
+struct IVRange {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+using IVBox = std::map<const Value *, IVRange>;
+
+/// An integer as an exact linear function B + sum(Coef[iv] * iv) over the
+/// IVs of the box.
+struct LinExpr {
+  std::map<const Value *, int64_t> Coef;
+  int64_t B = 0;
+};
+
+bool fitsWidth(__int128 V, unsigned Bits) {
+  if (Bits >= 64)
+    Bits = 64;
+  __int128 Max = (__int128(1) << (Bits - 1)) - 1;
+  __int128 Min = -(__int128(1) << (Bits - 1));
+  return V >= Min && V <= Max;
+}
+
+/// Extremes of a (separable) linear form over the box.
+void extremes(const LinExpr &E, const IVBox &Box, __int128 &Min,
+              __int128 &Max) {
+  Min = Max = E.B;
+  for (const auto &[IV, A] : E.Coef) {
+    const IVRange &R = Box.at(IV);
+    Min += __int128(A) * (A >= 0 ? R.Lo : R.Hi);
+    Max += __int128(A) * (A >= 0 ? R.Hi : R.Lo);
+  }
+}
+
+/// Verifies the node's real (width-wrapped) evaluation matches the exact
+/// linear value for every point of the box, and that it stays far below
+/// the 64-bit wrap guard.
+bool boxFits(const LinExpr &E, const IVBox &Box, unsigned Bits) {
+  __int128 Min, Max;
+  extremes(E, Box, Min, Max);
+  return fitsWidth(Min, Bits) && fitsWidth(Max, Bits) &&
+         Min >= -MaxByteOffset && Max <= MaxByteOffset;
+}
+
+bool addScaled(LinExpr &Acc, const LinExpr &E, int64_t Scale) {
+  __int128 B = __int128(Acc.B) + __int128(E.B) * Scale;
+  if (!fitsWidth(B, 64))
+    return false;
+  Acc.B = static_cast<int64_t>(B);
+  for (const auto &[IV, A] : E.Coef) {
+    __int128 C = __int128(Acc.Coef[IV]) + __int128(A) * Scale;
+    if (!fitsWidth(C, 64))
+      return false;
+    Acc.Coef[IV] = static_cast<int64_t>(C);
+  }
+  return true;
+}
+
+/// Linearizes integer \p V over the IV box. Leaves must be constants or
+/// box IVs — a loop-invariant but unknown value cannot contribute to a
+/// compile-time hull.
+bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
+  if (Depth > 16)
+    return false;
+  if (auto *C = dyn_cast<ConstantInt>(V)) {
+    Out = LinExpr{{}, C->value()};
+    return true;
+  }
+  if (Box.count(V)) {
+    Out = LinExpr{{{V, 1}}, 0}; // IV values fit their width by construction.
+    return true;
+  }
+  if (auto *Cast = dyn_cast<CastInst>(V)) {
+    LinExpr Src;
+    if (!linearizeInt(Cast->source(), Box, Src, Depth + 1))
+      return false;
+    switch (Cast->opcode()) {
+    case CastInst::Op::SExt:
+      Out = std::move(Src); // Canonical values are already sign-extended.
+      return true;
+    case CastInst::Op::ZExt: {
+      // zext equals the identity only on non-negative values.
+      __int128 Min, Max;
+      extremes(Src, Box, Min, Max);
+      if (Min < 0)
+        return false;
+      Out = std::move(Src);
+      return true;
+    }
+    default:
+      return false; // Trunc/PtrToInt/...: value-changing, reject.
+    }
+  }
+  if (auto *BO = dyn_cast<BinOpInst>(V)) {
+    LinExpr L, R;
+    if (!linearizeInt(BO->lhs(), Box, L, Depth + 1) ||
+        !linearizeInt(BO->rhs(), Box, R, Depth + 1))
+      return false;
+    LinExpr Res;
+    switch (BO->opcode()) {
+    case BinOpInst::Op::Add:
+      Res = std::move(L);
+      if (!addScaled(Res, R, 1))
+        return false;
+      break;
+    case BinOpInst::Op::Sub:
+      Res = std::move(L);
+      if (!addScaled(Res, R, -1))
+        return false;
+      break;
+    case BinOpInst::Op::Mul: {
+      if (!L.Coef.empty() && !R.Coef.empty())
+        return false; // Nonlinear in the IVs.
+      const LinExpr &Var = L.Coef.empty() ? R : L;
+      int64_t K = L.Coef.empty() ? L.B : R.B;
+      Res = LinExpr{};
+      if (!addScaled(Res, Var, K))
+        return false;
+      break;
+    }
+    case BinOpInst::Op::SRem:
+    case BinOpInst::Op::URem: {
+      // `X % C` is the identity when X provably stays in [0, C): the
+      // common power-of-two wrap guard on an index that never wraps.
+      if (!R.Coef.empty() || R.B <= 0)
+        return false;
+      __int128 Min, Max;
+      extremes(L, Box, Min, Max);
+      if (Min < 0 || Max >= R.B)
+        return false;
+      Res = std::move(L);
+      break;
+    }
+    default:
+      return false;
+    }
+    unsigned Bits = cast<IntType>(BO->type())->bits();
+    if (!boxFits(Res, Box, Bits))
+      return false;
+    Out = std::move(Res);
+    return true;
+  }
+  return false;
+}
+
+/// A pointer as Root (loop-invariant) plus a linear byte offset.
+struct LinPtr {
+  Value *Root = nullptr;
+  LinExpr Off;
+};
+
+/// Linearizes pointer \p P through in-loop bitcasts and GEPs down to a
+/// loop-invariant root.
+bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
+                  LinPtr &Out, int Depth = 0) {
+  if (Depth > 16)
+    return false;
+  if (L.isInvariant(P)) {
+    Out = LinPtr{P, {}};
+    return true;
+  }
+  if (auto *BC = dyn_cast<CastInst>(P);
+      BC && BC->opcode() == CastInst::Op::Bitcast)
+    return linearizePtr(BC->source(), L, Box, Out, Depth + 1);
+  auto *G = dyn_cast<GEPInst>(P);
+  if (!G)
+    return false;
+  if (!linearizePtr(G->pointer(), L, Box, Out, Depth + 1))
+    return false;
+
+  Type *Cur = G->sourceType();
+  for (unsigned K = 0; K < G->numIndices(); ++K) {
+    int64_t Scale;
+    if (K == 0) {
+      Scale = static_cast<int64_t>(Cur->sizeInBytes());
+    } else if (auto *AT = dyn_cast<ArrayType>(Cur)) {
+      Scale = static_cast<int64_t>(AT->element()->sizeInBytes());
+      Cur = AT->element();
+    } else if (auto *ST = dyn_cast<StructType>(Cur)) {
+      auto *CI = dyn_cast<ConstantInt>(G->index(K));
+      if (!CI)
+        return false;
+      unsigned FieldIdx = static_cast<unsigned>(CI->value());
+      if (FieldIdx >= ST->numFields())
+        return false;
+      Out.Off.B += static_cast<int64_t>(ST->fieldOffset(FieldIdx));
+      Cur = ST->field(FieldIdx);
+      continue;
+    } else {
+      return false;
+    }
+    LinExpr Idx;
+    if (!linearizeInt(G->index(K), Box, Idx))
+      return false;
+    if (!addScaled(Out.Off, Idx, Scale))
+      return false;
+  }
+  // Final guard: hull offsets stay far from any 64-bit wrap.
+  return boxFits(Out.Off, Box, 64);
+}
+
+/// Inserts \p I before the terminator of \p BB.
+template <typename T> T *insertAtEnd(BasicBlock *BB, T *I) {
+  I->setParent(BB);
+  BB->insertBefore(std::prev(BB->end()), std::unique_ptr<Instruction>(I));
+  return I;
+}
+
+/// Per-loop hoisting context, caching the i8* view of each root pointer.
+class LoopHoister {
+public:
+  using LoopOfIV = std::map<const Value *, const NaturalLoop *>;
+
+  LoopHoister(Module &M, const NaturalLoop &L, const CountedLoop &CL,
+              const DomTree &DT, const IVBox &Enclosing,
+              const LoopOfIV &EnclosingLoops, CheckOptStats &Stats)
+      : M(M), L(L), CL(CL), DT(DT), Enclosing(Enclosing),
+        EnclosingLoops(EnclosingLoops), Stats(Stats) {}
+
+  void run() {
+    for (BasicBlock *BB : L.Blocks)
+      if (DT.dominates(BB, L.Latch)) // Checks that run on every iteration.
+        hoistInBlock(BB);
+  }
+
+private:
+  void hoistInBlock(BasicBlock *BB);
+  Value *byteView(Value *Root);
+  void emitCheck(Value *Root, int64_t ByteOff, const SpatialCheckInst *Proto);
+
+  Module &M;
+  const NaturalLoop &L;
+  const CountedLoop &CL;
+  const DomTree &DT;
+  const IVBox &Enclosing; ///< Usable IVs of enclosing counted loops.
+  const LoopOfIV &EnclosingLoops; ///< Which loop each enclosing IV drives.
+  CheckOptStats &Stats;
+  std::map<Value *, Value *> ByteViews;
+};
+
+Value *LoopHoister::byteView(Value *Root) {
+  auto It = ByteViews.find(Root);
+  if (It != ByteViews.end())
+    return It->second;
+  Type *I8P = M.ctx().ptrTo(M.ctx().i8());
+  Value *View = Root;
+  if (Root->type() != I8P)
+    View = insertAtEnd(L.Preheader,
+                       new CastInst(CastInst::Op::Bitcast, Root, I8P,
+                                    Root->name() + ".i8"));
+  ByteViews[Root] = View;
+  return View;
+}
+
+void LoopHoister::emitCheck(Value *Root, int64_t ByteOff,
+                            const SpatialCheckInst *Proto) {
+  Value *Ptr = byteView(Root);
+  if (ByteOff != 0)
+    Ptr = insertAtEnd(L.Preheader,
+                      new GEPInst(cast<PointerType>(Ptr->type()), M.ctx().i8(),
+                                  Ptr, {M.constI64(ByteOff)},
+                                  Root->name() + ".hull"));
+  insertAtEnd(L.Preheader,
+              new SpatialCheckInst(Proto->type(), Ptr, Proto->bounds(),
+                                   Proto->accessSize(),
+                                   Proto->isStoreCheck()));
+  ++Stats.HoistedChecksInserted;
+}
+
+void LoopHoister::hoistInBlock(BasicBlock *BB) {
+  bool InHeader = BB == L.Header;
+  for (auto It = BB->begin(); It != BB->end();) {
+    auto *Chk = dyn_cast<SpatialCheckInst>(It->get());
+    if (!Chk || !L.isInvariant(Chk->bounds())) {
+      ++It;
+      continue;
+    }
+
+    // IV values this check observes: body blocks run for Init..LastBody;
+    // the header additionally executes on the exiting pass with ExitIV.
+    if (!InHeader && CL.BodyCount == 0) {
+      // Provably dead body: the check never executes at all.
+      It = BB->erase(It);
+      ++Stats.LoopChecksHoisted;
+      continue;
+    }
+    int64_t IvLast = InHeader ? CL.ExitIV : CL.LastBody;
+    IVBox Box = Enclosing;
+    Box[CL.IV] = IVRange{std::min(CL.Init, IvLast), std::max(CL.Init, IvLast)};
+
+    Value *P = Chk->pointer();
+    if (L.isInvariant(P)) {
+      insertAtEnd(L.Preheader,
+                  new SpatialCheckInst(Chk->type(), P, Chk->bounds(),
+                                       Chk->accessSize(),
+                                       Chk->isStoreCheck()));
+      ++Stats.HoistedChecksInserted;
+      ++Stats.LoopChecksHoisted;
+      It = BB->erase(It);
+      continue;
+    }
+
+    LinPtr LP;
+    if (!linearizePtr(P, L, Box, LP)) {
+      ++It;
+      continue;
+    }
+    // Widening over an enclosing IV is only sound when the root pointer
+    // and bounds are themselves invariant in that enclosing loop:
+    // otherwise the corner check would pair the *current* iteration's root
+    // with another iteration's offset — an address the original program
+    // never computes.
+    bool EnclosingOk = true;
+    for (const auto &[IV, A] : LP.Off.Coef) {
+      if (A == 0 || IV == CL.IV)
+        continue;
+      const NaturalLoop *E = EnclosingLoops.at(IV);
+      if (!E->isInvariant(LP.Root) || !E->isInvariant(Chk->bounds())) {
+        EnclosingOk = false;
+        break;
+      }
+    }
+    if (!EnclosingOk) {
+      ++It;
+      continue;
+    }
+    __int128 Min, Max;
+    extremes(LP.Off, Box, Min, Max);
+    emitCheck(LP.Root, static_cast<int64_t>(Min), Chk);
+    if (Max != Min)
+      emitCheck(LP.Root, static_cast<int64_t>(Max), Chk);
+    ++Stats.LoopChecksHoisted;
+    It = BB->erase(It);
+  }
+}
+
+} // namespace
+
+namespace softbound {
+namespace checkopt {
+
+void hoistLoopChecks(Function &F, CheckOptStats &Stats) {
+  if (!F.isDefinition())
+    return;
+  DomTree DT(F);
+  std::vector<NaturalLoop> Loops = findSimpleLoops(F, DT);
+  Stats.LoopsAnalyzed += Loops.size();
+  Module &M = *F.parent();
+
+  // Counted-loop analysis and body-safety for every loop up front, so each
+  // loop can borrow the IV ranges of its safe counted ancestors.
+  std::vector<CountedLoop> Counted(Loops.size());
+  std::vector<bool> Usable(Loops.size());
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    if (!analyzeCountedLoop(Loops[I], Counted[I]))
+      continue;
+    ++Stats.LoopsCounted;
+    Usable[I] = loopBodyIsSafe(Loops[I]);
+  }
+
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    if (!Usable[I])
+      continue;
+    const NaturalLoop &L = Loops[I];
+    // Enclosing counted loops whose every iteration runs this loop in
+    // full: the nest is rectangular, so their IV ranges may widen hulls
+    // (subject to the per-check root/bounds invariance test above).
+    IVBox Enclosing;
+    LoopHoister::LoopOfIV EnclosingLoops;
+    for (size_t E = 0; E < Loops.size(); ++E) {
+      if (E == I || !Usable[E] || !Loops[E].contains(L.Header) ||
+          Counted[E].BodyCount <= 0)
+        continue;
+      if (!DT.dominates(L.Header, Loops[E].Latch))
+        continue;
+      const CountedLoop &CE = Counted[E];
+      Enclosing[CE.IV] = IVRange{std::min(CE.Init, CE.LastBody),
+                                 std::max(CE.Init, CE.LastBody)};
+      EnclosingLoops[CE.IV] = &Loops[E];
+    }
+    LoopHoister(M, L, Counted[I], DT, Enclosing, EnclosingLoops, Stats)
+        .run();
+  }
+}
+
+} // namespace checkopt
+} // namespace softbound

@@ -1,0 +1,393 @@
+//===- opt/checks/Loops.cpp - natural & counted loop recognition ------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/checks/Loops.h"
+
+#include "opt/Dominators.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+
+
+using namespace softbound;
+using namespace softbound::checkopt;
+
+//===----------------------------------------------------------------------===//
+// Natural loop discovery
+//===----------------------------------------------------------------------===//
+
+std::vector<NaturalLoop> checkopt::findSimpleLoops(Function &F,
+                                                   const DomTree &DT) {
+  std::vector<NaturalLoop> Out;
+  if (!F.isDefinition())
+    return Out;
+
+  // Back edges B -> H where H dominates B; reject headers with several
+  // latches (continue statements) — their phi structure is ambiguous.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Latches;
+  for (BasicBlock *BB : DT.rpo())
+    for (BasicBlock *S : BB->successors())
+      if (DT.dominates(S, BB))
+        Latches[S].push_back(BB);
+
+  for (auto &[Header, Backs] : Latches) {
+    if (Backs.size() != 1)
+      continue;
+    NaturalLoop L;
+    L.Header = Header;
+    L.Latch = Backs[0];
+
+    // Natural loop body: blocks that reach the latch without passing the
+    // header.
+    L.Blocks.insert(Header);
+    std::vector<BasicBlock *> Work{L.Latch};
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!L.Blocks.insert(BB).second)
+        continue;
+      for (BasicBlock *P : DT.preds(BB))
+        Work.push_back(P);
+    }
+
+    // Dedicated preheader: the single non-latch predecessor of the header,
+    // outside the loop, ending in an unconditional branch to the header.
+    BasicBlock *Pre = nullptr;
+    bool Bad = false;
+    for (BasicBlock *P : DT.preds(Header)) {
+      if (P == L.Latch)
+        continue;
+      if (Pre || L.contains(P)) {
+        Bad = true;
+        break;
+      }
+      Pre = P;
+    }
+    if (Bad || !Pre)
+      continue;
+    auto *PreBr = dyn_cast<BrInst>(Pre->terminator());
+    if (!PreBr || PreBr->isConditional())
+      continue;
+    L.Preheader = Pre;
+
+    // Single exit edge, and it must leave from the header: every other
+    // block's successors stay inside (this rejects break/return bodies).
+    unsigned ExitEdges = 0;
+    for (BasicBlock *BB : L.Blocks)
+      for (BasicBlock *S : BB->successors())
+        if (!L.contains(S)) {
+          ++ExitEdges;
+          if (BB != Header)
+            Bad = true;
+        }
+    if (Bad || ExitEdges != 1)
+      continue;
+
+    Out.push_back(std::move(L));
+  }
+
+  // Innermost first, so hoisted inner checks can cascade out of enclosing
+  // loops in the same pass.
+  std::sort(Out.begin(), Out.end(),
+            [](const NaturalLoop &A, const NaturalLoop &B) {
+              return A.Blocks.size() < B.Blocks.size();
+            });
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Counted loop recognition
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isI1(const Type *Ty) {
+  const auto *IT = dyn_cast<IntType>(Ty);
+  return IT && IT->bits() == 1;
+}
+
+/// Peels the frontend's boolean re-test wrappers — `icmp ne (zext i1 X), 0`
+/// and `icmp eq (zext i1 X), 0` — off a branch condition, tracking parity,
+/// until the underlying relational comparison is reached.
+const ICmpInst *peelCondition(const Value *Cond, bool &Negate) {
+  Negate = false;
+  for (int Depth = 0; Depth < 8; ++Depth) {
+    const auto *IC = dyn_cast<ICmpInst>(Cond);
+    if (!IC)
+      return nullptr;
+    const auto *RhsC = dyn_cast<ConstantInt>(IC->rhs());
+    bool BoolTest = RhsC && RhsC->isZero() &&
+                    (IC->pred() == ICmpInst::Pred::NE ||
+                     IC->pred() == ICmpInst::Pred::EQ);
+    if (BoolTest) {
+      const Value *X = IC->lhs();
+      if (const auto *Z = dyn_cast<CastInst>(X);
+          Z && (Z->opcode() == CastInst::Op::ZExt ||
+                Z->opcode() == CastInst::Op::SExt) &&
+          isI1(Z->source()->type()))
+        X = Z->source();
+      if (isI1(X->type())) {
+        if (IC->pred() == ICmpInst::Pred::EQ)
+          Negate = !Negate;
+        Cond = X;
+        continue;
+      }
+    }
+    return IC; // A genuine relational comparison.
+  }
+  return nullptr;
+}
+
+ICmpInst::Pred swapPred(ICmpInst::Pred P) {
+  using Pred = ICmpInst::Pred;
+  switch (P) {
+  case Pred::SLT: return Pred::SGT;
+  case Pred::SLE: return Pred::SGE;
+  case Pred::SGT: return Pred::SLT;
+  case Pred::SGE: return Pred::SLE;
+  case Pred::ULT: return Pred::UGT;
+  case Pred::ULE: return Pred::UGE;
+  case Pred::UGT: return Pred::ULT;
+  case Pred::UGE: return Pred::ULE;
+  default: return P; // EQ/NE are symmetric.
+  }
+}
+
+ICmpInst::Pred invertPred(ICmpInst::Pred P) {
+  using Pred = ICmpInst::Pred;
+  switch (P) {
+  case Pred::EQ: return Pred::NE;
+  case Pred::NE: return Pred::EQ;
+  case Pred::SLT: return Pred::SGE;
+  case Pred::SLE: return Pred::SGT;
+  case Pred::SGT: return Pred::SLE;
+  case Pred::SGE: return Pred::SLT;
+  case Pred::ULT: return Pred::UGE;
+  case Pred::ULE: return Pred::UGT;
+  case Pred::UGT: return Pred::ULE;
+  case Pred::UGE: return Pred::ULT;
+  }
+  return P;
+}
+
+bool fitsWidth(__int128 V, unsigned Bits) {
+  if (Bits > 64)
+    Bits = 64;
+  __int128 Max = (__int128(1) << (Bits - 1)) - 1;
+  __int128 Min = -(__int128(1) << (Bits - 1));
+  return V >= Min && V <= Max;
+}
+
+} // namespace
+
+bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
+  // --- Induction variable: header phi = [Init, Preheader], [Next, Latch]
+  // with Next = IV +/- constant.
+  auto *Br = dyn_cast<BrInst>(L.Header->terminator());
+  if (!Br || !Br->isConditional())
+    return false;
+
+  PhiInst *IV = nullptr;
+  int64_t Init = 0, Step = 0;
+  for (auto &I : *L.Header) {
+    auto *Phi = dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    if (Phi->numIncoming() != 2 || !isa<IntType>(Phi->type()))
+      continue;
+    Value *FromPre = Phi->incomingFor(L.Preheader);
+    Value *FromLatch = Phi->incomingFor(L.Latch);
+    auto *InitC = FromPre ? dyn_cast<ConstantInt>(FromPre) : nullptr;
+    auto *Next = FromLatch ? dyn_cast<BinOpInst>(FromLatch) : nullptr;
+    if (!InitC || !Next || !L.contains(Next->parent()))
+      continue;
+    int64_t S = 0;
+    if (Next->opcode() == BinOpInst::Op::Add) {
+      if (auto *C = dyn_cast<ConstantInt>(Next->rhs());
+          C && Next->lhs() == Phi)
+        S = C->value();
+      else if (auto *C2 = dyn_cast<ConstantInt>(Next->lhs());
+               C2 && Next->rhs() == Phi)
+        S = C2->value();
+      else
+        continue;
+    } else if (Next->opcode() == BinOpInst::Op::Sub) {
+      auto *C = dyn_cast<ConstantInt>(Next->rhs());
+      if (!C || Next->lhs() != Phi)
+        continue;
+      S = -C->value();
+    } else {
+      continue;
+    }
+    if (S == 0)
+      continue;
+    IV = Phi;
+    Init = InitC->value();
+    Step = S;
+    break;
+  }
+  if (!IV)
+    return false;
+
+  // --- Exit condition: icmp between the IV and a constant limit.
+  bool Negate = false;
+  const ICmpInst *Cmp = peelCondition(Br->condition(), Negate);
+  if (!Cmp)
+    return false;
+
+  ICmpInst::Pred Pred = Cmp->pred();
+  const ConstantInt *LimitC = nullptr;
+  if (Cmp->lhs() == IV) {
+    LimitC = dyn_cast<ConstantInt>(Cmp->rhs());
+  } else if (Cmp->rhs() == IV) {
+    LimitC = dyn_cast<ConstantInt>(Cmp->lhs());
+    Pred = swapPred(Pred);
+  }
+  if (!LimitC)
+    return false;
+  if (Negate)
+    Pred = invertPred(Pred);
+  // Orient so that Pred true means "stay in the loop".
+  bool TrueStays = L.contains(Br->successor(0));
+  bool FalseStays = L.contains(Br->successor(1));
+  if (TrueStays == FalseStays)
+    return false; // Both or neither in-loop: not the exit branch shape.
+  if (!TrueStays)
+    Pred = invertPred(Pred);
+
+  // --- Body count C: number of k >= 0 with pred(Init + k*Step, Limit).
+  // Everything is computed in 128-bit: near-full-range i64 constants make
+  // Lim - Lo overflow int64, and a wrapped count here would erase live
+  // checks as "provably dead".
+  const __int128 Lo = Init, Lim = LimitC->value(), S = Step;
+  __int128 C = 0;
+  using P = ICmpInst::Pred;
+  switch (Pred) {
+  case P::SLT:
+    if (S <= 0)
+      return false;
+    C = Lo < Lim ? (Lim - Lo + S - 1) / S : 0;
+    break;
+  case P::SLE:
+    if (S <= 0)
+      return false;
+    C = Lo <= Lim ? (Lim - Lo) / S + 1 : 0;
+    break;
+  case P::SGT:
+    if (S >= 0)
+      return false;
+    C = Lo > Lim ? (Lo - Lim + (-S) - 1) / (-S) : 0;
+    break;
+  case P::SGE:
+    if (S >= 0)
+      return false;
+    C = Lo >= Lim ? (Lo - Lim) / (-S) + 1 : 0;
+    break;
+  case P::ULT:
+  case P::ULE:
+    // Matches the signed analysis only when both operands stay non-negative.
+    if (S <= 0 || Lo < 0 || Lim < 0)
+      return false;
+    C = Pred == P::ULT ? (Lo < Lim ? (Lim - Lo + S - 1) / S : 0)
+                       : (Lo <= Lim ? (Lim - Lo) / S + 1 : 0);
+    break;
+  case P::UGT:
+  case P::UGE:
+    if (S >= 0 || Lo < 0 || Lim < 0)
+      return false;
+    C = Pred == P::UGT ? (Lo > Lim ? (Lo - Lim + (-S) - 1) / (-S) : 0)
+                       : (Lo >= Lim ? (Lo - Lim) / (-S) + 1 : 0);
+    break;
+  case P::NE: {
+    // Runs until IV == Limit exactly; anything else never terminates (or
+    // wraps), so require an exact hit.
+    __int128 Diff = Lim - Lo;
+    if (S == 0 || Diff % S != 0 || Diff / S < 0)
+      return false;
+    C = Diff / S;
+    break;
+  }
+  default:
+    return false; // EQ as a continue-condition is degenerate.
+  }
+  if (C < 0 || C > (__int128(1) << 30))
+    return false;
+
+  // --- Wrap check: the real IV arithmetic is Width-bit; our closed form
+  // is only valid if no value in Init..Init+C*Step leaves that range.
+  unsigned Width = cast<IntType>(IV->type())->bits();
+  __int128 ExitIV = Lo + C * S;
+  if (!fitsWidth(Lo, Width) || !fitsWidth(ExitIV, Width))
+    return false;
+
+  Out.IV = IV;
+  Out.Init = Init;
+  Out.Step = Step;
+  Out.BodyCount = static_cast<int64_t>(C);
+  // LastBody lies between Lo and ExitIV, so the width checks above cover it.
+  Out.LastBody = C > 0 ? static_cast<int64_t>(Lo + (C - 1) * S) : Init;
+  Out.ExitIV = static_cast<int64_t>(ExitIV);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-body safety scan
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Calls whose execution can end the run *normally* or resume it somewhere
+/// else — the two ways a run could finish cleanly without executing every
+/// remaining loop iteration. Traps (division, nested checks, step limits,
+/// segfaults) need no exclusion: a trapped run did not complete normally,
+/// which is all the hoisting argument relies on.
+bool isEscapingBuiltin(const std::string &Name) {
+  return Name == "exit" || Name == "setjmp" || Name == "longjmp";
+}
+
+/// True when \p F (a defined function) could, transitively, execute an
+/// escaping call or an indirect call (unknown callee). Cycles in the call
+/// graph are fine: recursion alone cannot escape.
+bool calleeMayEscape(Function *F,
+                     std::map<Function *, bool> &Memo) {
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  Memo[F] = false; // Optimistic for cycles; flipped below if a call escapes.
+  for (auto &BB : F->blocks())
+    for (auto &IP : *BB) {
+      auto *CI = dyn_cast<CallInst>(IP.get());
+      if (!CI)
+        continue;
+      Function *Callee = CI->calledFunction();
+      if (!Callee || isEscapingBuiltin(Callee->name()) ||
+          (Callee->isDefinition() && calleeMayEscape(Callee, Memo))) {
+        Memo[F] = true;
+        return true;
+      }
+    }
+  return Memo[F];
+}
+
+} // namespace
+
+bool checkopt::loopBodyIsSafe(const NaturalLoop &L) {
+  std::map<Function *, bool> Memo;
+  for (BasicBlock *BB : L.Blocks)
+    for (auto &IP : *BB) {
+      auto *CI = dyn_cast<CallInst>(IP.get());
+      if (!CI)
+        continue;
+      Function *Callee = CI->calledFunction();
+      if (!Callee) // Indirect call: unknown callee could escape.
+        return false;
+      if (isEscapingBuiltin(Callee->name()))
+        return false;
+      if (Callee->isDefinition() && calleeMayEscape(Callee, Memo))
+        return false;
+    }
+  return true;
+}

@@ -1,0 +1,85 @@
+//===- opt/checks/Loops.h - natural & counted loop recognition --*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop recognition for the check hoister. Deliberately restrictive: only
+/// loops whose shape lets us *prove* the exact set of induction-variable
+/// values are usable (single latch, dedicated unconditional preheader,
+/// single exit edge from the header, constant init/step/limit). Anything
+/// else is skipped — missing an optimization is fine, a false trap is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_LOOPS_H
+#define SOFTBOUND_OPT_CHECKS_LOOPS_H
+
+#include "ir/Function.h"
+
+#include <set>
+#include <vector>
+
+namespace softbound {
+
+class DomTree;
+
+namespace checkopt {
+
+/// A natural loop in hoistable shape.
+struct NaturalLoop {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr;     ///< The unique back-edge source.
+  BasicBlock *Preheader = nullptr; ///< Unique entry; ends in `br Header`.
+  std::set<BasicBlock *> Blocks;   ///< Header + body (includes Latch).
+
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  /// True when \p V is available on entry to the loop (constant, argument,
+  /// or instruction defined outside the loop body).
+  bool isInvariant(const Value *V) const {
+    auto *I = dyn_cast<Instruction>(V);
+    return !I || !contains(I->parent());
+  }
+};
+
+/// Finds loops satisfying the shape restrictions above, innermost first
+/// (sorted by block count, so nested hoisting cascades outward).
+std::vector<NaturalLoop> findSimpleLoops(Function &F, const DomTree &DT);
+
+/// A loop whose exact iteration-variable sequence is known statically:
+/// IV takes Init, Init+Step, ... ; body blocks run BodyCount times; the
+/// header runs BodyCount+1 times and additionally observes ExitIV.
+struct CountedLoop {
+  PhiInst *IV = nullptr;
+  int64_t Init = 0;
+  int64_t Step = 0;
+  int64_t BodyCount = 0; ///< Executions of non-header loop blocks.
+  int64_t LastBody = 0;  ///< IV value of the final body execution.
+  int64_t ExitIV = 0;    ///< IV value the header sees on the exiting pass.
+};
+
+/// Recognizes \p L as a counted loop: header phi with constant init from
+/// the preheader and `phi +/- constant` from the latch, exit branch
+/// controlled by `icmp IV, constant` (through the frontend's
+/// `(zext i1) != 0` re-test wrapper). Rejects any sequence that would
+/// wrap its bit width or fail to terminate.
+bool analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out);
+
+/// True when no instruction in the loop can let a run finish *normally*
+/// without executing every remaining iteration: no exit/setjmp/longjmp
+/// and no indirect calls, transitively through every defined callee.
+/// This is what makes it sound to assume "the program completes
+/// normally => every iteration's checks executed". Instructions that can
+/// only *trap* (division, nested checks, step limits) are deliberately
+/// allowed: a trapped run did not complete, so the hoisted check firing
+/// first merely reports a different — equally fatal — trap kind on a run
+/// that was doomed either way.
+bool loopBodyIsSafe(const NaturalLoop &L);
+
+} // namespace checkopt
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_LOOPS_H

@@ -1,0 +1,121 @@
+//===- opt/checks/RangeAnalysis.cpp - symbolic pointer ranges ---------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/checks/RangeAnalysis.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace softbound;
+using namespace softbound::checkopt;
+
+namespace {
+
+/// Offsets past this never appear in well-behaved programs; bailing out
+/// (keeping the check) both avoids signed-overflow UB in the accumulation
+/// below and keeps the facts honest where 64-bit address arithmetic could
+/// wrap.
+constexpr int64_t MaxDecomposedOffset = int64_t(1) << 40;
+
+/// Acc += Idx * Scale with exact arithmetic; false on blow-up.
+bool accumulate(__int128 &Acc, int64_t Idx, int64_t Scale) {
+  Acc += __int128(Idx) * Scale;
+  return Acc >= -__int128(MaxDecomposedOffset) &&
+         Acc <= __int128(MaxDecomposedOffset);
+}
+
+} // namespace
+
+bool checkopt::constantGEPOffset(const GEPInst *G, int64_t &OutBytes) {
+  __int128 Off = 0;
+  Type *Cur = G->sourceType();
+  auto *First = dyn_cast<ConstantInt>(G->index(0));
+  if (!First)
+    return false;
+  if (!accumulate(Off, First->value(),
+                  static_cast<int64_t>(Cur->sizeInBytes())))
+    return false;
+  for (unsigned K = 1; K < G->numIndices(); ++K) {
+    auto *CI = dyn_cast<ConstantInt>(G->index(K));
+    if (!CI)
+      return false;
+    if (auto *AT = dyn_cast<ArrayType>(Cur)) {
+      if (!accumulate(Off, CI->value(),
+                      static_cast<int64_t>(AT->element()->sizeInBytes())))
+        return false;
+      Cur = AT->element();
+      continue;
+    }
+    auto *ST = dyn_cast<StructType>(Cur);
+    if (!ST)
+      return false;
+    unsigned FieldIdx = static_cast<unsigned>(CI->value());
+    if (FieldIdx >= ST->numFields())
+      return false;
+    if (!accumulate(Off, 1, static_cast<int64_t>(ST->fieldOffset(FieldIdx))))
+      return false;
+    Cur = ST->field(FieldIdx);
+  }
+  OutBytes = static_cast<int64_t>(Off);
+  return true;
+}
+
+PtrOffset checkopt::decomposePointer(Value *P) {
+  PtrOffset Out;
+  Out.Root = P;
+  // Bounded walk: derivation chains are short, but guard against cycles in
+  // malformed IR.
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    if (auto *BC = dyn_cast<CastInst>(Out.Root);
+        BC && BC->opcode() == CastInst::Op::Bitcast) {
+      Out.Root = BC->source();
+      continue;
+    }
+    if (auto *G = dyn_cast<GEPInst>(Out.Root)) {
+      int64_t Off;
+      __int128 Acc = Out.Offset;
+      if (constantGEPOffset(G, Off) && accumulate(Acc, Off, 1)) {
+        Out.Offset = static_cast<int64_t>(Acc);
+        Out.Root = G->pointer();
+        continue;
+      }
+    }
+    break;
+  }
+  return Out;
+}
+
+bool IntervalSet::covers(int64_t Lo, int64_t Hi) const {
+  if (Lo >= Hi)
+    return true; // Empty access: trivially covered.
+  // First interval whose Lo is > our Lo; the candidate is its predecessor.
+  auto It = std::upper_bound(
+      Iv.begin(), Iv.end(), Lo,
+      [](int64_t V, const ByteInterval &B) { return V < B.Lo; });
+  if (It == Iv.begin())
+    return false;
+  --It;
+  return It->Lo <= Lo && Hi <= It->Hi;
+}
+
+void IntervalSet::add(int64_t Lo, int64_t Hi) {
+  if (Lo >= Hi)
+    return;
+  // Find the insertion window: all intervals overlapping or adjacent to
+  // [Lo, Hi) get merged into it.
+  auto First = std::lower_bound(
+      Iv.begin(), Iv.end(), Lo,
+      [](const ByteInterval &B, int64_t V) { return B.Hi < V; });
+  auto Last = First;
+  while (Last != Iv.end() && Last->Lo <= Hi) {
+    Lo = std::min(Lo, Last->Lo);
+    Hi = std::max(Hi, Last->Hi);
+    ++Last;
+  }
+  First = Iv.erase(First, Last);
+  Iv.insert(First, ByteInterval{Lo, Hi});
+}

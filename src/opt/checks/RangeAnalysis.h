@@ -1,0 +1,115 @@
+//===- opt/checks/RangeAnalysis.h - symbolic pointer ranges -----*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value-range analysis underneath the check optimizer. Pointer SSA
+/// values are decomposed into a *root* (the SSA value the pointer was
+/// derived from by bitcasts and constant-index GEPs) plus a constant byte
+/// offset. A spatial check `check(p, b, size)` then proves the symbolic
+/// fact "bytes [off, off+size) past root are inside [base(b), bound(b))",
+/// and those facts — keyed by (root, bounds) and held as merged interval
+/// sets — flow down the dominator tree: any later check whose interval is
+/// covered is statically redundant.
+///
+/// Facts never need invalidation: a check consumes only its two SSA
+/// operands, whose dynamic values no store, call, or metadata update can
+/// change. (Temporal safety is out of scope, exactly as in the paper.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_RANGEANALYSIS_H
+#define SOFTBOUND_OPT_CHECKS_RANGEANALYSIS_H
+
+#include "ir/BasicBlock.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace softbound {
+namespace checkopt {
+
+/// A pointer expressed as a root SSA value plus a constant byte offset.
+struct PtrOffset {
+  Value *Root = nullptr;
+  int64_t Offset = 0;
+};
+
+/// Byte offset of a GEP whose indices are all constants. Returns false for
+/// variable indices or unsized element types.
+bool constantGEPOffset(const GEPInst *G, int64_t &OutBytes);
+
+/// Strips bitcasts and constant-index GEPs off \p P, accumulating the byte
+/// offset. Always succeeds: the worst case is Root == P, Offset == 0.
+PtrOffset decomposePointer(Value *P);
+
+/// Half-open byte interval [Lo, Hi).
+struct ByteInterval {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+
+/// A sorted set of disjoint intervals with merge-on-insert, so adjacent
+/// proven ranges ([0,4) then [4,8)) cover their union ([0,8)).
+class IntervalSet {
+public:
+  bool covers(int64_t Lo, int64_t Hi) const;
+  void add(int64_t Lo, int64_t Hi);
+  size_t size() const { return Iv.size(); }
+  const std::vector<ByteInterval> &intervals() const { return Iv; }
+
+private:
+  std::vector<ByteInterval> Iv; ///< Sorted by Lo; disjoint, non-adjacent.
+};
+
+/// Scoped (root, bounds) -> proven-interval facts for a preorder walk of
+/// the dominator tree. Enter a Scope per tree node; facts added inside it
+/// are rolled back when it is destroyed, so only facts established on the
+/// dominating path remain visible.
+class ProvenRanges {
+public:
+  using Key = std::pair<const Value *, const Value *>;
+
+  class Scope {
+  public:
+    explicit Scope(ProvenRanges &PR) : PR(PR), Mark(PR.Undo.size()) {}
+    ~Scope() { PR.rollbackTo(Mark); }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    ProvenRanges &PR;
+    size_t Mark;
+  };
+
+  bool covers(const Value *Root, const Value *Bounds, int64_t Lo,
+              int64_t Hi) const {
+    auto It = Facts.find(Key(Root, Bounds));
+    return It != Facts.end() && It->second.covers(Lo, Hi);
+  }
+
+  void add(const Value *Root, const Value *Bounds, int64_t Lo, int64_t Hi) {
+    Key K(Root, Bounds);
+    Undo.emplace_back(K, Facts[K]); // Snapshot for scope rollback.
+    Facts[K].add(Lo, Hi);
+  }
+
+private:
+  void rollbackTo(size_t Mark) {
+    while (Undo.size() > Mark) {
+      Facts[Undo.back().first] = std::move(Undo.back().second);
+      Undo.pop_back();
+    }
+  }
+
+  std::map<Key, IntervalSet> Facts;
+  std::vector<std::pair<Key, IntervalSet>> Undo;
+};
+
+} // namespace checkopt
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_RANGEANALYSIS_H

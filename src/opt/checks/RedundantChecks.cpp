@@ -1,0 +1,139 @@
+//===- opt/checks/RedundantChecks.cpp - dominance-based check RCE -----------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominance-based redundant spatial-check elimination. A preorder walk of
+/// the dominator tree carries two scoped fact tables:
+///
+///   * Exact facts: proven intervals keyed by the checked pointer SSA
+///     value itself — a later check on the same SSA pointer with an
+///     equal-or-smaller access size is deleted (the dominance
+///     generalization of the block-local eliminateRedundantChecks).
+///   * Range facts: proven intervals keyed by the *decomposed* root, so a
+///     dominating check on `p+8` with size 8 also kills a check on
+///     `(int*)p + 3` with size 4 — different SSA pointers, same bytes.
+///
+/// Deleting a dominated check is sound because the dominating check traps
+/// first on any path where the dominated one would have: both read only
+/// SSA values, which nothing between them can change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/InstOrder.h"
+#include "opt/Dominators.h"
+#include "opt/checks/CheckOpt.h"
+#include "opt/checks/RangeAnalysis.h"
+
+#include <set>
+
+using namespace softbound;
+using namespace softbound::checkopt;
+
+bool softbound::instDominates(const DomTree &DT, const InstOrder &Ord,
+                              const Instruction *A, const Instruction *B) {
+  if (A == B)
+    return false;
+  if (A->parent() == B->parent())
+    return Ord.precedes(A, B);
+  return DT.dominates(A->parent(), B->parent());
+}
+
+namespace {
+
+/// The recursive dominator-tree walk. Facts live in the two ProvenRanges
+/// tables; FuncPtrSeen deduplicates function-pointer encoding checks.
+class RCEWalker {
+public:
+  RCEWalker(Function &F, const CheckOptConfig &Cfg, CheckOptStats &Stats)
+      : F(F), DT(F), Cfg(Cfg), Stats(Stats) {}
+
+  void run() { walk(F.entry()); }
+
+private:
+  void walk(BasicBlock *BB);
+
+  Function &F;
+  DomTree DT;
+  const CheckOptConfig &Cfg;
+  CheckOptStats &Stats;
+
+  ProvenRanges Exact; ///< Keyed by (checked pointer SSA value, bounds).
+  ProvenRanges Ranged; ///< Keyed by (decomposed root, bounds).
+  std::set<std::pair<const Value *, const Value *>> FuncPtrSeen;
+};
+
+void RCEWalker::walk(BasicBlock *BB) {
+  ProvenRanges::Scope ExactScope(Exact);
+  ProvenRanges::Scope RangedScope(Ranged);
+  std::vector<std::pair<const Value *, const Value *>> LocalFuncPtr;
+
+  for (auto It = BB->begin(); It != BB->end();) {
+    Instruction *I = It->get();
+
+    if (auto *Chk = dyn_cast<SpatialCheckInst>(I)) {
+      Value *P = Chk->pointer();
+      Value *B = Chk->bounds();
+      int64_t Size = static_cast<int64_t>(Chk->accessSize());
+
+      if (Cfg.EliminateDominated && Exact.covers(P, B, 0, Size)) {
+        It = BB->erase(It);
+        ++Stats.DominatedEliminated;
+        continue;
+      }
+      PtrOffset PO = decomposePointer(P);
+      if (Cfg.RangeSubsumption &&
+          Ranged.covers(PO.Root, B, PO.Offset, PO.Offset + Size)) {
+        It = BB->erase(It);
+        ++Stats.RangeEliminated;
+        continue;
+      }
+      if (Cfg.EliminateDominated)
+        Exact.add(P, B, 0, Size);
+      if (Cfg.RangeSubsumption)
+        Ranged.add(PO.Root, B, PO.Offset, PO.Offset + Size);
+      ++It;
+      continue;
+    }
+
+    if (auto *FPC = dyn_cast<FuncPtrCheckInst>(I);
+        FPC && Cfg.EliminateDominated) {
+      auto Key = std::make_pair(static_cast<const Value *>(FPC->pointer()),
+                                static_cast<const Value *>(FPC->bounds()));
+      if (FuncPtrSeen.count(Key)) {
+        It = BB->erase(It);
+        ++Stats.FuncPtrEliminated;
+        continue;
+      }
+      FuncPtrSeen.insert(Key);
+      LocalFuncPtr.push_back(Key);
+      ++It;
+      continue;
+    }
+
+    ++It;
+  }
+
+  for (BasicBlock *Child : DT.children(BB))
+    walk(Child);
+
+  for (const auto &Key : LocalFuncPtr)
+    FuncPtrSeen.erase(Key);
+}
+
+} // namespace
+
+namespace softbound {
+namespace checkopt {
+
+void eliminateRedundantSpatialChecks(Function &F, const CheckOptConfig &Cfg,
+                                     CheckOptStats &Stats) {
+  if (!F.isDefinition())
+    return;
+  RCEWalker(F, Cfg, Stats).run();
+}
+
+} // namespace checkopt
+} // namespace softbound

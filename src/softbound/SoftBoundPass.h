@@ -26,6 +26,7 @@
 #define SOFTBOUND_SOFTBOUND_SOFTBOUNDPASS_H
 
 #include "ir/Module.h"
+#include "opt/checks/CheckOpt.h"
 
 namespace softbound {
 
@@ -68,6 +69,9 @@ struct SoftBoundStats {
   unsigned CallsRewritten = 0;
   unsigned ChecksEliminated = 0;
   unsigned ChecksElidedStatically = 0;
+  /// Filled by the driver when the post-instrumentation check-optimization
+  /// subsystem (opt/checks/) runs; zeroed otherwise.
+  CheckOptStats CheckOpt;
 };
 
 /// Applies the SoftBound transformation to every defined function in \p M.

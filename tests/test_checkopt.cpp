@@ -1,0 +1,562 @@
+//===- tests/test_checkopt.cpp - check-optimization subsystem tests ---------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the static check-optimization subsystem (opt/checks/):
+///
+///   * Soundness: with every sub-pass enabled (and each enabled alone),
+///     the full Table 3 attack corpus and the BugBench kernels are still
+///     detected — the optimizer never removes a check that would have
+///     fired — and correct programs keep their exact behaviour.
+///   * Precision: deterministic elimination counts on the monotonic-loop
+///     and struct-field exemplars, hull placement for counted loops, and
+///     unit tests of the range analysis and instruction-dominance helper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/InstOrder.h"
+#include "ir/Verifier.h"
+#include "opt/Dominators.h"
+#include "opt/Passes.h"
+#include "opt/checks/RangeAnalysis.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace softbound;
+
+namespace {
+
+unsigned countChecks(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB)
+        if (isa<SpatialCheckInst>(I.get()))
+          ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Range analysis units
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalSet, MergesAdjacentAndOverlapping) {
+  checkopt::IntervalSet S;
+  S.add(0, 4);
+  S.add(8, 16);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.covers(0, 4));
+  EXPECT_FALSE(S.covers(0, 8));
+  S.add(4, 8); // Bridges the two: one interval [0, 16).
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.covers(0, 16));
+  EXPECT_FALSE(S.covers(0, 17));
+  S.add(-8, -4);
+  EXPECT_FALSE(S.covers(-8, 0));
+  EXPECT_TRUE(S.covers(-8, -5));
+}
+
+TEST(ProvenRanges, ScopeRollbackDropsInnerFacts) {
+  checkopt::ProvenRanges PR;
+  int RootA, BoundsA; // Addresses stand in for Value pointers.
+  const Value *R = reinterpret_cast<Value *>(&RootA);
+  const Value *B = reinterpret_cast<Value *>(&BoundsA);
+  checkopt::ProvenRanges::Scope Outer(PR);
+  PR.add(R, B, 0, 8);
+  {
+    checkopt::ProvenRanges::Scope Inner(PR);
+    PR.add(R, B, 8, 16);
+    EXPECT_TRUE(PR.covers(R, B, 0, 16));
+  }
+  EXPECT_TRUE(PR.covers(R, B, 0, 8));
+  EXPECT_FALSE(PR.covers(R, B, 8, 16)) << "inner-scope fact must roll back";
+}
+
+TEST(RangeAnalysis, DecomposesConstantGEPChains) {
+  Module M;
+  TypeContext &Ctx = M.ctx();
+  auto *FTy = Ctx.funcTy(Ctx.voidTy(), {Ctx.ptrTo(Ctx.i64())});
+  Function *F = M.createFunction("probe", FTy);
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *P = F->arg(0);
+  Value *G1 = B.gep(Ctx.i64(), P, {M.constI64(2)});   // +16 bytes
+  Value *BC = B.bitcast(G1, Ctx.ptrTo(Ctx.i8()));
+  Value *G2 = B.gep(Ctx.i8(), BC, {M.constI64(-4)});  // -4 bytes
+  B.ret();
+
+  checkopt::PtrOffset PO = checkopt::decomposePointer(G2);
+  EXPECT_EQ(PO.Root, P);
+  EXPECT_EQ(PO.Offset, 12);
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction dominance helper
+//===----------------------------------------------------------------------===//
+
+TEST(InstDominates, OrdersWithinAndAcrossBlocks) {
+  Module M;
+  TypeContext &Ctx = M.ctx();
+  Function *F = M.createFunction("f", Ctx.funcTy(Ctx.voidTy(), {}));
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  IRBuilder B(M);
+  B.setInsertPoint(Entry);
+  Instruction *A = B.makeBounds(M.constI64(0), M.constI64(8));
+  Instruction *C = B.makeBounds(M.constI64(0), M.constI64(16));
+  B.condBr(M.constI1(true), Left, Right);
+  B.setInsertPoint(Left);
+  Instruction *InLeft = B.makeBounds(M.constI64(0), M.constI64(24));
+  B.ret();
+  B.setInsertPoint(Right);
+  Instruction *InRight = B.makeBounds(M.constI64(0), M.constI64(32));
+  B.ret();
+
+  DomTree DT(*F);
+  InstOrder Ord(*F);
+  EXPECT_TRUE(instDominates(DT, Ord, A, C));
+  EXPECT_FALSE(instDominates(DT, Ord, C, A));
+  EXPECT_FALSE(instDominates(DT, Ord, A, A)) << "strict dominance";
+  EXPECT_TRUE(instDominates(DT, Ord, A, InLeft));
+  EXPECT_FALSE(instDominates(DT, Ord, InLeft, InRight));
+}
+
+//===----------------------------------------------------------------------===//
+// Precision: dominance + range elimination on hand-built IR
+//===----------------------------------------------------------------------===//
+
+/// Builds `probe(i8* p)` with a diamond CFG and a configurable list of
+/// checks; returns the function.
+struct DiamondFixture {
+  Module M;
+  Function *F = nullptr;
+  BasicBlock *Entry = nullptr, *Left = nullptr, *Right = nullptr,
+             *Merge = nullptr;
+  Value *P = nullptr;
+  Value *Bounds = nullptr;
+
+  DiamondFixture() {
+    TypeContext &Ctx = M.ctx();
+    F = M.createFunction("probe",
+                         Ctx.funcTy(Ctx.voidTy(), {Ctx.ptrTo(Ctx.i8())}));
+    Entry = F->createBlock("entry");
+    Left = F->createBlock("left");
+    Right = F->createBlock("right");
+    Merge = F->createBlock("merge");
+    P = F->arg(0);
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    Bounds = B.makeBounds(M.constI64(0x1000), M.constI64(0x1040));
+  }
+
+  void finish() {
+    IRBuilder B(M);
+    B.setInsertPoint(Entry);
+    B.condBr(M.constI1(true), Left, Right);
+    B.setInsertPoint(Left);
+    B.br(Merge);
+    B.setInsertPoint(Right);
+    B.br(Merge);
+    B.setInsertPoint(Merge);
+    B.ret();
+    ASSERT_TRUE(verifyModule(M).empty());
+  }
+};
+
+TEST(CheckOptRCE, DominatingCheckKillsDescendants) {
+  DiamondFixture D;
+  IRBuilder B(D.M);
+  B.setInsertPoint(D.Entry);
+  B.spatialCheck(D.P, D.Bounds, 8, true); // Dominates everything below.
+  B.setInsertPoint(D.Left);
+  B.spatialCheck(D.P, D.Bounds, 8, true);  // Killed (equal).
+  B.setInsertPoint(D.Right);
+  B.spatialCheck(D.P, D.Bounds, 4, false); // Killed (weaker).
+  B.setInsertPoint(D.Merge);
+  B.spatialCheck(D.P, D.Bounds, 16, true); // Stronger: stays.
+  D.finish();
+
+  CheckOptStats S;
+  optimizeChecks(*D.F, CheckOptConfig{}, S);
+  EXPECT_EQ(S.DominatedEliminated, 2u);
+  EXPECT_EQ(S.ChecksBefore, 4u);
+  EXPECT_EQ(S.ChecksAfter, 2u);
+}
+
+TEST(CheckOptRCE, SiblingBranchFactsDoNotLeak) {
+  DiamondFixture D;
+  IRBuilder B(D.M);
+  B.setInsertPoint(D.Left);
+  B.spatialCheck(D.P, D.Bounds, 8, true);
+  B.setInsertPoint(D.Right);
+  B.spatialCheck(D.P, D.Bounds, 8, true); // Sibling, not dominated: stays.
+  B.setInsertPoint(D.Merge);
+  B.spatialCheck(D.P, D.Bounds, 8, true); // Post-merge, not dominated.
+  D.finish();
+
+  CheckOptStats S;
+  optimizeChecks(*D.F, CheckOptConfig{}, S);
+  EXPECT_EQ(S.ChecksAfter, 3u)
+      << "facts from one branch must not kill checks in the sibling or "
+         "below the merge";
+}
+
+TEST(CheckOptRCE, RangeSubsumptionCoversConstantOffsets) {
+  // The paper's monotonically increasing pointer, generalized: a wide
+  // dominating check proves narrower interior accesses through different
+  // GEPs in bounds.
+  DiamondFixture D;
+  TypeContext &Ctx = D.M.ctx();
+  IRBuilder B(D.M);
+  B.setInsertPoint(D.Entry);
+  B.spatialCheck(D.P, D.Bounds, 16, true); // Proves [0, 16).
+  Value *G1 = B.gep(Ctx.i8(), D.P, {D.M.constI64(8)});
+  B.setInsertPoint(D.Left);
+  B.spatialCheck(G1, D.Bounds, 8, true);   // [8, 16): range-covered.
+  B.setInsertPoint(D.Right);
+  Value *G2;
+  {
+    IRBuilder B2(D.M);
+    B2.setInsertPoint(D.Entry);
+    G2 = B2.gep(Ctx.i8(), D.P, {D.M.constI64(12)});
+  }
+  B.spatialCheck(G2, D.Bounds, 8, true);   // [12, 20): tail out, stays.
+  D.finish();
+
+  CheckOptStats S;
+  optimizeChecks(*D.F, CheckOptConfig{}, S);
+  EXPECT_EQ(S.RangeEliminated, 1u);
+  EXPECT_EQ(S.ChecksAfter, 2u);
+
+  // With range subsumption disabled the same input keeps all checks.
+  DiamondFixture D2;
+  IRBuilder C(D2.M);
+  C.setInsertPoint(D2.Entry);
+  C.spatialCheck(D2.P, D2.Bounds, 16, true);
+  Value *G3 = C.gep(Ctx.i8(), D2.P, {D2.M.constI64(8)});
+  C.setInsertPoint(D2.Left);
+  C.spatialCheck(G3, D2.Bounds, 8, true);
+  D2.finish();
+  CheckOptConfig NoRange;
+  NoRange.RangeSubsumption = false;
+  CheckOptStats S2;
+  optimizeChecks(*D2.F, NoRange, S2);
+  EXPECT_EQ(S2.RangeEliminated, 0u);
+  EXPECT_EQ(S2.ChecksAfter, 2u);
+}
+
+TEST(CheckOptRCE, AdjacentIntervalsMergeToCoverWideAccess) {
+  DiamondFixture D;
+  TypeContext &Ctx = D.M.ctx();
+  IRBuilder B(D.M);
+  B.setInsertPoint(D.Entry);
+  Value *G8 = B.gep(Ctx.i8(), D.P, {D.M.constI64(8)});
+  B.spatialCheck(D.P, D.Bounds, 8, true);  // [0, 8)
+  B.spatialCheck(G8, D.Bounds, 8, true);   // [8, 16)
+  B.spatialCheck(D.P, D.Bounds, 16, true); // [0, 16): merged cover, killed.
+  D.finish();
+
+  CheckOptStats S;
+  optimizeChecks(*D.F, CheckOptConfig{}, S);
+  EXPECT_EQ(S.RangeEliminated, 1u);
+  EXPECT_EQ(S.ChecksAfter, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Precision: the monotonic-loop exemplar (source level)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckOptLoops, MonotonicLoopCollapsesToHull) {
+  // The §6.1 example: p[i] with i monotonically increasing over a counted
+  // range. Full checking inserts one store check per iteration; the hull
+  // replaces them with exactly two pre-loop checks (offsets 0 and 60).
+  const char *Src = "int main() {\n"
+                    "  int* p = (int*)malloc(64);\n"
+                    "  int s = 0;\n"
+                    "  for (int i = 0; i < 16; i++) { p[i] = i; s += p[i]; }\n"
+                    "  return s;\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  BuildResult Prog = buildProgram(Src, B);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Stats.CheckOpt.LoopChecksHoisted, 1u);
+  EXPECT_EQ(countChecks(*Prog.M), 2u) << "one hull check per endpoint";
+
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 120);
+  EXPECT_EQ(R.Counters.Checks, 2u) << "O(trip count) -> O(1) dynamic checks";
+
+  // Unoptimized build for reference: one dynamic check per iteration.
+  BuildOptions Off = B;
+  Off.CheckOpt.Enable = false;
+  BuildResult ProgOff = buildProgram(Src, Off);
+  ASSERT_TRUE(ProgOff.ok());
+  RunResult ROff = runProgram(ProgOff);
+  EXPECT_EQ(ROff.ExitCode, R.ExitCode);
+  EXPECT_GE(ROff.Counters.Checks, 16u);
+}
+
+TEST(CheckOptLoops, NestedCountedLoopsCascade) {
+  // Rectangular nest over a flat array: inner hulls are constants, so the
+  // outer pass hoists them again — whole-nest checks become O(1).
+  const char *Src =
+      "int g[64];\n"
+      "int main() {\n"
+      "  for (int r = 0; r < 10; r++)\n"
+      "    for (int i = 0; i < 8; i++)\n"
+      "      for (int j = 0; j < 8; j++)\n"
+      "        g[i * 8 + j] = g[i * 8 + j] + r;\n"
+      "  return g[63];\n"
+      "}";
+  BuildOptions B;
+  B.Instrument = true;
+  BuildResult Prog = buildProgram(Src, B);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 45);
+  EXPECT_LE(R.Counters.Checks, 8u)
+      << "the 640 per-iteration checks must collapse to a handful of hulls";
+}
+
+TEST(CheckOptLoops, VariantRootBlocksEnclosingWidening) {
+  // The base pointer is recomputed every outer iteration, so the inner
+  // hull may only be widened over the inner IV: pairing the current
+  // iteration's root with another outer iteration's offset would check
+  // an address the program never computes. Only buf[64..71] is ever
+  // written; this must stay clean.
+  const char *Src = "int buf[72];\n"
+                    "int main() {\n"
+                    "  for (int r = 0; r < 8; r++) {\n"
+                    "    int* p = buf + (64 - r * 8);\n"
+                    "    for (int i = 0; i < 8; i++) p[r * 8 + i] = 1;\n"
+                    "  }\n"
+                    "  return buf[64] + buf[71];\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  RunResult R = compileAndRun(Src, B);
+  ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(CheckOptLoops, ExtremeConstantsDoNotWrapTripCount) {
+  // Near-full-range i64 loop constants overflow a naive int64 Lim - Lo;
+  // a wrapped trip count of zero would erase the live (and violating)
+  // body check as provably dead. The analysis must reject or count this
+  // loop exactly — either way the OOB store still traps.
+  const char *Src =
+      "int a[4];\n"
+      "int main() {\n"
+      "  for (long i = -9223372036854775807; i < 9223372036854775806;\n"
+      "       i = i + 4611686018427387904) { a[7] = 1; }\n"
+      "  return 0;\n"
+      "}";
+  BuildOptions B;
+  B.Instrument = true;
+  BuildResult Prog = buildProgram(Src, B);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_EQ(runProgram(Prog).Trap, TrapKind::SpatialViolation);
+}
+
+TEST(CheckOptLoops, ZeroTripLoopNeverFalselyTraps) {
+  // The hull of an empty iteration space is nothing: a constant zero-trip
+  // loop over out-of-bounds indices must not introduce a trap.
+  const char *Src = "int main() {\n"
+                    "  int a[4];\n"
+                    "  a[0] = 7;\n"
+                    "  for (int i = 100; i < 100; i++) a[i] = 1;\n"
+                    "  return a[0];\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  RunResult R = compileAndRun(Src, B);
+  ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(CheckOptLoops, BreakLoopIsNotWidened) {
+  // A loop with a second exit edge is not a hoisting candidate: the break
+  // at i == 2 keeps the out-of-bounds tail from ever executing, and the
+  // optimizer must not check it pre-loop.
+  const char *Src = "int main() {\n"
+                    "  int a[4];\n"
+                    "  int s = 0;\n"
+                    "  for (int i = 0; i < 100; i++) {\n"
+                    "    if (i == 2) break;\n"
+                    "    a[i] = i; s += a[i];\n"
+                    "  }\n"
+                    "  return s + 40;\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  RunResult R = compileAndRun(Src, B);
+  ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
+  EXPECT_EQ(R.ExitCode, 41);
+}
+
+TEST(CheckOptLoops, HoistedOverflowStillTraps) {
+  // The classic off-by-one: hoisting moves the trap before the loop, but
+  // it must still be a spatial violation in both checking modes.
+  const char *Src = "int main() {\n"
+                    "  int* p = (int*)malloc(10 * sizeof(int));\n"
+                    "  for (int i = 0; i <= 10; i++) p[i] = i;\n"
+                    "  return 0;\n"
+                    "}";
+  for (CheckMode Mode : {CheckMode::Full, CheckMode::StoreOnly}) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = Mode;
+    RunResult R = compileAndRun(Src, B);
+    EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
+  }
+}
+
+TEST(CheckOptLoops, StoreOnlyStillMissesReadOverflow) {
+  // Hoisting must not manufacture load checks that store-only checking
+  // deliberately omits (§6.3).
+  const char *Src = "int main() {\n"
+                    "  int* p = (int*)malloc(10 * sizeof(int));\n"
+                    "  int sum = 0;\n"
+                    "  for (int i = 0; i <= 10; i++) sum += p[i];\n"
+                    "  return sum;\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  B.SB.Mode = CheckMode::StoreOnly;
+  EXPECT_TRUE(compileAndRun(Src, B).ok());
+  B.SB.Mode = CheckMode::Full;
+  EXPECT_EQ(compileAndRun(Src, B).Trap, TrapKind::SpatialViolation);
+}
+
+//===----------------------------------------------------------------------===//
+// Precision: the struct-field exemplar
+//===----------------------------------------------------------------------===//
+
+TEST(CheckOptRCE, StructFieldRepeatsEliminatedAcrossBlocks) {
+  // Repeated accesses to the same field through one derived pointer: the
+  // seed's block-local pass cannot remove the branch-body check, the
+  // dominance walk can. ReoptimizeAfter is off so every elimination below
+  // is attributable to the subsystem.
+  const char *Src = "struct rec { long pad; long y; };\n"
+                    "int main(int n) {\n"
+                    "  struct rec* r = (struct rec*)malloc(16);\n"
+                    "  long* q = &r->y;\n"
+                    "  *q = 5;\n"
+                    "  if (n) { *q = 6; }\n"
+                    "  return (int)*q;\n"
+                    "}";
+  BuildOptions B;
+  B.Instrument = true;
+  B.SB.ReoptimizeAfter = false;
+  BuildResult Prog = buildProgram(Src, B);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Stats.CheckOpt.DominatedEliminated +
+                Prog.Stats.CheckOpt.RangeEliminated,
+            2u)
+      << "branch store and final load are both covered by the first check";
+  RunOptions RO;
+  RO.Args = {1};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 6);
+}
+
+TEST(CheckOptRCE, ShrunkFieldBoundsAreNotConflated) {
+  // With sub-object shrinking, neighbouring fields carry different bounds
+  // values: a check on one field must never subsume a check on another,
+  // or the §2.1 sub-object overflow would slip through.
+  const char *Src =
+      "struct node { char str[8]; int count; };\n"
+      "int main() {\n"
+      "  struct node n;\n"
+      "  n.count = 1000;\n"
+      "  char* ptr = n.str;\n"
+      "  strcpy(ptr, \"overflow...\");\n"
+      "  return n.count;\n"
+      "}";
+  BuildOptions B;
+  B.Instrument = true;
+  RunResult R = compileAndRun(Src, B);
+  EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness: the attack corpus and BugBench under every knob combination
+//===----------------------------------------------------------------------===//
+
+CheckOptConfig knobConfig(int Which) {
+  CheckOptConfig Cfg;
+  Cfg.EliminateDominated = Which == 0 || Which == 3;
+  Cfg.RangeSubsumption = Which == 1 || Which == 3;
+  Cfg.HoistLoopChecks = Which == 2 || Which == 3;
+  return Cfg;
+}
+
+class CheckOptAttackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckOptAttackSweep, AttacksStillDetected) {
+  // Every attack needs at least one out-of-bounds write; no sub-pass (nor
+  // their combination) may lose it, in either checking mode.
+  const CheckOptConfig Cfg = knobConfig(GetParam());
+  for (const auto &A : attackSuite()) {
+    for (CheckMode Mode : {CheckMode::Full, CheckMode::StoreOnly}) {
+      BuildOptions B;
+      B.Instrument = true;
+      B.SB.Mode = Mode;
+      B.CheckOpt = Cfg;
+      RunResult R = compileAndRun(A.Source, B);
+      EXPECT_TRUE(R.violationDetected())
+          << A.Name << " knobs=" << GetParam()
+          << " trap=" << trapName(R.Trap);
+      EXPECT_FALSE(R.attackLanded()) << A.Name << " knobs=" << GetParam();
+    }
+  }
+}
+
+std::string knobName(const ::testing::TestParamInfo<int> &Info) {
+  static const char *const Names[4] = {"dominated", "range", "hoist", "all"};
+  return Names[Info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, CheckOptAttackSweep,
+                         ::testing::Range(0, 4), knobName);
+
+TEST(CheckOptSoundness, BugBenchStillDetected) {
+  for (const auto &Bug : bugbenchSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    RunResult R = compileAndRun(Bug.Source, B);
+    EXPECT_TRUE(R.violationDetected())
+        << Bug.Name << " trap=" << trapName(R.Trap);
+  }
+}
+
+TEST(CheckOptSoundness, BenchmarksKeepExactBehaviour) {
+  // Optimized instrumented runs must match the unoptimized instrumented
+  // runs bit-for-bit in exit code and output on the whole suite.
+  for (const auto &W : benchmarkSuite()) {
+    BuildOptions On, Off;
+    On.Instrument = Off.Instrument = true;
+    Off.CheckOpt.Enable = false;
+    RunResult ROn = compileAndRun(W.Source, On);
+    RunResult ROff = compileAndRun(W.Source, Off);
+    ASSERT_TRUE(ROn.ok() && ROff.ok()) << W.Name;
+    EXPECT_EQ(ROn.ExitCode, ROff.ExitCode) << W.Name;
+    EXPECT_EQ(ROn.Output, ROff.Output) << W.Name;
+    EXPECT_LE(ROn.Counters.Checks, ROff.Counters.Checks) << W.Name;
+  }
+}
+
+} // namespace

@@ -87,6 +87,72 @@ TYPED_TEST(FacilityTest, CopyRangeMirrorsMetadata) {
   EXPECT_EQ(Bound, 90u);
 }
 
+TYPED_TEST(FacilityTest, ZeroLengthRangesAreNoOps) {
+  this->Facility.update(0xC000'0000, 7, 70);
+  EXPECT_EQ(this->Facility.clearRange(0xC000'0000, 0), 0u);
+  EXPECT_EQ(this->Facility.copyRange(0xC000'1000, 0xC000'0000, 0), 0u);
+  uint64_t Base, Bound;
+  this->Facility.lookup(0xC000'0000, Base, Bound);
+  EXPECT_EQ(Base, 7u) << "zero-length clear must not touch the slot";
+  this->Facility.lookup(0xC000'1000, Base, Bound);
+  EXPECT_EQ(Base, 0u) << "zero-length copy must not materialize metadata";
+}
+
+TYPED_TEST(FacilityTest, UnalignedClearCoversEveryTouchedSlot) {
+  // [Addr, Addr+Size) is interpreted over 8-byte pointer slots: a range
+  // starting mid-slot still invalidates that slot (a freed object's first
+  // pointer slot must never survive because the free was byte-offset).
+  this->Facility.update(0xB000'0000, 5, 50);
+  this->Facility.update(0xB000'0008, 6, 60);
+  EXPECT_EQ(this->Facility.clearRange(0xB000'0004, 8), 2u)
+      << "range [4, 12) touches both slot 0 and slot 8";
+  uint64_t Base, Bound;
+  this->Facility.lookup(0xB000'0000, Base, Bound);
+  EXPECT_EQ(Base, 0u);
+  this->Facility.lookup(0xB000'0008, Base, Bound);
+  EXPECT_EQ(Base, 0u);
+}
+
+TYPED_TEST(FacilityTest, UnalignedSizeCopyCoversPartialSlot) {
+  this->Facility.update(0xD000'0000, 8, 80);
+  EXPECT_EQ(this->Facility.copyRange(0xD000'1000, 0xD000'0000, 5), 1u)
+      << "a 5-byte copy still moves the metadata of the slot it touches";
+  uint64_t Base, Bound;
+  this->Facility.lookup(0xD000'1000, Base, Bound);
+  EXPECT_EQ(Base, 8u);
+  EXPECT_EQ(Bound, 80u);
+}
+
+TYPED_TEST(FacilityTest, OverlappingCopyDstBelowSrcIsMoveLike) {
+  // Copies walk the source ascending, so a destination below the source
+  // reads each slot before anything overwrites it — memmove semantics.
+  this->Facility.update(0xA000'0008, 2, 20);
+  this->Facility.update(0xA000'0010, 3, 30);
+  EXPECT_EQ(this->Facility.copyRange(0xA000'0000, 0xA000'0008, 0x10), 2u);
+  uint64_t Base, Bound;
+  this->Facility.lookup(0xA000'0000, Base, Bound);
+  EXPECT_EQ(Base, 2u);
+  this->Facility.lookup(0xA000'0008, Base, Bound);
+  EXPECT_EQ(Base, 3u);
+}
+
+TYPED_TEST(FacilityTest, OverlappingCopyDstAboveSrcPropagatesForward) {
+  // The same ascending walk means a destination *inside* the source range
+  // re-reads already-copied slots, smearing the first slot forward —
+  // exactly like a naive forward memcpy. Both implementations must agree
+  // on this (documented) behaviour rather than silently diverge.
+  this->Facility.update(0x9000'0000, 1, 10);
+  this->Facility.update(0x9000'0008, 2, 20);
+  this->Facility.update(0x9000'0010, 3, 30);
+  EXPECT_EQ(this->Facility.copyRange(0x9000'0008, 0x9000'0000, 0x18), 3u);
+  uint64_t Base, Bound;
+  for (uint64_t A = 0x9000'0000; A <= 0x9000'0018; A += 8) {
+    this->Facility.lookup(A, Base, Bound);
+    EXPECT_EQ(Base, 1u) << "slot " << std::hex << A;
+    EXPECT_EQ(Bound, 10u);
+  }
+}
+
 TYPED_TEST(FacilityTest, ResetDropsEverything) {
   this->Facility.update(0x7000'0000, 1, 2);
   this->Facility.reset();
