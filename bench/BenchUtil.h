@@ -52,17 +52,44 @@ inline double overheadPct(uint64_t Instrumented, uint64_t Baseline) {
          100.0;
 }
 
-/// Builds a benchmark in a given instrumentation configuration; aborts the
-/// process with a message on build failure (benches must not run on broken
-/// inputs).
-inline BuildResult mustBuild(const std::string &Src, const BuildOptions &B) {
-  BuildResult Prog = buildProgram(Src, B);
+/// Runs a PipelinePlan to completion; aborts the process with a message on
+/// build failure (benches must not run on broken inputs).
+inline BuildResult mustBuild(const PipelinePlan &Plan) {
+  BuildResult Prog = Plan.build();
   if (!Prog.ok()) {
     std::fprintf(stderr, "bench build failed:\n%s\n",
                  Prog.errorText().c_str());
     std::abort();
   }
   return Prog;
+}
+
+/// Legacy-options overload.
+inline BuildResult mustBuild(const std::string &Src, const BuildOptions &B) {
+  return mustBuild(planFromBuildOptions(Src, B));
+}
+
+/// Builds \p Src through a textual pipeline spec; aborts on a malformed
+/// spec or build failure.
+inline BuildResult mustBuild(const std::string &Src, const std::string &Spec) {
+  PipelinePlan Plan;
+  Plan.frontend(Src);
+  std::string Err;
+  if (!Plan.appendSpec(Spec, &Err)) {
+    std::fprintf(stderr, "bad pipeline spec '%s': %s\n", Spec.c_str(),
+                 Err.c_str());
+    std::abort();
+  }
+  return mustBuild(Plan);
+}
+
+/// Finds a named workload in the benchmark suite; aborts if missing.
+inline const Workload &mustFindWorkload(const std::string &Name) {
+  for (const auto &W : benchmarkSuite())
+    if (W.Name == Name)
+      return W;
+  std::fprintf(stderr, "workload %s missing from suite\n", Name.c_str());
+  std::abort();
 }
 
 } // namespace benchutil

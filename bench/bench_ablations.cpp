@@ -13,13 +13,22 @@
 ///   4. object-table (splay) baseline cost on pointer-dense code — the
 ///      §2.1 claim that splay lookups are the bottleneck,
 ///   5. the static check-optimization subsystem (opt/checks/) with each
-///      sub-pass (dominance RCE, range subsumption, loop hoisting)
-///      toggled independently.
+///      sub-pass toggled independently — expressed as pipeline-spec
+///      strings over the PipelinePlan API.
+///
+/// Flags:
+///   --pipeline <spec>  run only the given pipeline spec (e.g.
+///                      "optimize,softbound,checkopt(range,hoist)") over
+///                      the counted-loop kernels and print its stats —
+///                      ablation-by-string for scripts and CI smoke tests.
+///   --list-passes      print the pass registry and exit.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "baselines/ObjectTableChecker.h"
 #include "bench/BenchUtil.h"
+
+#include <cstring>
 
 using namespace softbound;
 using namespace softbound::benchutil;
@@ -41,9 +50,85 @@ int main() {
 }
 )";
 
+/// The counted-loop-heavy kernels sections 5 and --pipeline measure.
+const char *const LoopKernels[] = {"lbm", "hmmer", "ijpeg", "compress"};
+
+/// Static spatial checks left in the built module — counted directly so
+/// the --pipeline table is right even for specs without a checkopt pass
+/// (whose CheckOptStats would be empty).
+unsigned staticChecks(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB)
+        if (isa<SpatialCheckInst>(I.get()))
+          ++N;
+  return N;
+}
+
+/// Runs \p Spec over the loop kernels, printing static and dynamic check
+/// stats per workload. Returns a process exit code.
+int runPipelineSpec(const std::string &Spec) {
+  PipelinePlan Probe;
+  std::string Err;
+  if (!Probe.appendSpec(Spec, &Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return 2;
+  }
+  std::printf("=== pipeline: %s ===\n", Probe.spec().c_str());
+  TablePrinter T({"benchmark", "static checks", "elim %", "dyn checks",
+                  "cycles", "build ms"});
+  for (const auto &Name : LoopKernels) {
+    const Workload &W = mustFindWorkload(Name);
+    BuildResult Prog = mustBuild(W.Source, Spec);
+    Measurement M = measure(Prog);
+    // elim % stays a checkopt statistic: 0.0 when the spec ran no
+    // check-optimization pass.
+    T.addRow({Name, std::to_string(staticChecks(*Prog.M)),
+              TablePrinter::fmt(100.0 * Prog.Pipeline.CheckOpt.eliminationRate(),
+                                1),
+              std::to_string(M.R.Counters.Checks),
+              std::to_string(M.R.Counters.Cycles),
+              TablePrinter::fmt(Prog.Pipeline.totalMillis(), 2)});
+  }
+  T.print();
+  return 0;
+}
+
+int listPasses() {
+  std::printf("registered pipeline passes:\n");
+  for (const auto &Name : PassRegistry::global().names()) {
+    const PassRegistry::Entry *E = PassRegistry::global().lookup(Name);
+    std::printf("  %-12s %s\n", Name.c_str(), E->Description.c_str());
+    if (!E->Knobs.empty()) {
+      std::printf("  %-12s knobs:", "");
+      for (const auto &K : E->Knobs)
+        std::printf(" %s", K.c_str());
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--list-passes") == 0)
+      return listPasses();
+    if (std::strcmp(argv[I], "--pipeline") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "--pipeline requires a spec argument\n");
+        return 2;
+      }
+      return runPipelineSpec(argv[I + 1]);
+    }
+    std::fprintf(stderr, "unknown flag '%s' (try --pipeline <spec> or "
+                         "--list-passes)\n",
+                 argv[I]);
+    return 2;
+  }
+
   std::printf("=== Ablations ===\n\n");
 
   // 1. Re-optimization after instrumentation.
@@ -53,20 +138,15 @@ int main() {
                     "checks dedup'd", "saving %"});
     for (const auto &Name : {std::string("go"), std::string("compress"),
                              std::string("treeadd"), std::string("em3d")}) {
-      const Workload *W = nullptr;
-      for (const auto &Cand : benchmarkSuite())
-        if (Cand.Name == Name)
-          W = &Cand;
-      BuildOptions On, Off;
-      On.Instrument = Off.Instrument = true;
-      Off.SB.ReoptimizeAfter = false;
-      BuildResult POn = mustBuild(W->Source, On);
-      BuildResult POff = mustBuild(W->Source, Off);
+      const Workload &W = mustFindWorkload(Name);
+      BuildResult POn = mustBuild(W.Source, "optimize,softbound,checkopt");
+      BuildResult POff =
+          mustBuild(W.Source, "optimize,softbound(no-reopt),checkopt");
       Measurement MOn = measure(POn);
       Measurement MOff = measure(POff);
       T.addRow({Name, std::to_string(MOn.R.Counters.Cycles),
                 std::to_string(MOff.R.Counters.Cycles),
-                std::to_string(POn.Stats.ChecksEliminated),
+                std::to_string(POn.Pipeline.SB.ChecksEliminated),
                 TablePrinter::fmt(100.0 * (1.0 -
                                            double(MOn.R.Counters.Cycles) /
                                                double(MOff.R.Counters.Cycles)),
@@ -78,11 +158,10 @@ int main() {
   // 2. memcpy metadata inference.
   {
     std::printf("\n-- 2. memcpy pointer-free inference (§5.2) --\n");
-    BuildOptions Infer, Always;
-    Infer.Instrument = Always.Instrument = true;
-    Always.SB.InferMemcpyPointerFree = false;
-    Measurement MI = measure(mustBuild(MemcpyHeavy, Infer));
-    Measurement MA = measure(mustBuild(MemcpyHeavy, Always));
+    Measurement MI =
+        measure(mustBuild(MemcpyHeavy, "optimize,softbound,checkopt"));
+    Measurement MA = measure(
+        mustBuild(MemcpyHeavy, "optimize,softbound(no-memcpy-infer),checkopt"));
     std::printf("  inferred pointer-free: %llu cycles, %llu meta updates\n",
                 static_cast<unsigned long long>(MI.R.Counters.Cycles),
                 static_cast<unsigned long long>(MI.R.Counters.MetaStores));
@@ -100,15 +179,11 @@ int main() {
                     "delta %"});
     for (const auto &Name :
          {std::string("health"), std::string("em3d"), std::string("li")}) {
-      const Workload *W = nullptr;
-      for (const auto &Cand : benchmarkSuite())
-        if (Cand.Name == Name)
-          W = &Cand;
-      BuildOptions On, Off;
-      On.Instrument = Off.Instrument = true;
-      Off.SB.ShrinkBounds = false;
-      Measurement MOn = measure(mustBuild(W->Source, On));
-      Measurement MOff = measure(mustBuild(W->Source, Off));
+      const Workload &W = mustFindWorkload(Name);
+      Measurement MOn =
+          measure(mustBuild(W.Source, "optimize,softbound,checkopt"));
+      Measurement MOff = measure(
+          mustBuild(W.Source, "optimize,softbound(no-shrink),checkopt"));
       T.addRow({Name, std::to_string(MOn.R.Counters.Cycles),
                 std::to_string(MOff.R.Counters.Cycles),
                 TablePrinter::fmt(overheadPct(MOn.R.Counters.Cycles,
@@ -125,21 +200,16 @@ int main() {
                     "softbound-full overhead %", "splay comparisons"});
     for (const auto &Name :
          {std::string("treeadd"), std::string("li"), std::string("mst")}) {
-      const Workload *W = nullptr;
-      for (const auto &Cand : benchmarkSuite())
-        if (Cand.Name == Name)
-          W = &Cand;
-      BuildResult Plain = mustBuild(W->Source, BuildOptions{});
-      Measurement MP = measure(Plain);
+      const Workload &W = mustFindWorkload(Name);
+      Measurement MP = measure(mustBuild(W.Source, "optimize"));
 
       ObjectTableChecker OT;
       RunOptions R;
       R.Checker = &OT;
-      Measurement MO = measure(mustBuild(W->Source, BuildOptions{}), R);
+      Measurement MO = measure(mustBuild(W.Source, "optimize"), R);
 
-      BuildOptions BF;
-      BF.Instrument = true;
-      Measurement MS = measure(mustBuild(W->Source, BF));
+      Measurement MS =
+          measure(mustBuild(W.Source, "optimize,softbound,checkopt"));
 
       T.addRow({Name,
                 TablePrinter::fmt(overheadPct(MO.R.Counters.Cycles,
@@ -154,45 +224,30 @@ int main() {
   }
 
   // 5. Static check-optimization subsystem (opt/checks/): each sub-pass
-  //    toggled independently on counted-loop-heavy kernels.
+  //    toggled independently, as pipeline-spec strings.
   {
     std::printf("\n-- 5. static check optimization sub-passes (opt/checks/) "
                 "--\n");
-    struct Knobs {
+    struct SpecConfig {
       const char *Name;
-      bool Dominated, Range, Hoist;
+      const char *Spec;
     };
-    const Knobs Configs[] = {
-        {"off", false, false, false},
-        {"+dominated", true, false, false},
-        {"+range", false, true, false},
-        {"+hoist", false, false, true},
-        {"all", true, true, true},
+    const SpecConfig Configs[] = {
+        {"off", "optimize,softbound,checkopt(none)"},
+        {"+dominated", "optimize,softbound,checkopt(redundant)"},
+        {"+range", "optimize,softbound,checkopt(range)"},
+        {"+hoist", "optimize,softbound,checkopt(hoist)"},
+        {"all", "optimize,softbound,checkopt"},
     };
-    for (const auto &Name :
-         {std::string("lbm"), std::string("hmmer"), std::string("ijpeg"),
-          std::string("compress")}) {
-      const Workload *W = nullptr;
-      for (const auto &Cand : benchmarkSuite())
-        if (Cand.Name == Name)
-          W = &Cand;
-      if (!W) {
-        std::fprintf(stderr, "workload %s missing from suite\n",
-                     Name.c_str());
-        return 1;
-      }
-      std::printf("  %s:\n", Name.c_str());
+    for (const auto &Name : LoopKernels) {
+      const Workload &W = mustFindWorkload(Name);
+      std::printf("  %s:\n", Name);
       TablePrinter T({"config", "static checks", "elim %", "dyn checks",
                       "cycles", "hoisted", "dom", "range"});
       for (const auto &K : Configs) {
-        BuildOptions B;
-        B.Instrument = true;
-        B.CheckOpt.EliminateDominated = K.Dominated;
-        B.CheckOpt.RangeSubsumption = K.Range;
-        B.CheckOpt.HoistLoopChecks = K.Hoist;
-        BuildResult Prog = mustBuild(W->Source, B);
+        BuildResult Prog = mustBuild(W.Source, K.Spec);
         Measurement M = measure(Prog);
-        const CheckOptStats &S = Prog.Stats.CheckOpt;
+        const CheckOptStats &S = Prog.Pipeline.CheckOpt;
         T.addRow({K.Name, std::to_string(S.ChecksAfter),
                   TablePrinter::fmt(100.0 * S.eliminationRate(), 1),
                   std::to_string(M.R.Counters.Checks),

@@ -52,12 +52,13 @@ int main() {
 int main() {
   std::printf("== Custom allocators and setbound() (§5.2) ==\n\n");
 
-  BuildOptions B;
-  B.Instrument = true;
+  auto Instrumented = [](const char *Src) {
+    return PipelinePlan().frontend(Src).optimize().softbound().checkOpt();
+  };
 
   // Without setbound: sub-blocks carry the arena's bounds, so the
   // neighbour overflow stays inside the arena and is missed.
-  RunResult Plainish = compileAndRun(MakeProgram(false), B);
+  RunResult Plainish = runPipeline(Instrumented(MakeProgram(false)));
   std::printf("arena without setbound: trap=%s exit=%lld\n",
               trapName(Plainish.Trap),
               static_cast<long long>(Plainish.ExitCode));
@@ -65,7 +66,7 @@ int main() {
               "stayed in the arena\n\n");
 
   // With setbound: each block gets its own extent; the overflow traps.
-  RunResult Bounded = compileAndRun(MakeProgram(true), B);
+  RunResult Bounded = runPipeline(Instrumented(MakeProgram(true)));
   std::printf("arena with setbound:    trap=%s\n  %s\n",
               trapName(Bounded.Trap), Bounded.Message.c_str());
 

@@ -7,9 +7,10 @@
 /// \file
 /// Quickstart: compile a C program with a latent off-by-one, run it
 /// unprotected (silent memory corruption), then run it under SoftBound
-/// (the overflowing store traps before any corruption). Also prints the
-/// instrumented IR of the hot function so you can see the inserted
-/// metadata loads/stores and spatial checks.
+/// (the overflowing store traps before any corruption). Builds go through
+/// the composable PipelinePlan API (driver/PassManager.h); the example
+/// also prints the per-pass timings and the instrumented IR of the hot
+/// function so you can see the inserted metadata loads/stores and checks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,27 +52,35 @@ int main() {
   std::printf("== SoftBound quickstart ==\n\n");
 
   // 1. Unprotected run: the program "works" but silently corrupts state.
-  RunResult Plain = compileAndRun(Program, BuildOptions{});
+  //    A pipeline is just frontend + optimizer.
+  RunResult Plain = runPipeline(PipelinePlan().frontend(Program).optimize());
   std::printf("unprotected run:  trap=%s exit=%lld\n", trapName(Plain.Trap),
               static_cast<long long>(Plain.ExitCode));
   std::printf("  output: %s", Plain.Output.c_str());
   std::printf("  -> the audit flag was silently overwritten (exit=1)\n\n");
 
-  // 2. SoftBound full checking: the overflow traps at the faulty access.
-  BuildOptions B;
-  B.Instrument = true;
-  BuildResult Prog = buildProgram(Program, B);
+  // 2. SoftBound full checking: append the instrumentation and the static
+  //    check optimizer to the plan; the overflow traps at the faulty
+  //    access. (Equivalently: plan.appendSpec("optimize,softbound,checkopt").)
+  PipelinePlan ProtectedPlan =
+      PipelinePlan().frontend(Program).optimize().softbound().checkOpt();
+  BuildResult Prog = ProtectedPlan.build();
   if (!Prog.ok()) {
     std::printf("build failed: %s\n", Prog.errorText().c_str());
     return 1;
   }
-  std::printf("SoftBound transformation stats:\n");
+  std::printf("SoftBound transformation stats (pipeline: %s):\n",
+              ProtectedPlan.spec().c_str());
+  const SoftBoundStats &SB = Prog.Pipeline.SB;
   std::printf("  functions transformed: %u (renamed to _sb_*)\n",
-              Prog.Stats.FunctionsTransformed);
-  std::printf("  spatial checks inserted: %u\n", Prog.Stats.ChecksInserted);
-  std::printf("  metadata loads/stores:   %u/%u\n",
-              Prog.Stats.MetaLoadsInserted, Prog.Stats.MetaStoresInserted);
-  std::printf("  sub-object bounds shrunk: %u\n\n", Prog.Stats.BoundsShrunk);
+              SB.FunctionsTransformed);
+  std::printf("  spatial checks inserted: %u\n", SB.ChecksInserted);
+  std::printf("  metadata loads/stores:   %u/%u\n", SB.MetaLoadsInserted,
+              SB.MetaStoresInserted);
+  std::printf("  sub-object bounds shrunk: %u\n", SB.BoundsShrunk);
+  for (const auto &T : Prog.Pipeline.Passes)
+    std::printf("  pass %-10s %6.2f ms\n", T.Pass.c_str(), T.Millis);
+  std::printf("\n");
 
   RunResult Protected = runProgram(Prog);
   std::printf("protected run:    trap=%s\n", trapName(Protected.Trap));

@@ -47,7 +47,8 @@ int main() {
   std::printf("== Sub-object overflow (§2.1) across four tools ==\n\n");
 
   // 1. Unprotected: function pointer corrupted, call goes wild.
-  RunResult Plain = compileAndRun(Program, BuildOptions{});
+  PipelinePlan Uninstrumented = PipelinePlan().frontend(Program).optimize();
+  RunResult Plain = runPipeline(Uninstrumented);
   std::printf("unprotected:            trap=%s (%s)\n", trapName(Plain.Trap),
               Plain.Message.c_str());
 
@@ -57,25 +58,28 @@ int main() {
   R.Checker = &OT;
   R.RedzonePad = 16;
   R.GlobalPad = 16;
-  RunResult Obj = compileAndRun(Program, BuildOptions{}, R);
+  RunResult Obj = runPipeline(Uninstrumented, R);
   std::printf("object table (mudflap): trap=%s  <- in-object overflow "
               "invisible\n",
               trapName(Obj.Trap));
 
   // 3. SoftBound without sub-object shrinking: the write passes, but the
   //    forged function pointer fails the base==bound==ptr encoding check.
-  BuildOptions NoShrink;
-  NoShrink.Instrument = true;
-  NoShrink.SB.ShrinkBounds = false;
-  RunResult NS = compileAndRun(Program, NoShrink);
+  PipelinePlan NoShrink;
+  NoShrink.frontend(Program);
+  std::string Err;
+  if (!NoShrink.appendSpec("optimize,softbound(no-shrink),checkopt", &Err)) {
+    std::fprintf(stderr, "bad pipeline spec: %s\n", Err.c_str());
+    return 1;
+  }
+  RunResult NS = runPipeline(NoShrink);
   std::printf("softbound, no shrink:   trap=%s  <- caught at the indirect "
               "call\n",
               trapName(NS.Trap));
 
   // 4. Full SoftBound: the overflowing strcpy itself is rejected.
-  BuildOptions B;
-  B.Instrument = true;
-  RunResult SB = compileAndRun(Program, B);
+  RunResult SB = runPipeline(
+      PipelinePlan().frontend(Program).optimize().softbound().checkOpt());
   std::printf("softbound (full):       trap=%s  <- caught at the write\n",
               trapName(SB.Trap));
   std::printf("  %s\n", SB.Message.c_str());

@@ -24,18 +24,27 @@ int main() {
   std::printf("== Hardening a web server with SoftBound ==\n\n");
   std::string Src = httpServerSource();
 
-  // Benign traffic, three build configurations.
+  // Benign traffic, three build pipelines: the deployment choice is just
+  // a different pipeline spec over the unmodified source.
+  PipelinePlan Stock, Full, Store;
+  std::string Err;
+  if (!Stock.frontend(Src).appendSpec("optimize", &Err) ||
+      !Full.frontend(Src).appendSpec("optimize,softbound,checkopt", &Err) ||
+      !Store.frontend(Src).appendSpec("optimize,softbound(store-only),checkopt",
+                                      &Err)) {
+    std::fprintf(stderr, "bad pipeline spec: %s\n", Err.c_str());
+    return 1;
+  }
+
   RunOptions Traffic;
   Traffic.Args = {0};
 
-  RunResult Plain = compileAndRun(Src, BuildOptions{}, Traffic);
+  RunResult Plain = runPipeline(Stock, Traffic);
   std::printf("1. stock server:       %llu cycles, %d requests OK\n",
               static_cast<unsigned long long>(Plain.Counters.Cycles),
               Plain.ExitCode == 0 ? 120 : 0);
 
-  BuildOptions Full;
-  Full.Instrument = true;
-  RunResult F = compileAndRun(Src, Full, Traffic);
+  RunResult F = runPipeline(Full, Traffic);
   std::printf("2. full checking:      %llu cycles (%.1f%% overhead), "
               "output identical: %s\n",
               static_cast<unsigned long long>(F.Counters.Cycles),
@@ -44,10 +53,7 @@ int main() {
                        1.0),
               F.Output == Plain.Output ? "yes" : "NO");
 
-  BuildOptions Store;
-  Store.Instrument = true;
-  Store.SB.Mode = CheckMode::StoreOnly;
-  RunResult S = compileAndRun(Src, Store, Traffic);
+  RunResult S = runPipeline(Store, Traffic);
   std::printf("3. store-only (prod):  %llu cycles (%.1f%% overhead), "
               "output identical: %s\n\n",
               static_cast<unsigned long long>(S.Counters.Cycles),
@@ -60,11 +66,11 @@ int main() {
   // through an unbounded strcpy (the vulnerable code path).
   RunOptions Attack;
   Attack.Args = {1};
-  RunResult Hit = compileAndRun(Src, BuildOptions{}, Attack);
+  RunResult Hit = runPipeline(Stock, Attack);
   std::printf("attack vs stock server:      trap=%s (exploitable "
               "corruption)\n",
               trapName(Hit.Trap));
-  RunResult Blocked = compileAndRun(Src, Store, Attack);
+  RunResult Blocked = runPipeline(Store, Attack);
   std::printf("attack vs store-only server: trap=%s\n  %s\n",
               trapName(Blocked.Trap), Blocked.Message.c_str());
 

@@ -6,48 +6,25 @@
 
 #include "driver/Pipeline.h"
 
-#include "ir/Verifier.h"
-#include "opt/Passes.h"
 #include "runtime/HashTableMetadata.h"
 #include "runtime/ShadowSpaceMetadata.h"
 
 using namespace softbound;
 
+PipelinePlan softbound::planFromBuildOptions(const std::string &Source,
+                                             const BuildOptions &Opts) {
+  PipelinePlan Plan;
+  Plan.frontend(Source);
+  if (Opts.Optimize)
+    Plan.optimize();
+  if (Opts.Instrument)
+    Plan.softbound(Opts.SB).checkOpt(Opts.CheckOpt);
+  return Plan;
+}
+
 BuildResult softbound::buildProgram(const std::string &Source,
                                     const BuildOptions &Opts) {
-  BuildResult Out;
-  CompileResult CR = compileC(Source);
-  if (!CR.ok()) {
-    Out.Errors = CR.Errors;
-    return Out;
-  }
-  Out.M = std::move(CR.M);
-
-  auto Errs = verifyModule(*Out.M);
-  if (!Errs.empty()) {
-    Out.Errors = std::move(Errs);
-    Out.M.reset();
-    return Out;
-  }
-
-  if (Opts.Optimize)
-    optimizeModule(*Out.M);
-
-  if (Opts.Instrument) {
-    Out.Stats = applySoftBound(*Out.M, Opts.SB);
-    Out.Instrumented = true;
-    Out.Mode = Opts.SB.Mode;
-    // Static check optimization (range analysis, dominance RCE, loop
-    // hoisting) runs on the instrumented module, before execution.
-    Out.Stats.CheckOpt = optimizeChecks(*Out.M, Opts.CheckOpt);
-  }
-
-  Errs = verifyModule(*Out.M);
-  if (!Errs.empty()) {
-    Out.Errors = std::move(Errs);
-    Out.M.reset();
-  }
-  return Out;
+  return planFromBuildOptions(Source, Opts).build();
 }
 
 RunResult softbound::runProgram(const BuildResult &Prog,
@@ -89,15 +66,20 @@ RunResult softbound::runProgram(const BuildResult &Prog,
   return R;
 }
 
-RunResult softbound::compileAndRun(const std::string &Source,
-                                   const BuildOptions &BOpts,
-                                   const RunOptions &ROpts) {
-  BuildResult Prog = buildProgram(Source, BOpts);
+RunResult softbound::runPipeline(const PipelinePlan &Plan,
+                                 const RunOptions &Opts) {
+  BuildResult Prog = Plan.build();
   if (!Prog.ok()) {
     RunResult R;
     R.Trap = TrapKind::Segfault;
     R.Message = "build failed: " + Prog.errorText();
     return R;
   }
-  return runProgram(Prog, ROpts);
+  return runProgram(Prog, Opts);
+}
+
+RunResult softbound::compileAndRun(const std::string &Source,
+                                   const BuildOptions &BOpts,
+                                   const RunOptions &ROpts) {
+  return runPipeline(planFromBuildOptions(Source, BOpts), ROpts);
 }

@@ -7,13 +7,23 @@
 /// \file
 /// One-stop pipeline: mini-C source -> IR -> optimizer -> (optional)
 /// SoftBound instrumentation -> VM execution with a chosen metadata
-/// facility. This is the API the tests, benches and examples drive.
+/// facility.
+///
+/// The build side is now a thin compatibility wrapper over the composable
+/// PipelinePlan API (driver/PassManager.h): buildProgram translates
+/// BuildOptions into the equivalent plan
+/// (frontend -> optimize -> softbound -> checkopt) and BuildResult is the
+/// plan's PipelineResult. New code should construct PipelinePlan directly;
+/// buildProgram/compileAndRun are kept indefinitely for existing call
+/// sites but gain no new knobs (see README "Pipeline API" for the
+/// deprecation policy).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_DRIVER_PIPELINE_H
 #define SOFTBOUND_DRIVER_PIPELINE_H
 
+#include "driver/PassManager.h"
 #include "frontend/Compiler.h"
 #include "softbound/SoftBoundPass.h"
 #include "vm/VM.h"
@@ -28,6 +38,8 @@ namespace softbound {
 enum class FacilityKind { Shadow, Hash };
 
 /// Build-time options.
+/// \deprecated Prefer composing a PipelinePlan; every field here is a
+/// frozen alias for a pass (or pass knob) in the plan.
 struct BuildOptions {
   bool Optimize = true;    ///< Run the optimizer before instrumentation.
   bool Instrument = false; ///< Apply the SoftBound transformation.
@@ -37,24 +49,16 @@ struct BuildOptions {
   CheckOptConfig CheckOpt;
 };
 
-/// A built program ready to run.
-struct BuildResult {
-  std::unique_ptr<Module> M;
-  SoftBoundStats Stats;
-  std::vector<std::string> Errors;
-  bool Instrumented = false;
-  CheckMode Mode = CheckMode::Full;
+/// A built program ready to run (the PipelinePlan result type).
+using BuildResult = PipelineResult;
 
-  bool ok() const { return M != nullptr && Errors.empty(); }
-  std::string errorText() const {
-    std::string S;
-    for (const auto &E : Errors)
-      S += E + "\n";
-    return S;
-  }
-};
+/// Translates \p Opts into the equivalent PipelinePlan for \p Source:
+/// frontend, then optimize / softbound / checkopt as the flags dictate.
+PipelinePlan planFromBuildOptions(const std::string &Source,
+                                  const BuildOptions &Opts);
 
 /// Compiles, verifies, optimizes and (optionally) instruments \p Source.
+/// \deprecated Thin wrapper: planFromBuildOptions(Source, Opts).build().
 BuildResult buildProgram(const std::string &Source, const BuildOptions &Opts);
 
 /// Run-time options.
@@ -75,8 +79,12 @@ struct RunOptions {
 /// instrumented programs.
 RunResult runProgram(const BuildResult &Prog, const RunOptions &Opts = {});
 
-/// Convenience: build + run in one call. Reports build errors by returning
-/// a RunResult with a Segfault trap and the error text as Message.
+/// Builds \p Plan and runs the result. Build errors are reported as a
+/// RunResult with a Segfault trap and the error text as Message.
+RunResult runPipeline(const PipelinePlan &Plan, const RunOptions &Opts = {});
+
+/// Convenience: build + run in one call.
+/// \deprecated Thin wrapper: runPipeline(planFromBuildOptions(...), ROpts).
 RunResult compileAndRun(const std::string &Source, const BuildOptions &BOpts,
                         const RunOptions &ROpts = {});
 

@@ -54,6 +54,13 @@ unsigned eliminateRedundantChecks(Function &F);
 /// Module-wide eliminateRedundantChecks; returns total removed.
 unsigned eliminateRedundantChecks(Module &M);
 
+/// The paper's §6.1 post-instrumentation cleanup as one unit:
+/// eliminateRedundantChecks over the module, then localCSE + dce over
+/// every definition. Shared by SoftBoundConfig::ReoptimizeAfter and the
+/// standalone "reoptimize" pipeline pass so the two stay equivalent.
+/// Returns the number of checks eliminated.
+unsigned reoptimizeInstrumented(Module &M);
+
 // The static check-optimization subsystem (range analysis, dominance-based
 // redundant-check elimination, loop-invariant check hoisting) is declared
 // in opt/checks/CheckOpt.h and re-exported here: run

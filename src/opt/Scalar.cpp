@@ -627,3 +627,14 @@ unsigned softbound::eliminateRedundantChecks(Module &M) {
     Total += eliminateRedundantChecks(*F);
   return Total;
 }
+
+unsigned softbound::reoptimizeInstrumented(Module &M) {
+  unsigned Eliminated = eliminateRedundantChecks(M);
+  for (const auto &F : M.functions()) {
+    if (!F->isDefinition())
+      continue;
+    localCSE(*F);
+    dce(*F);
+  }
+  return Eliminated;
+}

@@ -27,13 +27,24 @@
 ///      are replaced by checks at the two endpoints of the access range's
 ///      convex hull (à la CHOP), turning O(trip-count) dynamic checks
 ///      into O(1).
+///   4. CCured-SAFE check elision (SafeElision.cpp, off by default): a
+///      check whose pointer is an all-constant, per-index-validated GEP
+///      chain into a known-size stack or global object, with the access
+///      contained in the object, is deleted outright — the §6.5 CCured
+///      comparison knob, formerly SoftBoundConfig::ElideSafePointerChecks
+///      (same proof, same results).
 ///
-/// Soundness contract: the subsystem only ever *strengthens or moves
+/// Soundness contract: sub-passes 1-3 only ever *strengthen or move
 /// earlier* the set of conditions checked on any path — a program that
 /// would have trapped still traps (possibly at an earlier instruction),
 /// and a program that ran clean still runs clean. Every transformation is
 /// gated on static proofs (constant trip counts, single-exit loops, no
-/// in-loop control-flow escapes) described in LoopHoist.cpp.
+/// in-loop control-flow escapes) described in LoopHoist.cpp. Sub-pass 4
+/// is the deliberate exception: its leading pointer-arithmetic step is
+/// judged against the *whole* object, so a sub-object overflow reached
+/// through a derived field pointer plus constant arithmetic can lose its
+/// (field-shrunk) check — the CCured-SAFE trade-off §6.5 measures — and
+/// it is therefore not part of the default pipeline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +72,10 @@ struct CheckOptConfig {
   bool RangeSubsumption = true;
   /// Hoist loop-invariant and affine-indexed checks out of counted loops.
   bool HoistLoopChecks = true;
+  /// CCured-SAFE elision (§6.5 modeling knob): delete checks statically
+  /// proven inside their *whole* base object. Off by default — it gives up
+  /// sub-object protection for constant-offset accesses.
+  bool ElideSafeChecks = false;
 };
 
 /// What the subsystem did (reported by benches and asserted by tests).
@@ -70,6 +85,7 @@ struct CheckOptStats {
   unsigned DominatedEliminated = 0; ///< Same-pointer dominance deletions.
   unsigned RangeEliminated = 0;     ///< Range-subsumption deletions.
   unsigned FuncPtrEliminated = 0;   ///< Duplicate function-pointer checks.
+  unsigned SafeChecksElided = 0;    ///< CCured-SAFE static elisions.
   unsigned LoopChecksHoisted = 0;   ///< In-loop checks replaced/deleted.
   unsigned HoistedChecksInserted = 0; ///< Pre-loop hull checks added.
   unsigned LoopsAnalyzed = 0;  ///< Natural loops inspected.
@@ -88,6 +104,7 @@ struct CheckOptStats {
     DominatedEliminated += O.DominatedEliminated;
     RangeEliminated += O.RangeEliminated;
     FuncPtrEliminated += O.FuncPtrEliminated;
+    SafeChecksElided += O.SafeChecksElided;
     LoopChecksHoisted += O.LoopChecksHoisted;
     HoistedChecksInserted += O.HoistedChecksInserted;
     LoopsAnalyzed += O.LoopsAnalyzed;
@@ -111,6 +128,15 @@ CheckOptStats optimizeChecks(Module &M, const CheckOptConfig &Cfg = {});
 bool instDominates(const DomTree &DT, const InstOrder &Ord,
                    const Instruction *A, const Instruction *B);
 
+namespace checkopt {
+
+/// The SafeElision sub-pass (SafeElision.cpp), also reachable directly for
+/// the deprecated SoftBoundConfig::ElideSafePointerChecks path: deletes
+/// every spatial check whose pointer is a constant offset into a
+/// known-size alloca/global with the access contained in the object.
+void elideSafeChecks(Function &F, CheckOptStats &Stats);
+
+} // namespace checkopt
 } // namespace softbound
 
 #endif // SOFTBOUND_OPT_CHECKS_CHECKOPT_H

@@ -70,10 +70,6 @@ private:
   Value *makeNullBounds();
   Value *makeUnboundedBounds();
 
-  /// CCured-SAFE-style static proof: \p Ptr is a constant offset into an
-  /// object of known size and [offset, offset+AccessSize) is in bounds.
-  bool staticallyInBounds(Value *Ptr, uint64_t AccessSize);
-
   // Per-instruction handlers; each may insert around *It and may erase the
   // current instruction (returning the next iterator position).
   void handleAlloca(AllocaInst *AI, BasicBlock *BB, BasicBlock::iterator It);
@@ -228,51 +224,6 @@ Value *SoftBoundTransform::getBounds(Value *V) {
   return makeNullBounds();
 }
 
-bool SoftBoundTransform::staticallyInBounds(Value *Ptr, uint64_t AccessSize) {
-  uint64_t Offset = 0;
-  Value *Cur = Ptr;
-  for (int Depth = 0; Depth < 16; ++Depth) {
-    if (auto *BC = dyn_cast<CastInst>(Cur);
-        BC && BC->opcode() == CastInst::Op::Bitcast) {
-      Cur = BC->source();
-      continue;
-    }
-    if (auto *GI = dyn_cast<GEPInst>(Cur)) {
-      // All indices must be constants to accumulate a static offset.
-      Type *Ty = GI->sourceType();
-      auto *First = dyn_cast<ConstantInt>(GI->index(0));
-      if (!First || First->value() < 0)
-        return false;
-      Offset += static_cast<uint64_t>(First->value()) * Ty->sizeInBytes();
-      for (unsigned K = 1; K < GI->numIndices(); ++K) {
-        auto *CI = dyn_cast<ConstantInt>(GI->index(K));
-        if (!CI || CI->value() < 0)
-          return false;
-        if (auto *AT = dyn_cast<ArrayType>(Ty)) {
-          if (static_cast<uint64_t>(CI->value()) >= AT->count())
-            return false;
-          Offset += static_cast<uint64_t>(CI->value()) *
-                    AT->element()->sizeInBytes();
-          Ty = AT->element();
-          continue;
-        }
-        auto *ST = cast<StructType>(Ty);
-        Offset += ST->fieldOffset(static_cast<unsigned>(CI->value()));
-        Ty = ST->field(static_cast<unsigned>(CI->value()));
-      }
-      Cur = GI->pointer();
-      continue;
-    }
-    // Base object with statically known size?
-    if (auto *AI = dyn_cast<AllocaInst>(Cur))
-      return Offset + AccessSize <= AI->allocatedType()->sizeInBytes();
-    if (auto *G = dyn_cast<GlobalVariable>(Cur))
-      return Offset + AccessSize <= G->valueType()->sizeInBytes();
-    return false;
-  }
-  return false;
-}
-
 //===----------------------------------------------------------------------===//
 // Instruction handlers
 //===----------------------------------------------------------------------===//
@@ -297,16 +248,11 @@ void SoftBoundTransform::handleLoad(LoadInst *LI, BasicBlock *BB,
   // dereferences; the compiler generates them correctly (§3.1).
   bool DirectScalar = isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr);
   if (!DirectScalar && Cfg.Mode == CheckMode::Full) {
-    if (Cfg.ElideSafePointerChecks &&
-        staticallyInBounds(Ptr, LI->type()->sizeInBytes())) {
-      ++Stats.ChecksElidedStatically;
-    } else {
-      insertBefore(BB, It,
-                   new SpatialCheckInst(Ctx.voidTy(), Ptr, getBounds(Ptr),
-                                        LI->type()->sizeInBytes(),
-                                        /*IsStore=*/false));
-      ++Stats.ChecksInserted;
-    }
+    insertBefore(BB, It,
+                 new SpatialCheckInst(Ctx.voidTy(), Ptr, getBounds(Ptr),
+                                      LI->type()->sizeInBytes(),
+                                      /*IsStore=*/false));
+    ++Stats.ChecksInserted;
   }
   if (LI->type()->isPointer()) {
     // §3.2: pointer load pulls bounds from the disjoint metadata space.
@@ -323,16 +269,11 @@ void SoftBoundTransform::handleStore(StoreInst *SI, BasicBlock *BB,
   Value *Ptr = SI->pointer();
   bool DirectScalar = isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr);
   if (!DirectScalar && Cfg.Mode != CheckMode::None) {
-    if (Cfg.ElideSafePointerChecks &&
-        staticallyInBounds(Ptr, SI->value()->type()->sizeInBytes())) {
-      ++Stats.ChecksElidedStatically;
-    } else {
-      insertBefore(BB, It,
-                   new SpatialCheckInst(Ctx.voidTy(), Ptr, getBounds(Ptr),
-                                        SI->value()->type()->sizeInBytes(),
-                                        /*IsStore=*/true));
-      ++Stats.ChecksInserted;
-    }
+    insertBefore(BB, It,
+                 new SpatialCheckInst(Ctx.voidTy(), Ptr, getBounds(Ptr),
+                                      SI->value()->type()->sizeInBytes(),
+                                      /*IsStore=*/true));
+    ++Stats.ChecksInserted;
   }
   if (SI->value()->type()->isPointer()) {
     // §3.2: pointer store records bounds in the disjoint metadata space.
@@ -731,15 +672,27 @@ SoftBoundStats SoftBoundTransform::run() {
   for (Function *F : Work)
     instrumentFunction(*F);
 
+  // Deprecated CCured-SAFE flag: forward to the opt/checks/ SafeElision
+  // sub-pass, which now owns the logic (preserving the old elide-before-
+  // reoptimize ordering).
+  if (Cfg.ElideSafePointerChecks) {
+    CheckOptStats ES;
+    for (Function *F : Work)
+      checkopt::elideSafeChecks(*F, ES);
+    Stats.ChecksElidedStatically += ES.SafeChecksElided;
+    // Keep the seed meaning of ChecksInserted under this flag: checks that
+    // instrumentation emitted *and kept* (elided ones were never counted
+    // when the proof ran inline).
+    Stats.ChecksInserted -= ES.SafeChecksElided;
+    if (!Cfg.ReoptimizeAfter)
+      for (Function *F : Work)
+        dce(*F); // Sweep the bounds arithmetic the deletions stranded.
+  }
+
   // Phase 3: re-optimize (the paper re-runs LLVM's optimizers after
   // instrumentation, §6.1).
-  if (Cfg.ReoptimizeAfter) {
-    Stats.ChecksEliminated = eliminateRedundantChecks(M);
-    for (Function *F : Work) {
-      localCSE(*F);
-      dce(*F);
-    }
-  }
+  if (Cfg.ReoptimizeAfter)
+    Stats.ChecksEliminated = reoptimizeInstrumented(M);
   return Stats;
 }
 

@@ -53,8 +53,12 @@ struct SoftBoundConfig {
   /// paper re-runs LLVM's optimizers, §6.1).
   bool ReoptimizeAfter = true;
   /// CCured-style SAFE-pointer elision (§6.5 comparison): statically prove
-  /// constant-offset accesses into known-size objects in bounds and skip
+  /// constant-offset accesses into known-size objects in bounds and delete
   /// their checks. SoftBound proper leaves this to later passes.
+  /// \deprecated The logic lives in opt/checks/SafeElision.cpp; prefer
+  /// CheckOptConfig::ElideSafeChecks (the `checkopt(safe)` /
+  /// `safe-elision` pipeline passes). This flag now invokes that sub-pass
+  /// after instrumentation and keeps old call sites working.
   bool ElideSafePointerChecks = false;
 };
 
@@ -68,10 +72,27 @@ struct SoftBoundStats {
   unsigned BoundsShrunk = 0;
   unsigned CallsRewritten = 0;
   unsigned ChecksEliminated = 0;
+  /// \deprecated Alias of CheckOptStats::SafeChecksElided for old call
+  /// sites; PipelineStats::CheckOpt is the owner of elision counters.
   unsigned ChecksElidedStatically = 0;
-  /// Filled by the driver when the post-instrumentation check-optimization
+  /// \deprecated Alias filled by the driver from PipelineStats::CheckOpt
+  /// (the single owner) when the post-instrumentation check-optimization
   /// subsystem (opt/checks/) runs; zeroed otherwise.
   CheckOptStats CheckOpt;
+
+  SoftBoundStats &operator+=(const SoftBoundStats &O) {
+    FunctionsTransformed += O.FunctionsTransformed;
+    ChecksInserted += O.ChecksInserted;
+    FuncPtrChecksInserted += O.FuncPtrChecksInserted;
+    MetaLoadsInserted += O.MetaLoadsInserted;
+    MetaStoresInserted += O.MetaStoresInserted;
+    BoundsShrunk += O.BoundsShrunk;
+    CallsRewritten += O.CallsRewritten;
+    ChecksEliminated += O.ChecksEliminated;
+    ChecksElidedStatically += O.ChecksElidedStatically;
+    CheckOpt += O.CheckOpt;
+    return *this;
+  }
 };
 
 /// Applies the SoftBound transformation to every defined function in \p M.

@@ -15,6 +15,10 @@
 ///     and struct-field exemplars, hull placement for counted loops, and
 ///     unit tests of the range analysis and instruction-dominance helper.
 ///
+/// Source-level builds go through the PipelinePlan API
+/// (driver/PassManager.h); spec-parser and wrapper-equivalence coverage
+/// lives in test_pipeline.cpp.
+///
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
@@ -41,6 +45,23 @@ unsigned countChecks(const Module &M) {
         if (isa<SpatialCheckInst>(I.get()))
           ++N;
   return N;
+}
+
+/// The instrumenting pipeline through the PassManager API (the source-level
+/// tests below all ablate via the softbound/checkopt pass configs).
+PipelinePlan plan(const std::string &Src, const SoftBoundConfig &SB = {},
+                  const CheckOptConfig &CO = {}) {
+  return PipelinePlan().frontend(Src).optimize().softbound(SB).checkOpt(CO);
+}
+
+BuildResult planBuild(const std::string &Src, const SoftBoundConfig &SB = {},
+                      const CheckOptConfig &CO = {}) {
+  return plan(Src, SB, CO).build();
+}
+
+RunResult planRun(const std::string &Src, const SoftBoundConfig &SB = {},
+                  const CheckOptConfig &CO = {}, const RunOptions &RO = {}) {
+  return runPipeline(plan(Src, SB, CO), RO);
 }
 
 //===----------------------------------------------------------------------===//
@@ -285,11 +306,9 @@ TEST(CheckOptLoops, MonotonicLoopCollapsesToHull) {
                     "  for (int i = 0; i < 16; i++) { p[i] = i; s += p[i]; }\n"
                     "  return s;\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  BuildResult Prog = buildProgram(Src, B);
+  BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  EXPECT_GE(Prog.Stats.CheckOpt.LoopChecksHoisted, 1u);
+  EXPECT_GE(Prog.Pipeline.CheckOpt.LoopChecksHoisted, 1u);
   EXPECT_EQ(countChecks(*Prog.M), 2u) << "one hull check per endpoint";
 
   RunResult R = runProgram(Prog);
@@ -298,9 +317,9 @@ TEST(CheckOptLoops, MonotonicLoopCollapsesToHull) {
   EXPECT_EQ(R.Counters.Checks, 2u) << "O(trip count) -> O(1) dynamic checks";
 
   // Unoptimized build for reference: one dynamic check per iteration.
-  BuildOptions Off = B;
-  Off.CheckOpt.Enable = false;
-  BuildResult ProgOff = buildProgram(Src, Off);
+  CheckOptConfig Off;
+  Off.Enable = false;
+  BuildResult ProgOff = planBuild(Src, {}, Off);
   ASSERT_TRUE(ProgOff.ok());
   RunResult ROff = runProgram(ProgOff);
   EXPECT_EQ(ROff.ExitCode, R.ExitCode);
@@ -319,9 +338,7 @@ TEST(CheckOptLoops, NestedCountedLoopsCascade) {
       "        g[i * 8 + j] = g[i * 8 + j] + r;\n"
       "  return g[63];\n"
       "}";
-  BuildOptions B;
-  B.Instrument = true;
-  BuildResult Prog = buildProgram(Src, B);
+  BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   RunResult R = runProgram(Prog);
   ASSERT_TRUE(R.ok()) << R.Message;
@@ -344,9 +361,7 @@ TEST(CheckOptLoops, VariantRootBlocksEnclosingWidening) {
                     "  }\n"
                     "  return buf[64] + buf[71];\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = planRun(Src);
   ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
   EXPECT_EQ(R.ExitCode, 2);
 }
@@ -363,9 +378,7 @@ TEST(CheckOptLoops, ExtremeConstantsDoNotWrapTripCount) {
       "       i = i + 4611686018427387904) { a[7] = 1; }\n"
       "  return 0;\n"
       "}";
-  BuildOptions B;
-  B.Instrument = true;
-  BuildResult Prog = buildProgram(Src, B);
+  BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   EXPECT_EQ(runProgram(Prog).Trap, TrapKind::SpatialViolation);
 }
@@ -379,9 +392,7 @@ TEST(CheckOptLoops, ZeroTripLoopNeverFalselyTraps) {
                     "  for (int i = 100; i < 100; i++) a[i] = 1;\n"
                     "  return a[0];\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = planRun(Src);
   ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
   EXPECT_EQ(R.ExitCode, 7);
 }
@@ -399,9 +410,7 @@ TEST(CheckOptLoops, BreakLoopIsNotWidened) {
                     "  }\n"
                     "  return s + 40;\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = planRun(Src);
   ASSERT_TRUE(R.ok()) << trapName(R.Trap) << " " << R.Message;
   EXPECT_EQ(R.ExitCode, 41);
 }
@@ -415,10 +424,9 @@ TEST(CheckOptLoops, HoistedOverflowStillTraps) {
                     "  return 0;\n"
                     "}";
   for (CheckMode Mode : {CheckMode::Full, CheckMode::StoreOnly}) {
-    BuildOptions B;
-    B.Instrument = true;
-    B.SB.Mode = Mode;
-    RunResult R = compileAndRun(Src, B);
+    SoftBoundConfig SB;
+    SB.Mode = Mode;
+    RunResult R = planRun(Src, SB);
     EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
   }
 }
@@ -432,12 +440,11 @@ TEST(CheckOptLoops, StoreOnlyStillMissesReadOverflow) {
                     "  for (int i = 0; i <= 10; i++) sum += p[i];\n"
                     "  return sum;\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  B.SB.Mode = CheckMode::StoreOnly;
-  EXPECT_TRUE(compileAndRun(Src, B).ok());
-  B.SB.Mode = CheckMode::Full;
-  EXPECT_EQ(compileAndRun(Src, B).Trap, TrapKind::SpatialViolation);
+  SoftBoundConfig SB;
+  SB.Mode = CheckMode::StoreOnly;
+  EXPECT_TRUE(planRun(Src, SB).ok());
+  SB.Mode = CheckMode::Full;
+  EXPECT_EQ(planRun(Src, SB).Trap, TrapKind::SpatialViolation);
 }
 
 //===----------------------------------------------------------------------===//
@@ -457,13 +464,12 @@ TEST(CheckOptRCE, StructFieldRepeatsEliminatedAcrossBlocks) {
                     "  if (n) { *q = 6; }\n"
                     "  return (int)*q;\n"
                     "}";
-  BuildOptions B;
-  B.Instrument = true;
-  B.SB.ReoptimizeAfter = false;
-  BuildResult Prog = buildProgram(Src, B);
+  SoftBoundConfig SB;
+  SB.ReoptimizeAfter = false;
+  BuildResult Prog = planBuild(Src, SB);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  EXPECT_GE(Prog.Stats.CheckOpt.DominatedEliminated +
-                Prog.Stats.CheckOpt.RangeEliminated,
+  EXPECT_GE(Prog.Pipeline.CheckOpt.DominatedEliminated +
+                Prog.Pipeline.CheckOpt.RangeEliminated,
             2u)
       << "branch store and final load are both covered by the first check";
   RunOptions RO;
@@ -486,9 +492,7 @@ TEST(CheckOptRCE, ShrunkFieldBoundsAreNotConflated) {
       "  strcpy(ptr, \"overflow...\");\n"
       "  return n.count;\n"
       "}";
-  BuildOptions B;
-  B.Instrument = true;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = planRun(Src);
   EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
 }
 
@@ -512,11 +516,9 @@ TEST_P(CheckOptAttackSweep, AttacksStillDetected) {
   const CheckOptConfig Cfg = knobConfig(GetParam());
   for (const auto &A : attackSuite()) {
     for (CheckMode Mode : {CheckMode::Full, CheckMode::StoreOnly}) {
-      BuildOptions B;
-      B.Instrument = true;
-      B.SB.Mode = Mode;
-      B.CheckOpt = Cfg;
-      RunResult R = compileAndRun(A.Source, B);
+      SoftBoundConfig SB;
+      SB.Mode = Mode;
+      RunResult R = planRun(A.Source, SB, Cfg);
       EXPECT_TRUE(R.violationDetected())
           << A.Name << " knobs=" << GetParam()
           << " trap=" << trapName(R.Trap);
@@ -535,9 +537,7 @@ INSTANTIATE_TEST_SUITE_P(AllKnobs, CheckOptAttackSweep,
 
 TEST(CheckOptSoundness, BugBenchStillDetected) {
   for (const auto &Bug : bugbenchSuite()) {
-    BuildOptions B;
-    B.Instrument = true;
-    RunResult R = compileAndRun(Bug.Source, B);
+    RunResult R = planRun(Bug.Source);
     EXPECT_TRUE(R.violationDetected())
         << Bug.Name << " trap=" << trapName(R.Trap);
   }
@@ -547,11 +547,10 @@ TEST(CheckOptSoundness, BenchmarksKeepExactBehaviour) {
   // Optimized instrumented runs must match the unoptimized instrumented
   // runs bit-for-bit in exit code and output on the whole suite.
   for (const auto &W : benchmarkSuite()) {
-    BuildOptions On, Off;
-    On.Instrument = Off.Instrument = true;
-    Off.CheckOpt.Enable = false;
-    RunResult ROn = compileAndRun(W.Source, On);
-    RunResult ROff = compileAndRun(W.Source, Off);
+    CheckOptConfig Off;
+    Off.Enable = false;
+    RunResult ROn = planRun(W.Source);
+    RunResult ROff = planRun(W.Source, {}, Off);
     ASSERT_TRUE(ROn.ok() && ROff.ok()) << W.Name;
     EXPECT_EQ(ROn.ExitCode, ROff.ExitCode) << W.Name;
     EXPECT_EQ(ROn.Output, ROff.Output) << W.Name;

@@ -1,0 +1,422 @@
+//===- tests/test_pipeline.cpp - PassManager / PipelinePlan API tests -------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the composable pipeline API (driver/PassManager.h):
+///
+///   * the pass registry (built-in names, unknown-pass diagnostics),
+///   * the pipeline-spec parser (round-trip canonicalization, nested
+///     checkopt knobs, malformed-spec diagnostics),
+///   * wrapper/plan equivalence — the same source and configuration must
+///     produce identical instruction counts and check statistics through
+///     the legacy BuildOptions wrapper and a hand-built PipelinePlan, and
+///     the spec string "optimize,softbound,checkopt" must reproduce the
+///     default pipeline exactly on the bench corpus,
+///   * the SafeElision pass surfaced through checkopt(safe)/safe-elision,
+///   * unified PipelineStats ownership and per-pass timing records.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace softbound;
+
+namespace {
+
+unsigned countInstructions(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      N += static_cast<unsigned>(
+          std::distance(BB->begin(), BB->end()));
+  return N;
+}
+
+unsigned countChecks(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB)
+        if (isa<SpatialCheckInst>(I.get()))
+          ++N;
+  return N;
+}
+
+void expectSameCheckOptStats(const CheckOptStats &A, const CheckOptStats &B) {
+  EXPECT_EQ(A.ChecksBefore, B.ChecksBefore);
+  EXPECT_EQ(A.ChecksAfter, B.ChecksAfter);
+  EXPECT_EQ(A.DominatedEliminated, B.DominatedEliminated);
+  EXPECT_EQ(A.RangeEliminated, B.RangeEliminated);
+  EXPECT_EQ(A.FuncPtrEliminated, B.FuncPtrEliminated);
+  EXPECT_EQ(A.SafeChecksElided, B.SafeChecksElided);
+  EXPECT_EQ(A.LoopChecksHoisted, B.LoopChecksHoisted);
+  EXPECT_EQ(A.HoistedChecksInserted, B.HoistedChecksInserted);
+}
+
+void expectSameSoftBoundStats(const SoftBoundStats &A,
+                              const SoftBoundStats &B) {
+  EXPECT_EQ(A.FunctionsTransformed, B.FunctionsTransformed);
+  EXPECT_EQ(A.ChecksInserted, B.ChecksInserted);
+  EXPECT_EQ(A.FuncPtrChecksInserted, B.FuncPtrChecksInserted);
+  EXPECT_EQ(A.MetaLoadsInserted, B.MetaLoadsInserted);
+  EXPECT_EQ(A.MetaStoresInserted, B.MetaStoresInserted);
+  EXPECT_EQ(A.BoundsShrunk, B.BoundsShrunk);
+  EXPECT_EQ(A.CallsRewritten, B.CallsRewritten);
+  EXPECT_EQ(A.ChecksEliminated, B.ChecksEliminated);
+  EXPECT_EQ(A.ChecksElidedStatically, B.ChecksElidedStatically);
+}
+
+const char *LoopSource = "int main() {\n"
+                         "  int* p = (int*)malloc(64);\n"
+                         "  int s = 0;\n"
+                         "  for (int i = 0; i < 16; i++) { p[i] = i; s += p[i]; }\n"
+                         "  return s;\n"
+                         "}";
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistry, BuiltinsAreRegistered) {
+  auto &R = PassRegistry::global();
+  for (const char *Name :
+       {"optimize", "softbound", "reoptimize", "checkopt", "safe-elision"}) {
+    const PassRegistry::Entry *E = R.lookup(Name);
+    ASSERT_NE(E, nullptr) << Name;
+    EXPECT_FALSE(E->Description.empty()) << Name;
+  }
+  EXPECT_EQ(R.names().size(), 5u);
+}
+
+TEST(PassRegistry, UnknownPassDiagnosticNamesKnownPasses) {
+  std::string Err;
+  auto P = PassRegistry::global().create("chekopt", {}, Err);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_NE(Err.find("unknown pass 'chekopt'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("checkopt"), std::string::npos)
+      << "diagnostic should list the known passes: " << Err;
+}
+
+TEST(PassRegistry, DuplicateRegistrationRejected) {
+  EXPECT_FALSE(PassRegistry::global().add(
+      "optimize", "dup", {},
+      [](const std::vector<std::string> &, std::string &)
+          -> std::shared_ptr<const ModulePass> { return nullptr; }));
+}
+
+//===----------------------------------------------------------------------===//
+// Spec parser: round-trip and canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSpec, RoundTripsCanonicalForms) {
+  // Left: input spec. Right: expected canonical spec() output.
+  const std::pair<const char *, const char *> Cases[] = {
+      {"optimize,softbound,checkopt", "optimize,softbound,checkopt"},
+      {" optimize , softbound( store-only , no-shrink ) ",
+       "optimize,softbound(store-only,no-shrink)"},
+      {"checkopt(redundant,range,hoist)", "checkopt"}, // == the default.
+      {"checkopt()", "checkopt"},
+      {"checkopt(range)", "checkopt(range)"},
+      {"checkopt(hoist,redundant)", "checkopt(redundant,hoist)"},
+      {"checkopt(off)", "checkopt(off)"},
+      {"checkopt(none)", "checkopt(none)"},
+      {"checkopt(redundant,range,hoist,safe)",
+       "checkopt(redundant,range,hoist,safe)"},
+      {"softbound(no-reopt),reoptimize", "softbound(no-reopt),reoptimize"},
+      {"optimize,softbound,safe-elision", "optimize,softbound,safe-elision"},
+  };
+  for (const auto &[Input, Canonical] : Cases) {
+    PipelinePlan Plan;
+    std::string Err;
+    ASSERT_TRUE(Plan.appendSpec(Input, &Err)) << Input << ": " << Err;
+    EXPECT_EQ(Plan.spec(), Canonical) << Input;
+    // Re-parsing the canonical form is a fixpoint.
+    PipelinePlan Again;
+    ASSERT_TRUE(Again.appendSpec(Plan.spec(), &Err)) << Err;
+    EXPECT_EQ(Again.spec(), Canonical);
+  }
+}
+
+TEST(PipelineSpec, DiagnosesMalformedSpecs) {
+  const std::pair<const char *, const char *> Cases[] = {
+      {"optimize,chekopt", "unknown pass 'chekopt'"},
+      {"checkopt(rnge)", "unknown knob 'rnge'"},
+      {"optimize(fast)", "takes no knobs"},
+      {"checkopt(range", "unmatched '('"},
+      {"checkopt)range(", "unmatched ')'"},
+      {"checkopt(off,range)", "cannot be combined"},
+      {"optimize,,softbound", "empty pass name"},
+      {"checkopt(range,)", "empty knob"},
+      {"checkopt(range)x", "trailing text"},
+  };
+  for (const auto &[Spec, Needle] : Cases) {
+    PipelinePlan Plan;
+    Plan.optimize();
+    std::string Err;
+    EXPECT_FALSE(Plan.appendSpec(Spec, &Err)) << Spec;
+    EXPECT_NE(Err.find(Needle), std::string::npos)
+        << Spec << " -> " << Err;
+    EXPECT_EQ(Plan.size(), 1u) << "failed appendSpec must not modify the plan";
+  }
+}
+
+TEST(PipelinePlan, MisuseSurfacesAsBuildErrors) {
+  PipelineResult NoSource = PipelinePlan().optimize().build();
+  EXPECT_FALSE(NoSource.ok());
+  EXPECT_NE(NoSource.errorText().find("no frontend source"),
+            std::string::npos);
+
+  PipelineResult BadPass =
+      PipelinePlan().frontend("int main() { return 0; }").pass("nope").build();
+  EXPECT_FALSE(BadPass.ok());
+  EXPECT_NE(BadPass.errorText().find("unknown pass 'nope'"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Nested checkopt knobs drive the right sub-passes
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSpec, CheckOptKnobsSelectSubPasses) {
+  PipelinePlan Hoist;
+  std::string Err;
+  ASSERT_TRUE(Hoist.appendSpec("optimize,softbound,checkopt(hoist)", &Err))
+      << Err;
+  PipelineResult PH = Hoist.frontend(LoopSource).build();
+  ASSERT_TRUE(PH.ok()) << PH.errorText();
+  EXPECT_GE(PH.Pipeline.CheckOpt.LoopChecksHoisted, 1u);
+  EXPECT_EQ(PH.Pipeline.CheckOpt.DominatedEliminated, 0u);
+  EXPECT_EQ(PH.Pipeline.CheckOpt.RangeEliminated, 0u);
+  EXPECT_EQ(PH.Pipeline.CheckOpt.SafeChecksElided, 0u);
+
+  PipelinePlan None;
+  ASSERT_TRUE(None.appendSpec("optimize,softbound,checkopt(off)", &Err));
+  PipelineResult PN = None.frontend(LoopSource).build();
+  ASSERT_TRUE(PN.ok()) << PN.errorText();
+  EXPECT_EQ(PN.Pipeline.CheckOpt.ChecksBefore, 0u)
+      << "checkopt(off) must not even count checks";
+}
+
+//===----------------------------------------------------------------------===//
+// Wrapper/plan equivalence
+//===----------------------------------------------------------------------===//
+
+/// Same source + configuration through the legacy wrapper and through a
+/// hand-built fluent plan: identical modules (instruction/check counts),
+/// identical stats, identical dynamic behaviour.
+TEST(PipelineEquivalence, WrapperAndFluentPlanAgree) {
+  struct Case {
+    SoftBoundConfig SB;
+    CheckOptConfig CO;
+  };
+  Case Cases[3];
+  Cases[1].SB.Mode = CheckMode::StoreOnly;
+  Cases[1].SB.ReoptimizeAfter = false;
+  Cases[2].CO.HoistLoopChecks = false;
+  Cases[2].SB.ShrinkBounds = false;
+
+  for (const Case &C : Cases) {
+    BuildOptions Opts;
+    Opts.Instrument = true;
+    Opts.SB = C.SB;
+    Opts.CheckOpt = C.CO;
+    BuildResult Legacy = buildProgram(LoopSource, Opts);
+    BuildResult Fluent = PipelinePlan()
+                             .frontend(LoopSource)
+                             .optimize()
+                             .softbound(C.SB)
+                             .checkOpt(C.CO)
+                             .build();
+    ASSERT_TRUE(Legacy.ok()) << Legacy.errorText();
+    ASSERT_TRUE(Fluent.ok()) << Fluent.errorText();
+    EXPECT_EQ(countInstructions(*Legacy.M), countInstructions(*Fluent.M));
+    EXPECT_EQ(countChecks(*Legacy.M), countChecks(*Fluent.M));
+    expectSameSoftBoundStats(Legacy.Stats, Fluent.Stats);
+    expectSameCheckOptStats(Legacy.Pipeline.CheckOpt,
+                            Fluent.Pipeline.CheckOpt);
+
+    RunResult RL = runProgram(Legacy);
+    RunResult RF = runProgram(Fluent);
+    EXPECT_EQ(RL.ExitCode, RF.ExitCode);
+    EXPECT_EQ(RL.Counters.Checks, RF.Counters.Checks);
+    EXPECT_EQ(RL.Counters.Cycles, RF.Counters.Cycles);
+  }
+}
+
+/// The acceptance criterion: the spec string "optimize,softbound,checkopt"
+/// reproduces today's default pipeline stats exactly on the bench corpus.
+TEST(PipelineEquivalence, DefaultSpecMatchesLegacyDefaultsOnBenchCorpus) {
+  BuildOptions Defaults;
+  Defaults.Instrument = true;
+  unsigned Covered = 0;
+  for (const auto &W : benchmarkSuite()) {
+    if (Covered == 4)
+      break; // A representative prefix keeps the test fast.
+    ++Covered;
+    BuildResult Legacy = buildProgram(W.Source, Defaults);
+    PipelinePlan Plan;
+    std::string Err;
+    ASSERT_TRUE(Plan.appendSpec("optimize,softbound,checkopt", &Err)) << Err;
+    BuildResult Spec = Plan.frontend(W.Source).build();
+    ASSERT_TRUE(Legacy.ok() && Spec.ok()) << W.Name;
+    EXPECT_EQ(countInstructions(*Legacy.M), countInstructions(*Spec.M))
+        << W.Name;
+    expectSameSoftBoundStats(Legacy.Stats, Spec.Stats);
+    expectSameCheckOptStats(Legacy.Pipeline.CheckOpt, Spec.Pipeline.CheckOpt);
+
+    RunResult RL = runProgram(Legacy);
+    RunResult RS = runProgram(Spec);
+    EXPECT_EQ(RL.ExitCode, RS.ExitCode) << W.Name;
+    EXPECT_EQ(RL.Output, RS.Output) << W.Name;
+    EXPECT_EQ(RL.Counters.Checks, RS.Counters.Checks) << W.Name;
+    EXPECT_EQ(RL.Counters.Cycles, RS.Counters.Cycles) << W.Name;
+  }
+  EXPECT_GE(Covered, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// SafeElision through the pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(SafeElision, ElidesProvableChecksAndKeepsViolations) {
+  // In-bounds constant accesses into a global: provably safe, elided.
+  const char *Safe = "int g[4];\n"
+                     "int main() { g[2] = 5; return g[2]; }";
+  PipelinePlan Plan;
+  std::string Err;
+  ASSERT_TRUE(
+      Plan.appendSpec("optimize,softbound(no-reopt),safe-elision", &Err))
+      << Err;
+  PipelineResult P = Plan.frontend(Safe).build();
+  ASSERT_TRUE(P.ok()) << P.errorText();
+  EXPECT_GE(P.Pipeline.CheckOpt.SafeChecksElided, 1u);
+  RunResult R = runProgram(P);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 5);
+
+  // A constant out-of-bounds store is not provable: the check stays and
+  // still traps.
+  const char *Bad = "int g[4];\n"
+                    "int main() { g[7] = 1; return 0; }";
+  PipelinePlan BadPlan;
+  ASSERT_TRUE(
+      BadPlan.appendSpec("optimize,softbound(no-reopt),safe-elision", &Err));
+  RunResult RB = runPipeline(BadPlan.frontend(Bad));
+  EXPECT_EQ(RB.Trap, TrapKind::SpatialViolation) << trapName(RB.Trap);
+}
+
+TEST(SafeElision, SubObjectTradeOffMatchesLegacyFlagExactly) {
+  // The documented §6.5 trade-off, pinned down: the elision proof judges
+  // the leading pointer-arithmetic step against the whole object, so a
+  // constant sub-object overflow through the decayed field pointer
+  // (s.buf[9] inside struct S) loses its shrunk-bounds check. The folded
+  // sub-pass must reproduce the pre-fold inline proof bit-for-bit: same
+  // elision count, same (missed) outcome, same corrupted result — while
+  // the default pipeline (elision off) still catches the overflow.
+  const char *Src = "struct S { char buf[8]; long count; };\n"
+                    "int main() {\n"
+                    "  struct S s;\n"
+                    "  s.count = 7;\n"
+                    "  s.buf[9] = 1;\n"
+                    "  return (int)s.count;\n"
+                    "}";
+  BuildOptions Legacy;
+  Legacy.Instrument = true;
+  Legacy.SB.ElideSafePointerChecks = true;
+  BuildResult L = buildProgram(Src, Legacy);
+  ASSERT_TRUE(L.ok()) << L.errorText();
+
+  PipelinePlan Plan;
+  std::string Err;
+  ASSERT_TRUE(
+      Plan.appendSpec("optimize,softbound(no-reopt),safe-elision", &Err))
+      << Err;
+  BuildResult N = Plan.frontend(Src).build();
+  ASSERT_TRUE(N.ok()) << N.errorText();
+
+  EXPECT_EQ(L.Stats.ChecksElidedStatically,
+            N.Pipeline.CheckOpt.SafeChecksElided);
+  EXPECT_GE(N.Pipeline.CheckOpt.SafeChecksElided, 3u);
+
+  RunResult RL = runProgram(L);
+  RunResult RN = runProgram(N);
+  EXPECT_EQ(RL.Trap, TrapKind::None) << trapName(RL.Trap);
+  EXPECT_EQ(RN.Trap, RL.Trap);
+  EXPECT_EQ(RN.ExitCode, RL.ExitCode); // Both see the corrupted count.
+
+  // Without elision, SoftBound's shrunk field bounds catch the write.
+  BuildOptions Full;
+  Full.Instrument = true;
+  RunResult RF = compileAndRun(Src, Full);
+  EXPECT_EQ(RF.Trap, TrapKind::SpatialViolation) << trapName(RF.Trap);
+}
+
+TEST(SafeElision, LegacyFlagAndCheckOptKnobAgree) {
+  // The deprecated SoftBoundConfig flag and checkopt(safe) both route into
+  // the SafeElision sub-pass and report through the same counters.
+  BuildOptions Legacy;
+  Legacy.Instrument = true;
+  Legacy.SB.ElideSafePointerChecks = true;
+  BuildResult L = buildProgram(LoopSource, Legacy);
+  ASSERT_TRUE(L.ok()) << L.errorText();
+  EXPECT_EQ(L.Stats.ChecksElidedStatically,
+            L.Pipeline.CheckOpt.SafeChecksElided);
+
+  CheckOptConfig Safe; // Defaults plus the elision sub-pass.
+  Safe.ElideSafeChecks = true;
+  BuildResult N = PipelinePlan()
+                      .frontend(LoopSource)
+                      .optimize()
+                      .softbound()
+                      .checkOpt(Safe)
+                      .build();
+  ASSERT_TRUE(N.ok()) << N.errorText();
+
+  RunResult RL = runProgram(L);
+  RunResult RN = runProgram(N);
+  ASSERT_TRUE(RL.ok() && RN.ok());
+  EXPECT_EQ(RL.ExitCode, RN.ExitCode);
+}
+
+//===----------------------------------------------------------------------===//
+// Unified stats and timings
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineStatsOwnership, SingleOwnerWithLegacyAliases) {
+  BuildOptions Opts;
+  Opts.Instrument = true;
+  BuildResult Prog = buildProgram(LoopSource, Opts);
+  ASSERT_TRUE(Prog.ok());
+
+  // PipelineStats.CheckOpt owns the numbers; the legacy views mirror it.
+  expectSameCheckOptStats(Prog.Pipeline.CheckOpt, Prog.Stats.CheckOpt);
+  EXPECT_GT(Prog.Pipeline.CheckOpt.ChecksBefore, 0u);
+  EXPECT_EQ(Prog.Pipeline.SB.CheckOpt.ChecksBefore, 0u)
+      << "the nested legacy field inside PipelineStats.SB stays zero";
+  EXPECT_EQ(Prog.Stats.ChecksInserted, Prog.Pipeline.SB.ChecksInserted);
+}
+
+TEST(PipelineTimings, EveryPassIsRecordedInOrder) {
+  BuildResult Prog = PipelinePlan()
+                         .frontend(LoopSource)
+                         .optimize()
+                         .softbound()
+                         .checkOpt()
+                         .build();
+  ASSERT_TRUE(Prog.ok());
+  ASSERT_EQ(Prog.Pipeline.Passes.size(), 3u);
+  EXPECT_EQ(Prog.Pipeline.Passes[0].Pass, "optimize");
+  EXPECT_EQ(Prog.Pipeline.Passes[1].Pass, "softbound");
+  EXPECT_EQ(Prog.Pipeline.Passes[2].Pass, "checkopt");
+  for (const auto &T : Prog.Pipeline.Passes)
+    EXPECT_GE(T.Millis, 0.0);
+  EXPECT_GE(Prog.Pipeline.totalMillis(), 0.0);
+}
+
+} // namespace
