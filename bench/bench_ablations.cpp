@@ -14,7 +14,10 @@
 ///      §2.1 claim that splay lookups are the bottleneck,
 ///   5. the static check-optimization subsystem (opt/checks/) with each
 ///      sub-pass toggled independently — expressed as pipeline-spec
-///      strings over the PipelinePlan API.
+///      strings over the PipelinePlan API. Covers both the counted-loop
+///      kernels (hoisting territory) and the recursive/pointer-heavy
+///      kernels (perimeter, bh, go) that only the inter-procedural
+///      propagation reaches.
 ///
 /// Flags:
 ///   --pipeline <spec>  run only the given pipeline spec (e.g.
@@ -22,16 +25,21 @@
 ///                      the counted-loop kernels and print its stats —
 ///                      ablation-by-string for scripts and CI smoke tests.
 ///   --list-passes      print the pass registry and exit.
+///   --json <path>      write section 5's per-workload, per-config check
+///                      counts and elision stats as JSON (uploaded as a
+///                      CI artifact next to the fig2 dump).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "baselines/ObjectTableChecker.h"
+#include "bench/BenchJson.h"
 #include "bench/BenchUtil.h"
 
 #include <cstring>
 
 using namespace softbound;
 using namespace softbound::benchutil;
+using namespace softbound::benchjson;
 
 namespace {
 
@@ -50,8 +58,30 @@ int main() {
 }
 )";
 
-/// The counted-loop-heavy kernels sections 5 and --pipeline measure.
+/// The counted-loop-heavy kernels --pipeline measures.
 const char *const LoopKernels[] = {"lbm", "hmmer", "ijpeg", "compress"};
+
+/// Section 5's corpus: the counted-loop kernels plus the
+/// recursive/pointer-heavy ones where inter-procedural propagation is the
+/// only sub-pass with leverage.
+const char *const CheckOptKernels[] = {"lbm",    "hmmer",     "ijpeg",
+                                       "compress", "perimeter", "bh",
+                                       "go"};
+
+/// Section 5's configurations (cumulative and isolated sub-pass sets).
+struct SpecConfig {
+  const char *Name;
+  const char *Spec;
+};
+const SpecConfig SpecConfigs[] = {
+    {"off", "optimize,softbound,checkopt(none)"},
+    {"+dominated", "optimize,softbound,checkopt(redundant)"},
+    {"+range", "optimize,softbound,checkopt(range)"},
+    {"+hoist", "optimize,softbound,checkopt(hoist)"},
+    {"+interproc", "optimize,softbound,checkopt(interproc)"},
+    {"intra", "optimize,softbound,checkopt(redundant,range,hoist)"},
+    {"all", "optimize,softbound,checkopt"},
+};
 
 /// Static spatial checks left in the built module — counted directly so
 /// the --pipeline table is right even for specs without a checkopt pass
@@ -95,6 +125,67 @@ int runPipelineSpec(const std::string &Spec) {
   return 0;
 }
 
+/// Runs section 5's matrix (kernels x spec configs) once, printing the
+/// tables; when \p JsonPath is non-empty also dumps the numbers for the
+/// CI artifact.
+void runCheckOptAblation(const std::string &JsonPath) {
+  std::printf("\n-- 5. static check optimization sub-passes (opt/checks/) "
+              "--\n");
+  JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "softbound-bench-ablations-v1");
+  W.key("checkopt");
+  W.beginObject();
+  for (const auto &Name : CheckOptKernels) {
+    const Workload &Wl = mustFindWorkload(Name);
+    std::printf("  %s:\n", Name);
+    TablePrinter T({"config", "static checks", "elim %", "dyn checks",
+                    "cycles", "hoisted", "dom", "range", "interproc"});
+    W.key(Name);
+    W.beginObject();
+    for (const auto &K : SpecConfigs) {
+      BuildResult Prog = mustBuild(Wl.Source, K.Spec);
+      Measurement M = measure(Prog);
+      const CheckOptStats &S = Prog.Pipeline.CheckOpt;
+      T.addRow({K.Name, std::to_string(S.ChecksAfter),
+                TablePrinter::fmt(100.0 * S.eliminationRate(), 1),
+                std::to_string(M.R.Counters.Checks),
+                std::to_string(M.R.Counters.Cycles),
+                std::to_string(S.LoopChecksHoisted),
+                std::to_string(S.DominatedEliminated),
+                std::to_string(S.RangeEliminated),
+                std::to_string(S.InterProcChecksElided)});
+      W.key(K.Name);
+      W.beginObject();
+      W.kv("spec", K.Spec);
+      W.kv("static_checks", S.ChecksAfter);
+      W.kv("dyn_checks", M.R.Counters.Checks);
+      W.kv("cycles", M.R.Counters.Cycles);
+      W.kv("hoisted", S.LoopChecksHoisted);
+      W.kv("dominated", S.DominatedEliminated);
+      W.kv("range", S.RangeEliminated);
+      W.kv("interproc", S.InterProcChecksElided);
+      W.kv("interproc_callee", S.InterProcCalleeElided);
+      W.kv("interproc_caller", S.InterProcCallerElided);
+      W.kv("interproc_range", S.InterProcRangeElided);
+      W.kv("interproc_sunk", S.InterProcSunkElided);
+      W.kv("build_ms", Prog.Pipeline.totalMillis());
+      W.endObject();
+    }
+    W.endObject();
+    T.print();
+  }
+  W.endObject();
+  W.endObject();
+  if (!JsonPath.empty()) {
+    if (!W.writeTo(JsonPath)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      std::exit(1);
+    }
+    std::printf("\nwrote %s\n", JsonPath.c_str());
+  }
+}
+
 int listPasses() {
   std::printf("registered pipeline passes:\n");
   for (const auto &Name : PassRegistry::global().names()) {
@@ -113,20 +204,39 @@ int listPasses() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath, PipelineSpec;
+  bool ListPasses = false;
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--list-passes") == 0)
-      return listPasses();
-    if (std::strcmp(argv[I], "--pipeline") == 0) {
+    auto NeedArg = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
-        std::fprintf(stderr, "--pipeline requires a spec argument\n");
-        return 2;
+        std::fprintf(stderr, "%s requires an argument\n", Flag);
+        std::exit(2);
       }
-      return runPipelineSpec(argv[I + 1]);
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--list-passes") == 0)
+      ListPasses = true;
+    else if (std::strcmp(argv[I], "--pipeline") == 0)
+      PipelineSpec = NeedArg("--pipeline");
+    else if (std::strcmp(argv[I], "--json") == 0)
+      JsonPath = NeedArg("--json");
+    else {
+      std::fprintf(stderr, "unknown flag '%s' (try --pipeline <spec>, "
+                           "--json <path>, or --list-passes)\n",
+                   argv[I]);
+      return 2;
     }
-    std::fprintf(stderr, "unknown flag '%s' (try --pipeline <spec> or "
-                         "--list-passes)\n",
-                 argv[I]);
-    return 2;
+  }
+  if (ListPasses)
+    return listPasses();
+  if (!PipelineSpec.empty()) {
+    if (!JsonPath.empty()) {
+      std::fprintf(stderr,
+                   "--json applies to the full ablation run, not "
+                   "--pipeline; drop one of the flags\n");
+      return 2;
+    }
+    return runPipelineSpec(PipelineSpec);
   }
 
   std::printf("=== Ablations ===\n\n");
@@ -224,40 +334,8 @@ int main(int argc, char **argv) {
   }
 
   // 5. Static check-optimization subsystem (opt/checks/): each sub-pass
-  //    toggled independently, as pipeline-spec strings.
-  {
-    std::printf("\n-- 5. static check optimization sub-passes (opt/checks/) "
-                "--\n");
-    struct SpecConfig {
-      const char *Name;
-      const char *Spec;
-    };
-    const SpecConfig Configs[] = {
-        {"off", "optimize,softbound,checkopt(none)"},
-        {"+dominated", "optimize,softbound,checkopt(redundant)"},
-        {"+range", "optimize,softbound,checkopt(range)"},
-        {"+hoist", "optimize,softbound,checkopt(hoist)"},
-        {"all", "optimize,softbound,checkopt"},
-    };
-    for (const auto &Name : LoopKernels) {
-      const Workload &W = mustFindWorkload(Name);
-      std::printf("  %s:\n", Name);
-      TablePrinter T({"config", "static checks", "elim %", "dyn checks",
-                      "cycles", "hoisted", "dom", "range"});
-      for (const auto &K : Configs) {
-        BuildResult Prog = mustBuild(W.Source, K.Spec);
-        Measurement M = measure(Prog);
-        const CheckOptStats &S = Prog.Pipeline.CheckOpt;
-        T.addRow({K.Name, std::to_string(S.ChecksAfter),
-                  TablePrinter::fmt(100.0 * S.eliminationRate(), 1),
-                  std::to_string(M.R.Counters.Checks),
-                  std::to_string(M.R.Counters.Cycles),
-                  std::to_string(S.LoopChecksHoisted),
-                  std::to_string(S.DominatedEliminated),
-                  std::to_string(S.RangeEliminated)});
-      }
-      T.print();
-    }
-  }
+  //    toggled independently, as pipeline-spec strings, over both the
+  //    counted-loop and the recursive kernels.
+  runCheckOptAblation(JsonPath);
   return 0;
 }

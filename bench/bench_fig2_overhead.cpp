@@ -17,14 +17,27 @@
 /// two facilities; store-only stays under 15% for at least half of the
 /// benchmarks.
 ///
+/// Flags (the CI bench-regression gate):
+///   --json <path>            write per-workload check counts, check-opt
+///                            elision stats, and per-pass timings as JSON.
+///   --baseline <path>        compare this run's dynamic-check counts
+///                            against a committed baseline; exit 1 when
+///                            any workload regresses (counts are
+///                            deterministic; timings are never gated).
+///   --write-baseline <path>  write a fresh baseline file (the refresh
+///                            procedure documented in README.md).
+///
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchJson.h"
 #include "bench/BenchUtil.h"
 
+#include <cstring>
 #include <set>
 
 using namespace softbound;
 using namespace softbound::benchutil;
+using namespace softbound::benchjson;
 
 namespace {
 
@@ -41,9 +54,184 @@ const Config Configs[] = {
     {"shadow-store", CheckMode::StoreOnly, FacilityKind::Shadow},
 };
 
+/// Everything measured for one workload, for the table and the JSON dump.
+struct WorkloadNumbers {
+  std::string Name;
+  uint64_t BaseCycles = 0;
+  double OverheadPct[4] = {0, 0, 0, 0};
+  double WallRatio = 0;
+  uint64_t Checks[4] = {0, 0, 0, 0}; // full-unopt/full-opt/store-unopt/store-opt
+  CheckOptStats CheckOpt;            // Default-pipeline (full, opt) stats.
+  std::vector<PassTiming> Timings;   // Default-pipeline per-pass timings.
+};
+
+const char *DefaultSpec = "optimize,softbound,checkopt";
+
+void writeJson(const std::vector<WorkloadNumbers> &All,
+               const std::string &Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "softbound-bench-fig2-v1");
+  W.kv("pipeline", DefaultSpec);
+  W.key("workloads");
+  W.beginObject();
+  for (const auto &N : All) {
+    W.key(N.Name);
+    W.beginObject();
+    W.kv("base_cycles", N.BaseCycles);
+    for (int C = 0; C < 4; ++C)
+      W.kv(std::string("overhead_pct_") + Configs[C].Name, N.OverheadPct[C]);
+    W.kv("checks_full_unopt", N.Checks[0]);
+    W.kv("checks_full", N.Checks[1]);
+    W.kv("checks_store_unopt", N.Checks[2]);
+    W.kv("checks_store", N.Checks[3]);
+    W.key("checkopt");
+    W.beginObject();
+    W.kv("static_before", N.CheckOpt.ChecksBefore);
+    W.kv("static_after", N.CheckOpt.ChecksAfter);
+    W.kv("dominated", N.CheckOpt.DominatedEliminated);
+    W.kv("range", N.CheckOpt.RangeEliminated);
+    W.kv("hoisted", N.CheckOpt.LoopChecksHoisted);
+    W.kv("interproc", N.CheckOpt.InterProcChecksElided);
+    W.kv("interproc_callee", N.CheckOpt.InterProcCalleeElided);
+    W.kv("interproc_caller", N.CheckOpt.InterProcCallerElided);
+    W.kv("interproc_range", N.CheckOpt.InterProcRangeElided);
+    W.kv("interproc_sunk", N.CheckOpt.InterProcSunkElided);
+    W.kv("interproc_arg_summaries", N.CheckOpt.InterProcArgSummaries);
+    W.kv("interproc_ret_summaries", N.CheckOpt.InterProcRetSummaries);
+    W.endObject();
+    W.key("pass_timings_ms");
+    W.beginArray();
+    for (const auto &T : N.Timings) {
+      W.beginObject();
+      W.kv("pass", T.Pass);
+      W.kv("ms", T.Millis);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  if (!W.writeTo(Path)) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote %s\n", Path.c_str());
+}
+
+void writeBaseline(const std::vector<WorkloadNumbers> &All,
+                   const std::string &Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.kv("schema", "softbound-check-counts-v1");
+  W.kv("pipeline", DefaultSpec);
+  W.key("workloads");
+  W.beginObject();
+  for (const auto &N : All) {
+    W.key(N.Name);
+    W.beginObject();
+    W.kv("checks_full", N.Checks[1]);
+    W.kv("checks_store", N.Checks[3]);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  if (!W.writeTo(Path)) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote baseline %s\n", Path.c_str());
+}
+
+/// Compares this run against the committed baseline. Returns the number
+/// of regressions (any workload whose deterministic dynamic-check count
+/// exceeds the baseline, or a baseline workload that disappeared).
+int compareBaseline(const std::vector<WorkloadNumbers> &All,
+                    const std::string &Path) {
+  JsonValue Doc;
+  std::string Err;
+  if (!parseJsonFile(Path, Doc, Err)) {
+    std::fprintf(stderr, "baseline: %s\n", Err.c_str());
+    return 1;
+  }
+  const JsonValue *WL = Doc.get("workloads");
+  if (!WL || !WL->isObject()) {
+    std::fprintf(stderr, "baseline %s: missing \"workloads\" object\n",
+                 Path.c_str());
+    return 1;
+  }
+  int Regressions = 0;
+  std::printf("\n=== bench-regression gate (baseline: %s) ===\n",
+              Path.c_str());
+  for (const auto &[Name, Entry] : WL->Obj) {
+    const WorkloadNumbers *Cur = nullptr;
+    for (const auto &N : All)
+      if (N.Name == Name)
+        Cur = &N;
+    if (!Cur) {
+      std::printf("  %-12s MISSING from this run (baseline has it)\n",
+                  Name.c_str());
+      ++Regressions;
+      continue;
+    }
+    struct {
+      const char *Key;
+      uint64_t Now;
+    } Rows[] = {{"checks_full", Cur->Checks[1]},
+                {"checks_store", Cur->Checks[3]}};
+    for (const auto &Row : Rows) {
+      const JsonValue *Base = Entry.get(Row.Key);
+      if (!Base || !Base->isNumber())
+        continue; // Not gated in this baseline.
+      uint64_t Want = static_cast<uint64_t>(Base->asInt());
+      if (Row.Now > Want) {
+        std::printf("  %-12s %-13s REGRESSED: %llu > baseline %llu\n",
+                    Name.c_str(), Row.Key,
+                    static_cast<unsigned long long>(Row.Now),
+                    static_cast<unsigned long long>(Want));
+        ++Regressions;
+      } else if (Row.Now < Want) {
+        std::printf("  %-12s %-13s improved: %llu < baseline %llu "
+                    "(refresh the baseline to lock in)\n",
+                    Name.c_str(), Row.Key,
+                    static_cast<unsigned long long>(Row.Now),
+                    static_cast<unsigned long long>(Want));
+      }
+    }
+  }
+  if (Regressions == 0)
+    std::printf("  OK: no workload regressed its dynamic-check count\n");
+  return Regressions;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath, BaselinePath, WriteBaselinePath;
+  for (int I = 1; I < argc; ++I) {
+    auto NeedArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a path argument\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--json") == 0)
+      JsonPath = NeedArg("--json");
+    else if (std::strcmp(argv[I], "--baseline") == 0)
+      BaselinePath = NeedArg("--baseline");
+    else if (std::strcmp(argv[I], "--write-baseline") == 0)
+      WriteBaselinePath = NeedArg("--write-baseline");
+    else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (flags: --json <path>, --baseline "
+                   "<path>, --write-baseline <path>)\n",
+                   argv[I]);
+      return 2;
+    }
+  }
+
   std::printf("=== Figure 2: runtime overhead of SoftBound ===\n");
   std::printf("(percent overhead in simulated cycles vs uninstrumented;\n"
               " two metadata facilities x two checking modes)\n\n");
@@ -51,11 +239,15 @@ int main() {
   TablePrinter T({"benchmark", "base Mcycles", "hash-full %", "shadow-full %",
                   "hash-store %", "shadow-store %", "wall x(shadow-full)"});
 
+  std::vector<WorkloadNumbers> All;
   double Sum[4] = {0, 0, 0, 0};
   int UnderFifteenStore = 0;
   int N = 0;
 
   for (const auto &W : benchmarkSuite()) {
+    WorkloadNumbers Num;
+    Num.Name = W.Name;
+
     BuildResult Base = mustBuild(W.Source, BuildOptions{});
     Measurement MBase = measure(Base);
     if (!MBase.R.ok()) {
@@ -63,10 +255,8 @@ int main() {
                    MBase.R.Message.c_str());
       return 1;
     }
-    uint64_t BaseCycles = MBase.R.Counters.Cycles;
+    Num.BaseCycles = MBase.R.Counters.Cycles;
 
-    double Pct[4];
-    double WallRatio = 0;
     for (int C = 0; C < 4; ++C) {
       BuildOptions B;
       B.Instrument = true;
@@ -82,19 +272,22 @@ int main() {
                      static_cast<long long>(MBase.R.ExitCode));
         return 1;
       }
-      Pct[C] = overheadPct(M.R.Counters.Cycles, BaseCycles);
-      Sum[C] += Pct[C];
+      Num.OverheadPct[C] = overheadPct(M.R.Counters.Cycles, Num.BaseCycles);
+      Sum[C] += Num.OverheadPct[C];
       if (C == 1 && MBase.WallSeconds > 0)
-        WallRatio = M.WallSeconds / MBase.WallSeconds;
+        Num.WallRatio = M.WallSeconds / MBase.WallSeconds;
     }
-    if (Pct[3] < 15.0)
+    if (Num.OverheadPct[3] < 15.0)
       ++UnderFifteenStore;
     ++N;
 
-    T.addRow({W.Name, TablePrinter::fmt(BaseCycles / 1e6, 2),
-              TablePrinter::fmt(Pct[0], 1), TablePrinter::fmt(Pct[1], 1),
-              TablePrinter::fmt(Pct[2], 1), TablePrinter::fmt(Pct[3], 1),
-              TablePrinter::fmt(WallRatio, 2)});
+    T.addRow({W.Name, TablePrinter::fmt(Num.BaseCycles / 1e6, 2),
+              TablePrinter::fmt(Num.OverheadPct[0], 1),
+              TablePrinter::fmt(Num.OverheadPct[1], 1),
+              TablePrinter::fmt(Num.OverheadPct[2], 1),
+              TablePrinter::fmt(Num.OverheadPct[3], 1),
+              TablePrinter::fmt(Num.WallRatio, 2)});
+    All.push_back(std::move(Num));
   }
 
   T.addRow({"average", "", TablePrinter::fmt(Sum[0] / N, 1),
@@ -118,8 +311,8 @@ int main() {
   double CountedRedSum = 0;
   int CountedN = 0;
   bool CountedAllOver30 = true;
-  for (const auto &W : benchmarkSuite()) {
-    uint64_t Checks[4]; // full-unopt, full-opt, store-unopt, store-opt
+  for (auto &Num : All) {
+    const Workload &W = mustFindWorkload(Num.Name);
     double ElimRate = 0;
     for (int K = 0; K < 4; ++K) {
       BuildOptions B;
@@ -133,24 +326,31 @@ int main() {
                      M.R.Message.c_str());
         return 1;
       }
-      Checks[K] = M.R.Counters.Checks;
-      if (K == 1)
+      Num.Checks[K] = M.R.Counters.Checks;
+      if (K == 1) {
         ElimRate = 100.0 * Prog.Stats.CheckOpt.eliminationRate();
+        Num.CheckOpt = Prog.Pipeline.CheckOpt;
+        Num.Timings = Prog.Pipeline.Passes;
+      }
     }
     double RedFull =
-        Checks[0] ? 100.0 * (1.0 - double(Checks[1]) / Checks[0]) : 0;
+        Num.Checks[0]
+            ? 100.0 * (1.0 - double(Num.Checks[1]) / Num.Checks[0])
+            : 0;
     double RedStore =
-        Checks[2] ? 100.0 * (1.0 - double(Checks[3]) / Checks[2]) : 0;
-    if (CountedLoopSet.count(W.Name)) {
+        Num.Checks[2]
+            ? 100.0 * (1.0 - double(Num.Checks[3]) / Num.Checks[2])
+            : 0;
+    if (CountedLoopSet.count(Num.Name)) {
       CountedRedSum += RedFull;
       ++CountedN;
       if (RedFull < 30.0)
         CountedAllOver30 = false;
     }
-    C.addRow({W.Name, std::to_string(Checks[0]), std::to_string(Checks[1]),
-              TablePrinter::fmt(RedFull, 1), std::to_string(Checks[2]),
-              std::to_string(Checks[3]), TablePrinter::fmt(RedStore, 1),
-              TablePrinter::fmt(ElimRate, 1)});
+    C.addRow({Num.Name, std::to_string(Num.Checks[0]),
+              std::to_string(Num.Checks[1]), TablePrinter::fmt(RedFull, 1),
+              std::to_string(Num.Checks[2]), std::to_string(Num.Checks[3]),
+              TablePrinter::fmt(RedStore, 1), TablePrinter::fmt(ElimRate, 1)});
   }
   C.print();
   std::printf("\ncheck-optimization shape checks:\n");
@@ -170,5 +370,12 @@ int main() {
               "paper: more than half)\n",
               UnderFifteenStore * 2 >= N ? "yes" : "NO", UnderFifteenStore,
               N);
+
+  if (!JsonPath.empty())
+    writeJson(All, JsonPath);
+  if (!WriteBaselinePath.empty())
+    writeBaseline(All, WriteBaselinePath);
+  if (!BaselinePath.empty() && compareBaseline(All, BaselinePath) > 0)
+    return 1;
   return 0;
 }

@@ -102,6 +102,7 @@ public:
     if (Cfg.EliminateDominated == Default.EliminateDominated &&
         Cfg.RangeSubsumption == Default.RangeSubsumption &&
         Cfg.HoistLoopChecks == Default.HoistLoopChecks &&
+        Cfg.InterProc == Default.InterProc &&
         Cfg.ElideSafeChecks == Default.ElideSafeChecks)
       return S;
     std::vector<std::string> Knobs;
@@ -111,6 +112,8 @@ public:
       Knobs.push_back("range");
     if (Cfg.HoistLoopChecks)
       Knobs.push_back("hoist");
+    if (Cfg.InterProc)
+      Knobs.push_back("interproc");
     if (Cfg.ElideSafeChecks)
       Knobs.push_back("safe");
     if (Knobs.empty())
@@ -137,6 +140,7 @@ public:
     Cfg.EliminateDominated = false;
     Cfg.RangeSubsumption = false;
     Cfg.HoistLoopChecks = false;
+    Cfg.InterProc = false;
     Cfg.ElideSafeChecks = true;
     Ctx.stats().CheckOpt += optimizeChecks(M, Cfg);
   }
@@ -183,8 +187,8 @@ bool parseSoftBoundKnobs(const std::vector<std::string> &Knobs,
   return true;
 }
 
-const std::vector<std::string> CheckOptKnobs = {"redundant", "range", "hoist",
-                                                "safe", "none", "off"};
+const std::vector<std::string> CheckOptKnobs = {
+    "redundant", "range", "hoist", "interproc", "safe", "none", "off"};
 
 /// An empty knob list means the default configuration; a non-empty list
 /// enables exactly the named sub-passes ("none" enables nothing, "off"
@@ -196,6 +200,7 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
   Cfg.EliminateDominated = false;
   Cfg.RangeSubsumption = false;
   Cfg.HoistLoopChecks = false;
+  Cfg.InterProc = false;
   Cfg.ElideSafeChecks = false;
   for (const auto &K : Knobs) {
     if (K == "redundant")
@@ -204,6 +209,8 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
       Cfg.RangeSubsumption = true;
     else if (K == "hoist")
       Cfg.HoistLoopChecks = true;
+    else if (K == "interproc")
+      Cfg.InterProc = true;
     else if (K == "safe")
       Cfg.ElideSafeChecks = true;
     else if (K == "none" || K == "off") {
@@ -252,7 +259,8 @@ void registerBuiltins(PassRegistry &R) {
         knoblessFactory<ReoptimizePass>("reoptimize"));
   R.add("checkopt",
         "static check optimization: dominance RCE, range subsumption, "
-        "loop-hull hoisting, optional CCured-SAFE elision",
+        "loop-hull hoisting, inter-procedural bounds propagation, "
+        "optional CCured-SAFE elision",
         CheckOptKnobs,
         [](const std::vector<std::string> &Knobs,
            std::string &Err) -> std::shared_ptr<const ModulePass> {

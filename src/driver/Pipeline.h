@@ -67,6 +67,12 @@ struct RunOptions {
   MemoryChecker *Checker = nullptr; ///< Baseline checker (uninstrumented).
   uint64_t RedzonePad = 0;          ///< Heap red-zone padding.
   uint64_t GlobalPad = 0;           ///< Global guard padding.
+  /// Entry function name ("_sb_"-renamed form resolved automatically).
+  /// Must be "main" (or a function with no direct call sites) when the
+  /// module was built with checkopt(interproc): the whole-program
+  /// propagation treats internally-called functions' call sites as
+  /// exhaustive, so entering one directly with arbitrary arguments
+  /// bypasses the proofs that elided its entry checks.
   std::string Entry = "main";
   std::vector<int64_t> Args;
   uint64_t StepLimit = 4'000'000'000ULL;

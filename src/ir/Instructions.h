@@ -310,6 +310,11 @@ public:
   /// Returns the statically known callee, or null for indirect calls.
   Function *calledFunction() const;
 
+  /// True when the callee is not a statically known Function — the case
+  /// the inter-procedural analyses must treat as "could be any
+  /// address-taken function" (§5.2 function-pointer encoding).
+  bool isIndirect() const { return calledFunction() == nullptr; }
+
   static bool classof(const Value *V) { return V->kind() == ValueKind::Call; }
 
 private:

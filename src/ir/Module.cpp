@@ -24,6 +24,12 @@ Function *Module::getFunction(const std::string &Name) const {
   return It == FuncMap.end() ? nullptr : It->second;
 }
 
+Function *Module::entryFunction() const {
+  if (Function *F = getFunction("main"))
+    return F;
+  return getFunction("_sb_main");
+}
+
 void Module::renameFunction(Function *F, const std::string &NewName) {
   assert(!FuncMap.count(NewName) && "rename collides with existing function");
   FuncMap.erase(F->name());

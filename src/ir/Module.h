@@ -42,6 +42,12 @@ public:
   /// Returns the named function, or null.
   Function *getFunction(const std::string &Name) const;
 
+  /// The function the VM will enter: "main", or its `_sb_main` renamed
+  /// form after the SoftBound transformation. Null when absent (library
+  /// modules). Inter-procedural analyses must treat this function as
+  /// having an unknown external caller.
+  Function *entryFunction() const;
+
   /// Renames a function, updating the lookup map (the `_sb_` rewrite).
   void renameFunction(Function *F, const std::string &NewName);
 

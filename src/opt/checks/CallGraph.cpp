@@ -1,0 +1,165 @@
+//===- opt/checks/CallGraph.cpp - module call graph -------------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/checks/CallGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace softbound;
+using namespace softbound::checkopt;
+
+CallGraph::CallGraph(Module &M) {
+  // Seed a node per defined function so lookups never miss. Module order
+  // is recorded so every derived order (DFS roots, SCC ids, bottomUp) is
+  // deterministic across runs — the bench-regression gate compares
+  // counts produced under order-sensitive widening.
+  std::vector<Function *> InModuleOrder;
+  for (const auto &F : M.functions())
+    if (F->isDefinition()) {
+      Nodes[F.get()].ModIdx = static_cast<unsigned>(InModuleOrder.size());
+      InModuleOrder.push_back(F.get());
+    }
+
+  // A function whose address is baked into a global initializer escapes
+  // exactly like one stored by an instruction.
+  for (const auto &G : M.globals())
+    for (const auto &R : G->initializer().Relocs)
+      if (auto *F = dyn_cast<Function>(R.Target))
+        if (auto It = Nodes.find(F); It != Nodes.end())
+          It->second.AddressTaken = true;
+
+  for (const auto &F : M.functions()) {
+    if (!F->isDefinition())
+      continue;
+    Node &N = Nodes[F.get()];
+    for (const auto &BB : F->blocks()) {
+      for (const auto &IP : *BB) {
+        Instruction *I = IP.get();
+        auto *Call = dyn_cast<CallInst>(I);
+        if (Call && Call->isIndirect())
+          N.HasIndirect = true;
+        for (unsigned K = 0; K < I->numOperands(); ++K) {
+          auto *Target = dyn_cast<Function>(I->op(K));
+          if (!Target)
+            continue;
+          if (Call && K == 0) {
+            // Direct callee position: an edge when the target is defined.
+            if (Target->isDefinition()) {
+              unsigned Id = static_cast<unsigned>(Sites.size());
+              Sites.push_back({Call, F.get(), Target});
+              N.Out.push_back(Id);
+              Nodes[Target].In.push_back(Id);
+              if (Target == F.get())
+                N.SelfEdge = true;
+            }
+            continue;
+          }
+          // Any other use leaks the address.
+          if (auto It = Nodes.find(Target); It != Nodes.end())
+            It->second.AddressTaken = true;
+        }
+      }
+    }
+  }
+
+  // External reachability: entry, escaped, or never called from IR.
+  Function *Entry = M.entryFunction();
+  for (auto &[F, N] : Nodes)
+    N.External = F == Entry || N.AddressTaken || N.In.empty();
+
+  // Tarjan SCCs, assigning ids in completion order — callees complete
+  // before their callers, so ascending sccId is bottom-up.
+  unsigned NextIndex = 0, NextScc = 0;
+  std::map<const Function *, unsigned> Index, Low;
+  std::vector<const Function *> Stack;
+  std::map<const Function *, bool> OnStack;
+  std::function<void(const Function *)> Strong = [&](const Function *F) {
+    Index[F] = Low[F] = NextIndex++;
+    Stack.push_back(F);
+    OnStack[F] = true;
+    for (unsigned SiteId : Nodes[F].Out) {
+      const Function *Callee = Sites[SiteId].Callee;
+      if (!Index.count(Callee)) {
+        Strong(Callee);
+        Low[F] = std::min(Low[F], Low[Callee]);
+      } else if (OnStack[Callee]) {
+        Low[F] = std::min(Low[F], Index[Callee]);
+      }
+    }
+    if (Low[F] == Index[F]) {
+      unsigned Members = 0;
+      const Function *Member;
+      std::vector<const Function *> Scc;
+      do {
+        Member = Stack.back();
+        Stack.pop_back();
+        OnStack[Member] = false;
+        Nodes[Member].Scc = NextScc;
+        Scc.push_back(Member);
+        ++Members;
+      } while (Member != F);
+      for (const Function *S : Scc)
+        Nodes[S].SccNontrivial = Members > 1;
+      ++NextScc;
+    }
+  };
+  for (Function *F : InModuleOrder)
+    if (!Index.count(F))
+      Strong(F);
+
+  BottomUp = InModuleOrder;
+  std::sort(BottomUp.begin(), BottomUp.end(),
+            [this](const Function *A, const Function *B) {
+              const Node &NA = Nodes.at(A), &NB = Nodes.at(B);
+              return NA.Scc != NB.Scc ? NA.Scc < NB.Scc
+                                      : NA.ModIdx < NB.ModIdx;
+            });
+}
+
+const CallGraph::Node *CallGraph::node(const Function *F) const {
+  auto It = Nodes.find(F);
+  return It == Nodes.end() ? nullptr : &It->second;
+}
+
+const std::vector<unsigned> &CallGraph::callersOf(const Function *F) const {
+  static const std::vector<unsigned> Empty;
+  const Node *N = node(F);
+  return N ? N->In : Empty;
+}
+
+const std::vector<unsigned> &CallGraph::callSitesIn(const Function *F) const {
+  static const std::vector<unsigned> Empty;
+  const Node *N = node(F);
+  return N ? N->Out : Empty;
+}
+
+bool CallGraph::isAddressTaken(const Function *F) const {
+  const Node *N = node(F);
+  return N && N->AddressTaken;
+}
+
+bool CallGraph::hasIndirectCallSites(const Function *F) const {
+  const Node *N = node(F);
+  return N && N->HasIndirect;
+}
+
+bool CallGraph::externallyReachable(const Function *F) const {
+  const Node *N = node(F);
+  return !N || N->External; // Unknown functions: assume the worst.
+}
+
+bool CallGraph::isRecursive(const Function *F) const {
+  const Node *N = node(F);
+  return N && (N->SelfEdge || N->SccNontrivial);
+}
+
+unsigned CallGraph::sccId(const Function *F) const {
+  const Node *N = node(F);
+  return N ? N->Scc : 0;
+}

@@ -1,0 +1,111 @@
+//===- opt/checks/CallGraph.h - module call graph ---------------*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph underneath the inter-procedural bounds propagation
+/// (InterProc.cpp). Direct calls between defined functions form the
+/// edges; everything the graph cannot see is folded into two conservative
+/// attributes instead of edges:
+///
+///   * externallyReachable(F): F can be entered by a caller the analysis
+///     will never inspect — the VM entry function, any address-taken
+///     function (a function-pointer call could target it; §5.2's
+///     base==bound==ptr encoding makes every escaped function callable),
+///     or a builtin/declaration. Summaries for such functions must assume
+///     nothing about their arguments and their callee-side checks can
+///     never be elided.
+///   * hasIndirectCallSites(F): F contains a call through a pointer. The
+///     *edge* is not recorded (the target set is unknowable), which is
+///     sound because every possible target is address-taken and therefore
+///     already externallyReachable.
+///
+/// Tarjan SCCs provide the bottom-up order and the recursion test: a
+/// function is recursive when its SCC has more than one member or calls
+/// itself directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_CALLGRAPH_H
+#define SOFTBOUND_OPT_CHECKS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <vector>
+
+namespace softbound {
+namespace checkopt {
+
+/// One direct call from a defined function to a defined function.
+struct CallSite {
+  CallInst *Call = nullptr;
+  Function *Caller = nullptr;
+  Function *Callee = nullptr;
+};
+
+class CallGraph {
+public:
+  explicit CallGraph(Module &M);
+
+  /// Every direct defined-to-defined call site, in module order.
+  const std::vector<CallSite> &callSites() const { return Sites; }
+
+  /// Direct call sites targeting \p F (indices into callSites()).
+  const std::vector<unsigned> &callersOf(const Function *F) const;
+
+  /// Direct call sites contained in \p F (indices into callSites()).
+  const std::vector<unsigned> &callSitesIn(const Function *F) const;
+
+  /// True when \p F's address escapes into data flow: used as an operand
+  /// anywhere other than the callee slot of a direct call (stored,
+  /// passed, compared, or given bounds for an indirect call).
+  bool isAddressTaken(const Function *F) const;
+
+  /// True when \p F contains a call whose callee is not a static Function.
+  bool hasIndirectCallSites(const Function *F) const;
+
+  /// True when some caller of \p F is outside the graph: the VM entry
+  /// function, address-taken functions, builtins/declarations, and
+  /// defined functions with no recorded call site (nothing links to them,
+  /// but the harness may still invoke them directly).
+  bool externallyReachable(const Function *F) const;
+
+  /// True when \p F can reenter itself: self edge or non-trivial SCC.
+  bool isRecursive(const Function *F) const;
+
+  /// SCC id of \p F; ids are assigned in bottom-up (callee-first) order,
+  /// so sorting functions by sccId yields a valid order for bottom-up
+  /// summary propagation.
+  unsigned sccId(const Function *F) const;
+
+  /// Defined functions in bottom-up (callee-before-caller) order; members
+  /// of one SCC are adjacent.
+  const std::vector<Function *> &bottomUp() const { return BottomUp; }
+
+private:
+  struct Node {
+    std::vector<unsigned> In;   ///< Sites calling this function.
+    std::vector<unsigned> Out;  ///< Sites inside this function.
+    unsigned ModIdx = 0;        ///< Position in module order (determinism).
+    bool AddressTaken = false;
+    bool HasIndirect = false;
+    bool External = false;
+    bool SelfEdge = false;
+    unsigned Scc = 0;
+    bool SccNontrivial = false;
+  };
+
+  const Node *node(const Function *F) const;
+
+  std::vector<CallSite> Sites;
+  std::map<const Function *, Node> Nodes;
+  std::vector<Function *> BottomUp;
+};
+
+} // namespace checkopt
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_CALLGRAPH_H

@@ -7,7 +7,10 @@
 #include "opt/checks/CheckOpt.h"
 
 #include "opt/Passes.h"
+#include "opt/checks/InterProc.h"
 #include "support/Casting.h"
+
+#include <algorithm>
 
 using namespace softbound;
 
@@ -68,5 +71,12 @@ CheckOptStats softbound::optimizeChecks(Module &M, const CheckOptConfig &Cfg) {
   CheckOptStats Stats;
   for (const auto &F : M.functions())
     optimizeChecks(*F, Cfg, Stats);
+  // Inter-procedural propagation runs after the per-function passes so
+  // hoisted hull checks and surviving dominating checks serve as call-site
+  // facts; it needs every call site, so only the module driver can run it.
+  if (Cfg.Enable && Cfg.InterProc) {
+    unsigned Deleted = checkopt::propagateInterProcChecks(M, Stats);
+    Stats.ChecksAfter -= std::min(Deleted, Stats.ChecksAfter);
+  }
   return Stats;
 }

@@ -33,6 +33,13 @@
 ///      contained in the object, is deleted outright — the §6.5 CCured
 ///      comparison knob, formerly SoftBoundConfig::ElideSafePointerChecks
 ///      (same proof, same results).
+///   5. Inter-procedural bounds propagation (InterProc.h, module-level):
+///      a call-graph pass that elides callee-side checks every direct
+///      call site already proves, turns callee-guaranteed checks into
+///      caller-side facts, and settles global-array checks whose
+///      argument-propagated index range stays inside the object. Only
+///      reachable from the Module-level driver (it needs every call
+///      site); the per-function overload ignores the knob.
 ///
 /// Soundness contract: sub-passes 1-3 only ever *strengthen or move
 /// earlier* the set of conditions checked on any path — a program that
@@ -72,6 +79,11 @@ struct CheckOptConfig {
   bool RangeSubsumption = true;
   /// Hoist loop-invariant and affine-indexed checks out of counted loops.
   bool HoistLoopChecks = true;
+  /// Inter-procedural bounds propagation (opt/checks/InterProc.h): elide
+  /// callee checks proven at every call site, reuse callee-guaranteed
+  /// checks as caller facts, and settle global-array checks via
+  /// inter-procedural integer ranges. Module-level only.
+  bool InterProc = true;
   /// CCured-SAFE elision (§6.5 modeling knob): delete checks statically
   /// proven inside their *whole* base object. Off by default — it gives up
   /// sub-object protection for constant-offset accesses.
@@ -91,6 +103,16 @@ struct CheckOptStats {
   unsigned LoopsAnalyzed = 0;  ///< Natural loops inspected.
   unsigned LoopsCounted = 0;   ///< Loops with a provable constant trip set.
 
+  // Inter-procedural bounds propagation (opt/checks/InterProc.h).
+  unsigned InterProcChecksElided = 0;  ///< Total checks the pass deleted.
+  unsigned InterProcCalleeElided = 0;  ///< Proven at every call site.
+  unsigned InterProcCallerElided = 0;  ///< Covered by callee/caller facts.
+  unsigned InterProcRangeElided = 0;   ///< Static index-range proofs.
+  unsigned InterProcSunkElided = 0;    ///< Duplicates sunk into callees.
+  unsigned InterProcArgSummaries = 0;  ///< Argument/global check summaries.
+  unsigned InterProcRetSummaries = 0;  ///< Functions with return summaries.
+  unsigned InterProcFunctionsAnalyzed = 0; ///< Defined functions visited.
+
   /// Fraction of static checks removed, in [0, 1].
   double eliminationRate() const {
     return ChecksBefore
@@ -109,6 +131,14 @@ struct CheckOptStats {
     HoistedChecksInserted += O.HoistedChecksInserted;
     LoopsAnalyzed += O.LoopsAnalyzed;
     LoopsCounted += O.LoopsCounted;
+    InterProcChecksElided += O.InterProcChecksElided;
+    InterProcCalleeElided += O.InterProcCalleeElided;
+    InterProcCallerElided += O.InterProcCallerElided;
+    InterProcRangeElided += O.InterProcRangeElided;
+    InterProcSunkElided += O.InterProcSunkElided;
+    InterProcArgSummaries += O.InterProcArgSummaries;
+    InterProcRetSummaries += O.InterProcRetSummaries;
+    InterProcFunctionsAnalyzed += O.InterProcFunctionsAnalyzed;
     return *this;
   }
 };

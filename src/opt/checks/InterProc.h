@@ -1,0 +1,117 @@
+//===- opt/checks/InterProc.h - inter-procedural bounds propagation -*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inter-procedural bounds propagation: the check-optimization sub-pass
+/// that removes the cross-function redundancy the intra-procedural passes
+/// cannot see — `_sb_` callees re-checking pointers their callers already
+/// proved in bounds (the dominant remaining checks in perimeter/bh/go
+/// style recursive code). Three cooperating mechanisms share one
+/// propagation lattice over a CallGraph (CallGraph.h):
+///
+///   1. Callee-side entry-check elision ("pointer argument k is accessed
+///      within [lo, hi) of its base"): every spatial check in a function
+///      reachable only through direct calls is summarized as a
+///      *requirement* — a root (pointer argument or global), a byte
+///      interval that may be linear in one integer argument, and a bounds
+///      shape (the argument's bounds parameter, a field of the argument,
+///      or the whole global). If every call site in the module passes
+///      arguments whose substituted requirement is covered by a fact
+///      dominating the call, the callee's check is deleted.
+///   2. Caller-side elision ("callee performs its own check on arg k"):
+///      checks that dominate every return of a callee become facts after
+///      each dominating call site, killing caller re-checks; the same
+///      summaries delete a caller check immediately preceding a call that
+///      re-verifies it (with no memory access in between) — the net
+///      effect of sinking the callers' duplicate copies into the unique
+///      callee's existing check. Return summaries ("the returned pointer
+///      was checked over [lo, hi) against the returned bounds on every
+///      return path") seed facts for constructor-style callees (newnode,
+///      build).
+///   3. Inter-procedural value-range propagation: integer argument ranges
+///      flow top-down over the call graph (with threshold widening for
+///      recursion), feed a per-function interval analysis with
+///      branch-condition refinement, and statically settle checks on
+///      global arrays whose index range provably stays inside the object
+///      — `hist[(x + y + h) % 64]` in a tree walk needs no dynamic check
+///      once `x, y, h >= 0` has propagated into the recursion.
+///
+/// Soundness. Every deletion is justified by one of: (a) the check's
+/// condition is statically true (range propagation over whole-object
+/// bounds — shrunk sub-object bounds never canonicalize to their global,
+/// so §3.1 field protection is preserved); (b) the same condition — equal
+/// SSA values, which no store, call, or metadata update can change — was
+/// verified by a check that executed strictly earlier on every path
+/// (dominating facts, including facts carried across call boundaries by
+/// argument/return summaries); or (c) the condition is re-verified by the
+/// callee before any memory access or observable effect can occur (the
+/// sink case, which requires the call to follow the check in the same
+/// block with only pure instructions between). Facts sourced from checks
+/// that are themselves deleted stay valid by induction over execution
+/// time: a deleted check's condition was verified (or statically true)
+/// before its program point, so any fact derived from it refers to a
+/// verification that happened strictly earlier — recursion included,
+/// because the first entry into any cycle of calls is proven at an
+/// external call site or by a static range proof. Function-pointer calls
+/// bottom the lattice conservatively: address-taken functions and the VM
+/// entry are externallyReachable, their argument ranges are unbounded,
+/// and their callee-side checks are never elided.
+///
+/// Whole-program assumption: the module is closed — execution enters at
+/// Module::entryFunction() ("main"/"_sb_main") and every other call
+/// arrives through an analyzed site. Driving a transformed module from a
+/// custom RunOptions::Entry naming an internally-called function would
+/// bypass these proofs (see the contract note on RunOptions::Entry);
+/// every driver in this repo enters "main".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_INTERPROC_H
+#define SOFTBOUND_OPT_CHECKS_INTERPROC_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+
+namespace softbound {
+
+struct CheckOptStats;
+
+namespace checkopt {
+
+/// A signed-integer interval [Lo, Hi] (inclusive), Lo > Hi encoding the
+/// empty range. The scalar lattice of the inter-procedural propagation;
+/// exposed for tests.
+struct IntRange {
+  int64_t Lo = 1;
+  int64_t Hi = 0;
+
+  bool empty() const { return Lo > Hi; }
+  bool isFull() const { return Lo == INT64_MIN && Hi == INT64_MAX; }
+  bool contains(int64_t Vlo, int64_t Vhi) const {
+    return !empty() && Lo <= Vlo && Vhi <= Hi;
+  }
+  bool operator==(const IntRange &O) const { return Lo == O.Lo && Hi == O.Hi; }
+  bool operator!=(const IntRange &O) const { return !(*this == O); }
+
+  static IntRange full() { return {INT64_MIN, INT64_MAX}; }
+  static IntRange of(int64_t V) { return {V, V}; }
+  static IntRange make(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+};
+
+/// Runs the whole propagation over \p M: builds the call graph, iterates
+/// argument ranges to a (widened) fixpoint, computes per-function
+/// summaries, walks every function's dominator tree collecting and
+/// consuming facts, and deletes every check all three mechanisms proved
+/// redundant (sweeping stranded bounds arithmetic with dce). Updates the
+/// InterProc* counters of \p Stats and returns the number of spatial
+/// checks deleted (the caller owns the ChecksAfter adjustment).
+unsigned propagateInterProcChecks(Module &M, CheckOptStats &Stats);
+
+} // namespace checkopt
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_INTERPROC_H

@@ -89,6 +89,85 @@ PtrOffset checkopt::decomposePointer(Value *P) {
   return Out;
 }
 
+Value *checkopt::stripSExt(Value *V) {
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    auto *C = dyn_cast<CastInst>(V);
+    if (!C || C->opcode() != CastInst::Op::SExt)
+      break;
+    V = C->source();
+  }
+  return V;
+}
+
+LinearPtr checkopt::decomposeLinearPtr(Value *P) {
+  LinearPtr Out;
+  Out.Root = P;
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    if (auto *BC = dyn_cast<CastInst>(Out.Root);
+        BC && BC->opcode() == CastInst::Op::Bitcast) {
+      Out.Root = BC->source();
+      continue;
+    }
+    auto *G = dyn_cast<GEPInst>(Out.Root);
+    if (!G)
+      break;
+
+    // Fold this GEP's indices; on any unsupported shape keep Root at the
+    // GEP itself (facts still work, just less sharing).
+    __int128 Base = Out.Base;
+    __int128 Scale = Out.Scale;
+    Value *Idx = Out.Index;
+    bool OK = true;
+    Type *Cur = G->sourceType();
+    for (unsigned K = 0; K < G->numIndices() && OK; ++K) {
+      int64_t ElemSize;
+      if (K == 0) {
+        ElemSize = static_cast<int64_t>(Cur->sizeInBytes());
+      } else if (auto *AT = dyn_cast<ArrayType>(Cur)) {
+        Cur = AT->element();
+        ElemSize = static_cast<int64_t>(Cur->sizeInBytes());
+      } else {
+        // Struct step: the verifier guarantees a constant field number.
+        auto *ST = dyn_cast<StructType>(Cur);
+        auto *CI = dyn_cast<ConstantInt>(G->index(K));
+        if (!ST || !CI || CI->value() < 0 ||
+            static_cast<uint64_t>(CI->value()) >= ST->numFields()) {
+          OK = false;
+          break;
+        }
+        unsigned FieldIdx = static_cast<unsigned>(CI->value());
+        Base += static_cast<int64_t>(ST->fieldOffset(FieldIdx));
+        Cur = ST->field(FieldIdx);
+        continue;
+      }
+      if (auto *CI = dyn_cast<ConstantInt>(G->index(K))) {
+        Base += __int128(CI->value()) * ElemSize;
+        continue;
+      }
+      if (ElemSize == 0)
+        continue; // Zero-sized step contributes nothing.
+      Value *S = stripSExt(G->index(K));
+      if (Idx && Idx != S) {
+        OK = false; // Two distinct variable indices: stop at this GEP.
+        break;
+      }
+      Idx = S;
+      Scale += ElemSize;
+    }
+    if (!OK || Base < -__int128(MaxDecomposedOffset) ||
+        Base > __int128(MaxDecomposedOffset) ||
+        Scale > __int128(MaxDecomposedOffset))
+      break;
+    Out.Base = static_cast<int64_t>(Base);
+    Out.Scale = static_cast<int64_t>(Scale);
+    Out.Index = Idx;
+    Out.Root = G->pointer();
+  }
+  if (Out.Scale == 0)
+    Out.Index = nullptr;
+  return Out;
+}
+
 bool IntervalSet::covers(int64_t Lo, int64_t Hi) const {
   if (Lo >= Hi)
     return true; // Empty access: trivially covered.

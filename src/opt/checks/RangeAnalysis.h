@@ -46,6 +46,29 @@ bool constantGEPOffset(const GEPInst *G, int64_t &OutBytes);
 /// offset. Always succeeds: the worst case is Root == P, Offset == 0.
 PtrOffset decomposePointer(Value *P);
 
+/// A pointer expressed as root + Base + Scale * Index bytes, where Index
+/// is a single SSA integer (null for purely constant offsets). This is the
+/// symbolic generalization of PtrOffset the inter-procedural propagation
+/// keys its facts on: two checks on `a[i]` prove the same bytes whenever
+/// their roots, scales, and index SSA values coincide.
+struct LinearPtr {
+  Value *Root = nullptr;
+  int64_t Base = 0;
+  int64_t Scale = 0;       ///< 0 when Index is null.
+  Value *Index = nullptr;  ///< Sign-extension-stripped SSA index, or null.
+};
+
+/// Strips value-preserving sign extensions (the frontend widens every
+/// array index to i64 with sext). Identity for everything else.
+Value *stripSExt(Value *V);
+
+/// Decomposes \p P as root + Base + Scale * Index, walking bitcasts and
+/// GEPs. At most one distinct variable index is folded in (repeated uses
+/// of the same SSA index accumulate into Scale); a second distinct
+/// variable stops the walk at the containing GEP's pointer. Always
+/// succeeds in the PtrOffset sense: worst case Root == P.
+LinearPtr decomposeLinearPtr(Value *P);
+
 /// Half-open byte interval [Lo, Hi).
 struct ByteInterval {
   int64_t Lo = 0;

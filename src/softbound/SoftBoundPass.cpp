@@ -703,3 +703,42 @@ SoftBoundStats softbound::applySoftBound(Module &M,
   SoftBoundTransform T(M, Cfg);
   return T.run();
 }
+
+//===----------------------------------------------------------------------===//
+// `_sb_` calling-convention queries (§3.3)
+//===----------------------------------------------------------------------===//
+
+unsigned softbound::sbabi::originalParamCount(const Function &F) {
+  if (!F.isTransformed())
+    return F.numArgs();
+  // Bounds parameters are appended, and the source language has no bounds
+  // type, so the original list is everything before the trailing boundsTy
+  // run.
+  unsigned N = F.numArgs();
+  while (N > 0 && F.arg(N - 1)->type()->isBounds())
+    --N;
+  return N;
+}
+
+int softbound::sbabi::boundsParamIndex(const Function &F, unsigned PtrParam) {
+  if (!F.isTransformed())
+    return -1;
+  unsigned Orig = originalParamCount(F);
+  if (PtrParam >= Orig || !F.arg(PtrParam)->type()->isPointer())
+    return -1;
+  unsigned Rank = 0; // Pointer parameters preceding PtrParam.
+  for (unsigned I = 0; I < PtrParam; ++I)
+    if (F.arg(I)->type()->isPointer())
+      ++Rank;
+  unsigned Idx = Orig + Rank;
+  return Idx < F.numArgs() ? static_cast<int>(Idx) : -1;
+}
+
+Value *softbound::sbabi::passedBounds(const CallInst &Call,
+                                      const Function &Callee,
+                                      unsigned ArgIdx) {
+  int Idx = boundsParamIndex(Callee, ArgIdx);
+  if (Idx < 0 || Call.numArgs() != Callee.numArgs())
+    return nullptr;
+  return Call.arg(static_cast<unsigned>(Idx));
+}

@@ -99,6 +99,32 @@ struct SoftBoundStats {
 /// The module must be verified beforehand; it verifies afterwards too.
 SoftBoundStats applySoftBound(Module &M, const SoftBoundConfig &Cfg);
 
+/// Queries over the `_sb_` calling convention the transformation emits
+/// (§3.3): every pointer parameter gets one bounds parameter appended
+/// after the original parameter list, in pointer-parameter order, and
+/// call sites pass arguments in the same layout. The inter-procedural
+/// check optimizer (opt/checks/InterProc.cpp) keys its argument summaries
+/// on this contract, so the mapping lives here with the transformation
+/// rather than being re-derived by every analysis.
+namespace sbabi {
+
+/// Number of parameters the function had before the signature rewrite
+/// (the appended bounds parameters are exactly the trailing boundsTy
+/// run). Equals numArgs() for untransformed functions.
+unsigned originalParamCount(const Function &F);
+
+/// Index of the bounds parameter paired with pointer parameter
+/// \p PtrParam, or -1 when \p PtrParam is not a pointer parameter (or the
+/// function was never transformed).
+int boundsParamIndex(const Function &F, unsigned PtrParam);
+
+/// The bounds value a transformed call site passes for pointer argument
+/// \p ArgIdx, or null when the call does not follow the `_sb_` layout for
+/// \p Callee (e.g. argument-count mismatch on a weird indirect call).
+Value *passedBounds(const CallInst &Call, const Function &Callee,
+                    unsigned ArgIdx);
+
+} // namespace sbabi
 } // namespace softbound
 
 #endif // SOFTBOUND_SOFTBOUND_SOFTBOUNDPASS_H

@@ -57,6 +57,11 @@ void expectSameCheckOptStats(const CheckOptStats &A, const CheckOptStats &B) {
   EXPECT_EQ(A.SafeChecksElided, B.SafeChecksElided);
   EXPECT_EQ(A.LoopChecksHoisted, B.LoopChecksHoisted);
   EXPECT_EQ(A.HoistedChecksInserted, B.HoistedChecksInserted);
+  EXPECT_EQ(A.InterProcChecksElided, B.InterProcChecksElided);
+  EXPECT_EQ(A.InterProcCalleeElided, B.InterProcCalleeElided);
+  EXPECT_EQ(A.InterProcCallerElided, B.InterProcCallerElided);
+  EXPECT_EQ(A.InterProcRangeElided, B.InterProcRangeElided);
+  EXPECT_EQ(A.InterProcSunkElided, B.InterProcSunkElided);
 }
 
 void expectSameSoftBoundStats(const SoftBoundStats &A,
@@ -120,14 +125,19 @@ TEST(PipelineSpec, RoundTripsCanonicalForms) {
       {"optimize,softbound,checkopt", "optimize,softbound,checkopt"},
       {" optimize , softbound( store-only , no-shrink ) ",
        "optimize,softbound(store-only,no-shrink)"},
-      {"checkopt(redundant,range,hoist)", "checkopt"}, // == the default.
+      // The default sub-pass set now includes interproc.
+      {"checkopt(redundant,range,hoist,interproc)", "checkopt"},
+      {"checkopt(redundant,range,hoist)", "checkopt(redundant,range,hoist)"},
       {"checkopt()", "checkopt"},
       {"checkopt(range)", "checkopt(range)"},
+      {"checkopt(interproc)", "checkopt(interproc)"},
+      {"checkopt(interproc,hoist,redundant)",
+       "checkopt(redundant,hoist,interproc)"},
       {"checkopt(hoist,redundant)", "checkopt(redundant,hoist)"},
       {"checkopt(off)", "checkopt(off)"},
       {"checkopt(none)", "checkopt(none)"},
-      {"checkopt(redundant,range,hoist,safe)",
-       "checkopt(redundant,range,hoist,safe)"},
+      {"checkopt(redundant,range,hoist,interproc,safe)",
+       "checkopt(redundant,range,hoist,interproc,safe)"},
       {"softbound(no-reopt),reoptimize", "softbound(no-reopt),reoptimize"},
       {"optimize,softbound,safe-elision", "optimize,softbound,safe-elision"},
   };
@@ -201,6 +211,38 @@ TEST(PipelineSpec, CheckOptKnobsSelectSubPasses) {
   ASSERT_TRUE(PN.ok()) << PN.errorText();
   EXPECT_EQ(PN.Pipeline.CheckOpt.ChecksBefore, 0u)
       << "checkopt(off) must not even count checks";
+}
+
+TEST(PipelineSpec, InterProcKnobSelectsOnlyInterProc) {
+  // A caller-checked global access re-checked by a private callee: only
+  // the interproc sub-pass may touch it.
+  const char *Src = "int tbl[32];\n"
+                    "int peek(int k) { return tbl[k]; }\n"
+                    "int main() { tbl[5] = 9; return peek(5); }";
+  PipelinePlan Only;
+  std::string Err;
+  ASSERT_TRUE(Only.appendSpec("optimize,softbound,checkopt(interproc)", &Err))
+      << Err;
+  PipelineResult P = Only.frontend(Src).build();
+  ASSERT_TRUE(P.ok()) << P.errorText();
+  EXPECT_GT(P.Pipeline.CheckOpt.InterProcChecksElided, 0u);
+  EXPECT_EQ(P.Pipeline.CheckOpt.DominatedEliminated, 0u);
+  EXPECT_EQ(P.Pipeline.CheckOpt.RangeEliminated, 0u);
+  EXPECT_EQ(P.Pipeline.CheckOpt.LoopChecksHoisted, 0u);
+  EXPECT_EQ(P.Pipeline.CheckOpt.SafeChecksElided, 0u);
+  RunResult R = runProgram(P);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 9);
+
+  // And the complementary set leaves interproc off.
+  PipelinePlan Rest;
+  ASSERT_TRUE(
+      Rest.appendSpec("optimize,softbound,checkopt(redundant,range,hoist)",
+                      &Err))
+      << Err;
+  PipelineResult PR = Rest.frontend(Src).build();
+  ASSERT_TRUE(PR.ok()) << PR.errorText();
+  EXPECT_EQ(PR.Pipeline.CheckOpt.InterProcChecksElided, 0u);
 }
 
 //===----------------------------------------------------------------------===//
