@@ -200,6 +200,13 @@ int compareBaseline(const std::vector<WorkloadNumbers> &All,
       }
     }
   }
+  // A workload in this run but not in the baseline is never gated; say
+  // so loudly instead of letting the gate's coverage erode silently.
+  for (const auto &N : All)
+    if (!WL->get(N.Name))
+      std::printf("  %-12s UNGATED: not in baseline (refresh with "
+                  "--write-baseline to gate it)\n",
+                  N.Name.c_str());
   if (Regressions == 0)
     std::printf("  OK: no workload regressed its dynamic-check count\n");
   return Regressions;

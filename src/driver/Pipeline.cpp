@@ -29,6 +29,22 @@ BuildResult softbound::buildProgram(const std::string &Source,
 
 RunResult softbound::runProgram(const BuildResult &Prog,
                                 const RunOptions &Opts) {
+  // checkopt(interproc) contract: an internally-called function's checks
+  // were elided on the strength of its analyzed call sites, so entering
+  // it directly with arbitrary arguments would silently bypass those
+  // proofs. The module records the unsafe set; refuse such entries.
+  if (Prog.M && Prog.M->hasInterProcContract()) {
+    Function *EntryF = Prog.M->resolveEntry(Opts.Entry);
+    if (EntryF && !Prog.M->isSafeEntry(EntryF)) {
+      RunResult R;
+      R.Trap = TrapKind::Segfault;
+      R.Message = "entry function '" + Opts.Entry +
+                  "' was internally called when checkopt(interproc) elided "
+                  "checks; enter at 'main' or rebuild without interproc";
+      return R;
+    }
+  }
+
   std::unique_ptr<MetadataFacility> Meta;
   VMConfig Cfg;
   Cfg.StepLimit = Opts.StepLimit;

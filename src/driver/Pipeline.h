@@ -72,7 +72,11 @@ struct RunOptions {
   /// module was built with checkopt(interproc): the whole-program
   /// propagation treats internally-called functions' call sites as
   /// exhaustive, so entering one directly with arbitrary arguments
-  /// bypasses the proofs that elided its entry checks.
+  /// bypasses the proofs that elided its entry checks. Enforced:
+  /// checkopt(interproc) records the contract on the Module
+  /// (Module::recordInterProcContract) and runProgram refuses — with an
+  /// explanatory Message — any Entry the pass's call graph considered
+  /// non-externally-reachable.
   std::string Entry = "main";
   std::vector<int64_t> Args;
   uint64_t StepLimit = 4'000'000'000ULL;

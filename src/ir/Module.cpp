@@ -24,10 +24,18 @@ Function *Module::getFunction(const std::string &Name) const {
   return It == FuncMap.end() ? nullptr : It->second;
 }
 
-Function *Module::entryFunction() const {
-  if (Function *F = getFunction("main"))
+Function *Module::entryFunction() const { return resolveEntry("main"); }
+
+Function *Module::resolveEntry(const std::string &Name) const {
+  if (Function *F = getFunction(Name))
     return F;
-  return getFunction("_sb_main");
+  return getFunction("_sb_" + Name);
+}
+
+void Module::recordInterProcContract(
+    const std::vector<const Function *> &Internal) {
+  InterProcContract = true;
+  InterProcUnsafeEntries.insert(Internal.begin(), Internal.end());
 }
 
 void Module::renameFunction(Function *F, const std::string &NewName) {

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,13 @@ public:
   /// having an unknown external caller.
   Function *entryFunction() const;
 
+  /// Resolves a user-facing entry name to the function the VM executes:
+  /// the name itself, or its "_sb_"-renamed form after the SoftBound
+  /// transformation. Null when neither exists. The VM and every driver
+  /// check (e.g. the interproc entry contract) must share this one
+  /// resolution so they can never disagree about which function runs.
+  Function *resolveEntry(const std::string &Name) const;
+
   /// Renames a function, updating the lookup map (the `_sb_` rewrite).
   void renameFunction(Function *F, const std::string &NewName);
 
@@ -72,6 +80,30 @@ public:
   GlobalVariable *createStringLiteral(const std::string &Str);
 
   //===--------------------------------------------------------------------===//
+  // Whole-program optimization contract
+  //===--------------------------------------------------------------------===//
+
+  /// Records that a whole-program check optimization (checkopt(interproc))
+  /// deleted checks from this module under the closed-module assumption,
+  /// and that the \p Internal functions — those its call graph proved
+  /// reachable only through analyzed direct call sites — are no longer
+  /// valid VM entry points: entering one directly with arbitrary
+  /// arguments would bypass the caller-side proofs that elided its
+  /// checks. Constraints accumulate across calls.
+  void recordInterProcContract(const std::vector<const Function *> &Internal);
+
+  /// True when recordInterProcContract has ever been called on this
+  /// module.
+  bool hasInterProcContract() const { return InterProcContract; }
+
+  /// True when entering \p F from outside the module is compatible with
+  /// every recorded whole-program contract (trivially true when none was
+  /// recorded). The run driver refuses entries for which this is false.
+  bool isSafeEntry(const Function *F) const {
+    return InterProcUnsafeEntries.find(F) == InterProcUnsafeEntries.end();
+  }
+
+  //===--------------------------------------------------------------------===//
   // Constants (interned)
   //===--------------------------------------------------------------------===//
 
@@ -93,6 +125,8 @@ private:
   std::map<PointerType *, std::unique_ptr<ConstantNull>> NullConsts;
   std::map<Type *, std::unique_ptr<ConstantUndef>> UndefConsts;
   unsigned NextStrId = 0;
+  bool InterProcContract = false;
+  std::set<const Function *> InterProcUnsafeEntries;
 };
 
 } // namespace softbound

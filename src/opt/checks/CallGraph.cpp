@@ -9,7 +9,6 @@
 #include "support/Casting.h"
 
 #include <algorithm>
-#include <functional>
 
 using namespace softbound;
 using namespace softbound::checkopt;
@@ -74,44 +73,63 @@ CallGraph::CallGraph(Module &M) {
     N.External = F == Entry || N.AddressTaken || N.In.empty();
 
   // Tarjan SCCs, assigning ids in completion order — callees complete
-  // before their callers, so ascending sccId is bottom-up.
+  // before their callers, so ascending sccId is bottom-up. Iterative with
+  // explicit DFS frames: call-graph depth is program-sized, and a long
+  // call chain must not overflow the host stack in a default-on pass.
   unsigned NextIndex = 0, NextScc = 0;
   std::map<const Function *, unsigned> Index, Low;
   std::vector<const Function *> Stack;
   std::map<const Function *, bool> OnStack;
-  std::function<void(const Function *)> Strong = [&](const Function *F) {
+  struct Frame {
+    const Function *F;
+    size_t NextOut;
+  };
+  std::vector<Frame> Frames;
+  auto discover = [&](const Function *F) {
     Index[F] = Low[F] = NextIndex++;
     Stack.push_back(F);
     OnStack[F] = true;
-    for (unsigned SiteId : Nodes[F].Out) {
-      const Function *Callee = Sites[SiteId].Callee;
-      if (!Index.count(Callee)) {
-        Strong(Callee);
-        Low[F] = std::min(Low[F], Low[Callee]);
-      } else if (OnStack[Callee]) {
-        Low[F] = std::min(Low[F], Index[Callee]);
+    Frames.push_back({F, 0});
+  };
+  for (Function *Root : InModuleOrder) {
+    if (Index.count(Root))
+      continue;
+    discover(Root);
+    while (!Frames.empty()) {
+      Frame &Top = Frames.back();
+      const std::vector<unsigned> &Out = Nodes[Top.F].Out;
+      if (Top.NextOut < Out.size()) {
+        const Function *Callee = Sites[Out[Top.NextOut++]].Callee;
+        if (!Index.count(Callee))
+          discover(Callee); // Invalidates Top; re-fetched next turn.
+        else if (OnStack[Callee])
+          Low[Top.F] = std::min(Low[Top.F], Index[Callee]);
+        continue;
+      }
+      // Subtree complete: fold this node's low-link into its DFS parent
+      // (the recursive formulation's post-call min), then test for root.
+      const Function *F = Top.F;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().F] = std::min(Low[Frames.back().F], Low[F]);
+      if (Low[F] == Index[F]) {
+        unsigned Members = 0;
+        const Function *Member;
+        std::vector<const Function *> Scc;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          Nodes[Member].Scc = NextScc;
+          Scc.push_back(Member);
+          ++Members;
+        } while (Member != F);
+        for (const Function *S : Scc)
+          Nodes[S].SccNontrivial = Members > 1;
+        ++NextScc;
       }
     }
-    if (Low[F] == Index[F]) {
-      unsigned Members = 0;
-      const Function *Member;
-      std::vector<const Function *> Scc;
-      do {
-        Member = Stack.back();
-        Stack.pop_back();
-        OnStack[Member] = false;
-        Nodes[Member].Scc = NextScc;
-        Scc.push_back(Member);
-        ++Members;
-      } while (Member != F);
-      for (const Function *S : Scc)
-        Nodes[S].SccNontrivial = Members > 1;
-      ++NextScc;
-    }
-  };
-  for (Function *F : InModuleOrder)
-    if (!Index.count(F))
-      Strong(F);
+  }
 
   BottomUp = InModuleOrder;
   std::sort(BottomUp.begin(), BottomUp.end(),

@@ -8,10 +8,14 @@
 /// Implementation of the propagation described in InterProc.h. The moving
 /// parts, in the order they appear below:
 ///
-///   * IntRange arithmetic — saturating interval transfer functions that
-///     mirror the VM's canonicalizing semantics: any result that escapes
-///     its type's signed range collapses to the type's full range, so the
-///     lattice stays sound whether or not a computation wraps.
+///   * IntRange arithmetic — interval transfer functions that mirror the
+///     VM's wrap-around semantics: any result whose exact endpoints
+///     escape the type's signed window collapses to the type's full
+///     range, so the lattice stays sound whether or not a computation
+///     wraps. This includes the i64 window itself (the VM wraps 64-bit
+///     arithmetic, canon() is the identity there), so transfers never
+///     saturate endpoints — a saturated bound would claim a wrapped value
+///     still lies on the unwrapped side.
 ///   * ScalarRanges — per-function interval analysis: RPO fixpoint with
 ///     phi widening (thresholds {0, +/-inf}) and branch-condition
 ///     refinement accumulated down the dominator tree, so `if (i < 128)`
@@ -39,6 +43,7 @@
 #include "opt/Passes.h"
 #include "opt/checks/CallGraph.h"
 #include "opt/checks/CheckOpt.h"
+#include "opt/checks/Predicates.h"
 #include "opt/checks/RangeAnalysis.h"
 #include "softbound/SoftBoundPass.h"
 #include "support/Casting.h"
@@ -65,6 +70,14 @@ int64_t sat(__int128 V) {
     return INT64_MAX;
   return static_cast<int64_t>(V);
 }
+
+/// True when \p V lies outside the i64 lattice domain. A transfer whose
+/// exact endpoint escapes must collapse to IntRange::full(), never
+/// saturate: the VM wraps 64-bit arithmetic, so the runtime value lands
+/// on the *other* side of the window, outside any saturated interval —
+/// and clampWidth cannot catch the escape at width 64 because
+/// fullWidth(64) contains every saturated range.
+bool escapesI64(__int128 V) { return V < INT64_MIN || V > INT64_MAX; }
 
 IntRange join(IntRange A, IntRange B) {
   if (A.empty())
@@ -123,13 +136,19 @@ IntRange clampWidth(IntRange R, unsigned Bits) {
 IntRange addR(IntRange A, IntRange B) {
   if (A.empty() || B.empty())
     return IntRange();
-  return {sat(__int128(A.Lo) + B.Lo), sat(__int128(A.Hi) + B.Hi)};
+  __int128 Lo = __int128(A.Lo) + B.Lo, Hi = __int128(A.Hi) + B.Hi;
+  if (escapesI64(Lo) || escapesI64(Hi))
+    return IntRange::full();
+  return {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi)};
 }
 
 IntRange subR(IntRange A, IntRange B) {
   if (A.empty() || B.empty())
     return IntRange();
-  return {sat(__int128(A.Lo) - B.Hi), sat(__int128(A.Hi) - B.Lo)};
+  __int128 Lo = __int128(A.Lo) - B.Hi, Hi = __int128(A.Hi) - B.Lo;
+  if (escapesI64(Lo) || escapesI64(Hi))
+    return IntRange::full();
+  return {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi)};
 }
 
 IntRange mulR(IntRange A, IntRange B) {
@@ -142,7 +161,9 @@ IntRange mulR(IntRange A, IntRange B) {
     Lo = std::min(Lo, V);
     Hi = std::max(Hi, V);
   }
-  return {sat(Lo), sat(Hi)};
+  if (escapesI64(Lo) || escapesI64(Hi))
+    return IntRange::full();
+  return {static_cast<int64_t>(Lo), static_cast<int64_t>(Hi)};
 }
 
 /// Truncating signed division by a provably positive divisor range.
@@ -179,57 +200,6 @@ struct Refine {
   ICmpInst::Pred P;
   int64_t C;
 };
-
-ICmpInst::Pred negatePred(ICmpInst::Pred P) {
-  using Pred = ICmpInst::Pred;
-  switch (P) {
-  case Pred::EQ:
-    return Pred::NE;
-  case Pred::NE:
-    return Pred::EQ;
-  case Pred::SLT:
-    return Pred::SGE;
-  case Pred::SLE:
-    return Pred::SGT;
-  case Pred::SGT:
-    return Pred::SLE;
-  case Pred::SGE:
-    return Pred::SLT;
-  case Pred::ULT:
-    return Pred::UGE;
-  case Pred::ULE:
-    return Pred::UGT;
-  case Pred::UGT:
-    return Pred::ULE;
-  case Pred::UGE:
-    return Pred::ULT;
-  }
-  return P;
-}
-
-ICmpInst::Pred swapPred(ICmpInst::Pred P) {
-  using Pred = ICmpInst::Pred;
-  switch (P) {
-  case Pred::SLT:
-    return Pred::SGT;
-  case Pred::SLE:
-    return Pred::SGE;
-  case Pred::SGT:
-    return Pred::SLT;
-  case Pred::SGE:
-    return Pred::SLE;
-  case Pred::ULT:
-    return Pred::UGT;
-  case Pred::ULE:
-    return Pred::UGE;
-  case Pred::UGT:
-    return Pred::ULT;
-  case Pred::UGE:
-    return Pred::ULE;
-  default:
-    return P; // EQ/NE are symmetric.
-  }
-}
 
 IntRange applyRefine(IntRange R, ICmpInst::Pred P, int64_t C) {
   using Pred = ICmpInst::Pred;
@@ -277,26 +247,6 @@ IntRange applyRefine(IntRange R, ICmpInst::Pred P, int64_t C) {
     break;
   }
   return R.Lo > R.Hi ? IntRange() : R;
-}
-
-/// Resolves a branch condition to the comparison it tests, unwrapping the
-/// frontend's `(zext i1 X) != 0` re-test wrapper.
-const ICmpInst *peelCondition(const Value *V) {
-  for (int Depth = 0; Depth < 8; ++Depth) {
-    auto *IC = dyn_cast<ICmpInst>(V);
-    if (!IC)
-      return nullptr;
-    auto *Z = dyn_cast<CastInst>(IC->lhs());
-    auto *C = dyn_cast<ConstantInt>(IC->rhs());
-    if (IC->pred() == ICmpInst::Pred::NE && Z &&
-        Z->opcode() == CastInst::Op::ZExt && C && C->isZero() &&
-        isa<ICmpInst>(Z->source())) {
-      V = Z->source();
-      continue;
-    }
-    return IC;
-  }
-  return nullptr;
 }
 
 /// Extracts a `value PRED constant` refinement from \p IC, or false.
@@ -399,31 +349,40 @@ private:
       if (!Br || !Br->isConditional() ||
           Br->successor(0) == Br->successor(1))
         continue;
-      const ICmpInst *IC = peelCondition(Br->condition());
+      bool Negate = false;
+      const ICmpInst *IC = peelCondition(Br->condition(), Negate);
       Refine R;
       if (!IC || !extractRefine(IC, R))
         continue;
+      if (Negate) // The branch tests the comparison's complement.
+        R.P = invertPred(R.P);
       EdgeRef[{BB, Br->successor(0)}].push_back(R);
       EdgeRef[{BB, Br->successor(1)}].push_back(
-          {R.Key, negatePred(R.P), R.C});
+          {R.Key, invertPred(R.P), R.C});
     }
     // Accumulate down the dominator tree: a block with a unique CFG
     // predecessor inherits that edge's refinements for itself and its
-    // dominated subtree.
-    accumulate(F.entry(), {});
-  }
-
-  void accumulate(BasicBlock *BB, std::vector<Refine> Acc) {
-    const auto &Preds = DT.preds(BB);
-    if (Preds.size() == 1) {
-      auto It = EdgeRef.find({Preds[0], BB});
-      if (It != EdgeRef.end())
-        for (const Refine &R : It->second)
-          Acc.push_back(R);
+    // dominated subtree. Iterative preorder (a pathologically deep CFG
+    // must not overflow the host stack); a block's immediate dominator is
+    // always processed before the block itself.
+    std::vector<BasicBlock *> Work{F.entry()};
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      std::vector<Refine> Acc;
+      if (BasicBlock *P = DT.idom(BB))
+        Acc = AccRef[P];
+      const auto &Preds = DT.preds(BB);
+      if (Preds.size() == 1) {
+        auto It = EdgeRef.find({Preds[0], BB});
+        if (It != EdgeRef.end())
+          for (const Refine &R : It->second)
+            Acc.push_back(R);
+      }
+      AccRef[BB] = std::move(Acc);
+      for (BasicBlock *Child : DT.children(BB))
+        Work.push_back(Child);
     }
-    AccRef[BB] = Acc;
-    for (BasicBlock *Child : DT.children(BB))
-      accumulate(Child, Acc);
   }
 
   IntRange evalInst(const Instruction *I, const BasicBlock *B) const {
@@ -636,21 +595,11 @@ struct FactKey {
 };
 
 /// Scoped FactKey -> IntervalSet table for the dominator-tree walk
-/// (ProvenRanges with the symbolic key).
+/// (ProvenRanges with the symbolic key). The walk snapshots mark() when
+/// entering a tree node and rollbackTo() when leaving it, so only facts
+/// established on the dominating path stay visible.
 class FactEnv {
 public:
-  class Scope {
-  public:
-    explicit Scope(FactEnv &E) : E(E), Mark(E.Undo.size()) {}
-    ~Scope() { E.rollbackTo(Mark); }
-    Scope(const Scope &) = delete;
-    Scope &operator=(const Scope &) = delete;
-
-  private:
-    FactEnv &E;
-    size_t Mark;
-  };
-
   bool covers(const FactKey &K, int64_t Lo, int64_t Hi) const {
     auto It = Facts.find(K);
     return It != Facts.end() && It->second.covers(Lo, Hi);
@@ -663,7 +612,8 @@ public:
     Facts[K].add(Lo, Hi);
   }
 
-private:
+  size_t mark() const { return Undo.size(); }
+
   void rollbackTo(size_t Mark) {
     while (Undo.size() > Mark) {
       Facts[Undo.back().first] = std::move(Undo.back().second);
@@ -671,6 +621,7 @@ private:
     }
   }
 
+private:
   std::map<FactKey, IntervalSet> Facts;
   std::vector<std::pair<FactKey, IntervalSet>> Undo;
 };
@@ -755,7 +706,7 @@ private:
   void propagateArgRanges();
   void summarize(Function &F);
   void walk(Function &F);
-  void walkBlock(Function &F, FuncInfo &FI, FactEnv &Env, BasicBlock *BB);
+  void walkBlockBody(FuncInfo &FI, FactEnv &Env, BasicBlock *BB);
   void visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
                   BasicBlock::iterator It);
   void visitCall(FactEnv &Env, CallInst *Call, Function *Callee);
@@ -790,15 +741,26 @@ void Engine::propagateArgRanges() {
   // cascade that outlives the round budget (very deep call chains) must
   // not leave half-climbed — i.e. under-approximated — ranges behind, so
   // non-convergence falls back to full-width arguments everywhere.
+  // ScalarRanges is a pure function of (F, ArgRanges[F]), so a caller's
+  // analysis is cached and only rebuilt after its own argument ranges
+  // moved — most functions settle in the first round and would otherwise
+  // pay the per-function fixpoint on every one of the 16 rounds.
   std::vector<Function *> TopDown(CG.bottomUp().rbegin(),
                                   CG.bottomUp().rend());
+  std::map<const Function *, std::unique_ptr<ScalarRanges>> SRCache;
+  std::set<const Function *> Dirty(Defined.begin(), Defined.end());
   bool Converged = false;
   for (unsigned Round = 0; Round < 16 && !Converged; ++Round) {
     bool Changed = false;
     for (Function *F : TopDown) {
       if (CG.callSitesIn(F).empty())
         continue;
-      ScalarRanges SR(*F, *Infos[F].DT, ArgRanges[F]);
+      std::unique_ptr<ScalarRanges> &SRp = SRCache[F];
+      if (!SRp || Dirty.count(F)) {
+        SRp = std::make_unique<ScalarRanges>(*F, *Infos[F].DT, ArgRanges[F]);
+        Dirty.erase(F);
+      }
+      const ScalarRanges &SR = *SRp;
       for (unsigned SiteId : CG.callSitesIn(F)) {
         const CallSite &S = CG.callSites()[SiteId];
         if (CG.externallyReachable(S.Callee))
@@ -815,6 +777,7 @@ void Engine::propagateArgRanges() {
                            cast<IntType>(S.Callee->arg(J)->type())->bits());
           if (Joined != Callee[J]) {
             Callee[J] = Joined;
+            Dirty.insert(S.Callee);
             Changed = true;
           }
         }
@@ -822,13 +785,27 @@ void Engine::propagateArgRanges() {
     }
     Converged = !Changed;
   }
-  if (!Converged)
+  if (!Converged) {
     for (Function *F : Defined)
       for (unsigned I = 0; I < F->numArgs(); ++I)
         ArgRanges[F][I] =
             F->arg(I)->type()->isInt()
                 ? fullWidth(cast<IntType>(F->arg(I)->type())->bits())
                 : IntRange::full();
+    SRCache.clear(); // Every cached analysis saw narrower arguments.
+  }
+
+  // Final per-function analyses for the fact walk: adopt cached ones
+  // whose inputs already are the final argument ranges; build the rest
+  // (leaf functions are never visited above, so never cached).
+  for (Function *F : Defined) {
+    auto It = SRCache.find(F);
+    if (It != SRCache.end() && It->second && !Dirty.count(F))
+      Infos[F].SR = std::move(It->second);
+    else
+      Infos[F].SR =
+          std::make_unique<ScalarRanges>(*F, *Infos[F].DT, ArgRanges[F]);
+  }
 }
 
 void Engine::summarize(Function &F) {
@@ -998,7 +975,10 @@ bool Engine::substituteReq(const CheckReq &R, const CallInst &Call,
         Idx = LA.Index;
         Scale = LA.Scale;
       } else {
-        Scale = sat(__int128(Scale) + LA.Scale);
+        __int128 S = __int128(Scale) + LA.Scale;
+        if (escapesI64(S))
+          return false;
+        Scale = static_cast<int64_t>(S);
       }
     }
     Base += LA.Base;
@@ -1012,14 +992,20 @@ bool Engine::substituteReq(const CheckReq &R, const CallInst &Call,
              // constant offset.
       if (LA.Index)
         return false;
+      __int128 BLo = __int128(R.BLo) + LA.Base, BHi = __int128(R.BHi) + LA.Base;
+      if (escapesI64(BLo) || escapesI64(BHi))
+        return false;
       BReq.Anchor = LA.Root;
-      BReq.Lo = sat(__int128(R.BLo) + LA.Base);
-      BReq.Hi = sat(__int128(R.BHi) + LA.Base);
+      BReq.Lo = static_cast<int64_t>(BLo);
+      BReq.Hi = static_cast<int64_t>(BHi);
       BReq.Sized = true;
     }
   }
 
-  if (Base < INT64_MIN || Base > INT64_MAX)
+  // The substituted extent must be exact: a saturated end would ask the
+  // call site to prove fewer bytes than the callee accesses.
+  __int128 End = Base + R.Size;
+  if (escapesI64(Base) || escapesI64(End))
     return false;
   if (Scale == 0)
     Idx = nullptr;
@@ -1027,7 +1013,7 @@ bool Engine::substituteReq(const CheckReq &R, const CallInst &Call,
     Scale = 0;
   Key = FactKey{Root, Scale, Idx, BReq};
   Lo = static_cast<int64_t>(Base);
-  Hi = sat(Base + R.Size);
+  Hi = static_cast<int64_t>(End);
   return true;
 }
 
@@ -1037,7 +1023,17 @@ void Engine::visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
   LinearPtr L = decomposeLinearPtr(C->pointer());
   CanonBounds CB = canonBounds(C->bounds());
   int64_t Size = static_cast<int64_t>(C->accessSize());
+  if (Size < 0)
+    return; // Absurd hand-built size: prove nothing, keep the check.
   FactKey Key{L.Root, L.Scale, L.Index, CB};
+
+  // This check's byte extent past the root. When it escapes i64 the
+  // check may only *contribute* a (truncated, hence under-claiming)
+  // fact; it must never be elided against a fact or summary, which
+  // would compare a smaller extent than the check verifies.
+  __int128 End128 = __int128(L.Base) + Size;
+  bool ExactEnd = !escapesI64(End128);
+  int64_t End = ExactEnd ? static_cast<int64_t>(End128) : INT64_MAX;
 
   // 1. Static range proof against whole-object global bounds.
   if (auto *G = dyn_cast<GlobalVariable>(L.Root);
@@ -1048,14 +1044,14 @@ void Engine::visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
     int64_t ObjSize = static_cast<int64_t>(G->valueType()->sizeInBytes());
     if (!Off.empty() && Off.Lo >= 0 && Off.Hi <= ObjSize - Size) {
       mark(C, Reason::Range);
-      Env.add(Key, L.Base, sat(__int128(L.Base) + Size));
+      Env.add(Key, L.Base, End);
       return;
     }
   }
 
   // 2. Covered by a dominating fact (a caller check, a dominating call's
   //    callee-guaranteed checks, or a return summary).
-  if (Env.covers(Key, L.Base, sat(__int128(L.Base) + Size))) {
+  if (ExactEnd && Env.covers(Key, L.Base, End)) {
     mark(C, Reason::Caller);
     return;
   }
@@ -1076,9 +1072,8 @@ void Engine::visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
         for (const CheckReq &MC : Summaries[Callee].EntryChecks) {
           FactKey MK;
           int64_t MLo, MHi;
-          if (substituteReq(MC, *Call, *Callee, MK, MLo, MHi) &&
-              !(MK < Key) && !(Key < MK) && MLo <= L.Base &&
-              sat(__int128(L.Base) + Size) <= MHi) {
+          if (ExactEnd && substituteReq(MC, *Call, *Callee, MK, MLo, MHi) &&
+              !(MK < Key) && !(Key < MK) && MLo <= L.Base && End <= MHi) {
             mark(C, Reason::Sunk);
             return;
           }
@@ -1091,7 +1086,7 @@ void Engine::visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
     break; // Loads, stores, metadata ops, terminators: barrier.
   }
 
-  Env.add(Key, L.Base, sat(__int128(L.Base) + Size));
+  Env.add(Key, L.Base, End);
 }
 
 void Engine::visitCall(FactEnv &Env, CallInst *Call, Function *Callee) {
@@ -1132,9 +1127,7 @@ void Engine::visitCall(FactEnv &Env, CallInst *Call, Function *Callee) {
   }
 }
 
-void Engine::walkBlock(Function &F, FuncInfo &FI, FactEnv &Env,
-                       BasicBlock *BB) {
-  FactEnv::Scope S(Env);
+void Engine::walkBlockBody(FuncInfo &FI, FactEnv &Env, BasicBlock *BB) {
   for (auto It = BB->begin(); It != BB->end(); ++It) {
     Instruction *I = It->get();
     if (isa<SpatialCheckInst>(I)) {
@@ -1147,14 +1140,37 @@ void Engine::walkBlock(Function &F, FuncInfo &FI, FactEnv &Env,
         visitCall(Env, Call, Callee);
     }
   }
-  for (BasicBlock *Child : FI.DT->children(BB))
-    walkBlock(F, FI, Env, Child);
 }
 
 void Engine::walk(Function &F) {
   FuncInfo &FI = Infos[&F];
   FactEnv Env;
-  walkBlock(F, FI, Env, F.entry());
+  // Iterative preorder over the dominator tree (a deep CFG must not
+  // overflow the host stack). Each frame records the undo mark taken on
+  // entry and rolls its block's facts back once the dominated subtree
+  // completes — popped innermost-first, matching the scope nesting of
+  // the recursive formulation.
+  struct Frame {
+    BasicBlock *BB;
+    size_t NextChild;
+    size_t Mark;
+  };
+  std::vector<Frame> Stack;
+  auto enter = [&](BasicBlock *BB) {
+    Stack.push_back({BB, 0, Env.mark()});
+    walkBlockBody(FI, Env, BB);
+  };
+  enter(F.entry());
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const std::vector<BasicBlock *> &Kids = FI.DT->children(Top.BB);
+    if (Top.NextChild == Kids.size()) {
+      Env.rollbackTo(Top.Mark);
+      Stack.pop_back();
+      continue;
+    }
+    enter(Kids[Top.NextChild++]); // Invalidates Top; re-fetched next turn.
+  }
 }
 
 unsigned Engine::run(CheckOptStats &Stats) {
@@ -1179,10 +1195,7 @@ unsigned Engine::run(CheckOptStats &Stats) {
       }
   }
 
-  propagateArgRanges();
-  for (Function *F : Defined)
-    Infos[F].SR = std::make_unique<ScalarRanges>(*F, *Infos[F].DT,
-                                                 ArgRanges[F]);
+  propagateArgRanges(); // Also installs every Infos[F].SR.
 
   for (Function *F : CG.bottomUp())
     summarize(*F);
@@ -1241,6 +1254,17 @@ unsigned Engine::run(CheckOptStats &Stats) {
       dce(*F); // Sweep the bounds arithmetic the deletions stranded.
   }
   Stats.InterProcChecksElided += N;
+
+  // Every deletion above leans on the closed-module assumption, so once
+  // anything was elided, record which functions must no longer be entered
+  // directly: the run driver enforces this (see RunOptions::Entry).
+  if (N > 0) {
+    std::vector<const Function *> Internal;
+    for (Function *F : Defined)
+      if (!CG.externallyReachable(F))
+        Internal.push_back(F);
+    M.recordInterProcContract(Internal);
+  }
   return N;
 }
 

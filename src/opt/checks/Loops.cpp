@@ -7,6 +7,7 @@
 #include "opt/checks/Loops.h"
 
 #include "opt/Dominators.h"
+#include "opt/checks/Predicates.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -103,75 +104,6 @@ std::vector<NaturalLoop> checkopt::findSimpleLoops(Function &F,
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-bool isI1(const Type *Ty) {
-  const auto *IT = dyn_cast<IntType>(Ty);
-  return IT && IT->bits() == 1;
-}
-
-/// Peels the frontend's boolean re-test wrappers — `icmp ne (zext i1 X), 0`
-/// and `icmp eq (zext i1 X), 0` — off a branch condition, tracking parity,
-/// until the underlying relational comparison is reached.
-const ICmpInst *peelCondition(const Value *Cond, bool &Negate) {
-  Negate = false;
-  for (int Depth = 0; Depth < 8; ++Depth) {
-    const auto *IC = dyn_cast<ICmpInst>(Cond);
-    if (!IC)
-      return nullptr;
-    const auto *RhsC = dyn_cast<ConstantInt>(IC->rhs());
-    bool BoolTest = RhsC && RhsC->isZero() &&
-                    (IC->pred() == ICmpInst::Pred::NE ||
-                     IC->pred() == ICmpInst::Pred::EQ);
-    if (BoolTest) {
-      const Value *X = IC->lhs();
-      if (const auto *Z = dyn_cast<CastInst>(X);
-          Z && (Z->opcode() == CastInst::Op::ZExt ||
-                Z->opcode() == CastInst::Op::SExt) &&
-          isI1(Z->source()->type()))
-        X = Z->source();
-      if (isI1(X->type())) {
-        if (IC->pred() == ICmpInst::Pred::EQ)
-          Negate = !Negate;
-        Cond = X;
-        continue;
-      }
-    }
-    return IC; // A genuine relational comparison.
-  }
-  return nullptr;
-}
-
-ICmpInst::Pred swapPred(ICmpInst::Pred P) {
-  using Pred = ICmpInst::Pred;
-  switch (P) {
-  case Pred::SLT: return Pred::SGT;
-  case Pred::SLE: return Pred::SGE;
-  case Pred::SGT: return Pred::SLT;
-  case Pred::SGE: return Pred::SLE;
-  case Pred::ULT: return Pred::UGT;
-  case Pred::ULE: return Pred::UGE;
-  case Pred::UGT: return Pred::ULT;
-  case Pred::UGE: return Pred::ULE;
-  default: return P; // EQ/NE are symmetric.
-  }
-}
-
-ICmpInst::Pred invertPred(ICmpInst::Pred P) {
-  using Pred = ICmpInst::Pred;
-  switch (P) {
-  case Pred::EQ: return Pred::NE;
-  case Pred::NE: return Pred::EQ;
-  case Pred::SLT: return Pred::SGE;
-  case Pred::SLE: return Pred::SGT;
-  case Pred::SGT: return Pred::SLE;
-  case Pred::SGE: return Pred::SLT;
-  case Pred::ULT: return Pred::UGE;
-  case Pred::ULE: return Pred::UGT;
-  case Pred::UGT: return Pred::ULE;
-  case Pred::UGE: return Pred::ULT;
-  }
-  return P;
-}
 
 bool fitsWidth(__int128 V, unsigned Bits) {
   if (Bits > 64)

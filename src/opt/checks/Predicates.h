@@ -1,0 +1,118 @@
+//===- opt/checks/Predicates.h - branch-condition utilities -----*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared predicate utilities for the check-optimization passes: peeling
+/// the frontend's boolean re-test wrappers off a branch condition (with
+/// negation parity) and the ICmp predicate swap/invert tables. One
+/// implementation serves both the counted-loop recognizer (Loops.cpp)
+/// and the inter-procedural range analysis (InterProc.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_OPT_CHECKS_PREDICATES_H
+#define SOFTBOUND_OPT_CHECKS_PREDICATES_H
+
+#include "ir/BasicBlock.h"
+#include "support/Casting.h"
+
+namespace softbound {
+namespace checkopt {
+
+/// Peels the frontend's boolean re-test wrappers — `icmp ne (zext i1 X), 0`
+/// and `icmp eq (zext i1 X), 0` — off a branch condition, tracking parity,
+/// until the underlying relational comparison is reached. \p Negate is true
+/// when the branch tests the comparison's complement.
+inline const ICmpInst *peelCondition(const Value *Cond, bool &Negate) {
+  auto IsI1 = [](const Type *Ty) {
+    const auto *IT = dyn_cast<IntType>(Ty);
+    return IT && IT->bits() == 1;
+  };
+  Negate = false;
+  for (int Depth = 0; Depth < 8; ++Depth) {
+    const auto *IC = dyn_cast<ICmpInst>(Cond);
+    if (!IC)
+      return nullptr;
+    const auto *RhsC = dyn_cast<ConstantInt>(IC->rhs());
+    bool BoolTest = RhsC && RhsC->isZero() &&
+                    (IC->pred() == ICmpInst::Pred::NE ||
+                     IC->pred() == ICmpInst::Pred::EQ);
+    if (BoolTest) {
+      const Value *X = IC->lhs();
+      if (const auto *Z = dyn_cast<CastInst>(X);
+          Z && (Z->opcode() == CastInst::Op::ZExt ||
+                Z->opcode() == CastInst::Op::SExt) &&
+          IsI1(Z->source()->type()))
+        X = Z->source();
+      if (IsI1(X->type())) {
+        if (IC->pred() == ICmpInst::Pred::EQ)
+          Negate = !Negate;
+        Cond = X;
+        continue;
+      }
+    }
+    return IC; // A genuine relational comparison.
+  }
+  return nullptr;
+}
+
+/// The predicate satisfied when the operands are exchanged.
+inline ICmpInst::Pred swapPred(ICmpInst::Pred P) {
+  using Pred = ICmpInst::Pred;
+  switch (P) {
+  case Pred::SLT:
+    return Pred::SGT;
+  case Pred::SLE:
+    return Pred::SGE;
+  case Pred::SGT:
+    return Pred::SLT;
+  case Pred::SGE:
+    return Pred::SLE;
+  case Pred::ULT:
+    return Pred::UGT;
+  case Pred::ULE:
+    return Pred::UGE;
+  case Pred::UGT:
+    return Pred::ULT;
+  case Pred::UGE:
+    return Pred::ULE;
+  default:
+    return P; // EQ/NE are symmetric.
+  }
+}
+
+/// The predicate satisfied exactly when \p P is not (the complement).
+inline ICmpInst::Pred invertPred(ICmpInst::Pred P) {
+  using Pred = ICmpInst::Pred;
+  switch (P) {
+  case Pred::EQ:
+    return Pred::NE;
+  case Pred::NE:
+    return Pred::EQ;
+  case Pred::SLT:
+    return Pred::SGE;
+  case Pred::SLE:
+    return Pred::SGT;
+  case Pred::SGT:
+    return Pred::SLE;
+  case Pred::SGE:
+    return Pred::SLT;
+  case Pred::ULT:
+    return Pred::UGE;
+  case Pred::ULE:
+    return Pred::UGT;
+  case Pred::UGT:
+    return Pred::ULE;
+  case Pred::UGE:
+    return Pred::ULT;
+  }
+  return P;
+}
+
+} // namespace checkopt
+} // namespace softbound
+
+#endif // SOFTBOUND_OPT_CHECKS_PREDICATES_H

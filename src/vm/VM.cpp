@@ -470,9 +470,7 @@ void VMExec::popFrame(VMVal RetVal) {
 
 RunResult VMExec::run(const std::string &EntryName,
                       const std::vector<int64_t> &Args) {
-  Function *F = M.getFunction(EntryName);
-  if (!F)
-    F = M.getFunction("_sb_" + EntryName);
+  Function *F = M.resolveEntry(EntryName);
   if (!F || !F->isDefinition()) {
     trap(TrapKind::Segfault, "entry function not found: " + EntryName);
     return Res;

@@ -178,6 +178,65 @@ TEST(InterProcSoundness, FunctionPointerCalleeIsNeverElided) {
   EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
 }
 
+TEST(InterProcSoundness, WrappedI64ArithmeticIsNotRangeElided) {
+  // Regression: the VM wraps 64-bit arithmetic (no saturation), so the
+  // interval transfers must not saturate at the i64 boundary either. x
+  // climbs to 2^62 through a widened phi, the `x > 0` refinement gives
+  // [1, INT64_MAX], and a *saturating* lattice would conclude
+  // y = x * 2 + 61 in [63, INT64_MAX], hence y % 64 in [0, 63] —
+  // statically inside hist — and delete the check. At run time y wraps
+  // to INT64_MIN + 61, y % 64 == -3, and hist[-3] underflows: the check
+  // must survive and trap.
+  const char *Src = "int hist[64];\n"
+                    "int main() {\n"
+                    "  long x = 1;\n"
+                    "  for (int i = 0; i < 62; i++) x = x * 2;\n"
+                    "  if (x > 0) {\n"
+                    "    long y = x * 2 + 61;\n"
+                    "    hist[y % 64] = 1;\n"
+                    "  }\n"
+                    "  return 0;\n"
+                    "}";
+  BuildResult R = buildSpec(Src, "optimize,softbound,checkopt");
+  EXPECT_EQ(R.Pipeline.CheckOpt.InterProcRangeElided, 0u)
+      << "no static proof exists: y wraps";
+  RunResult RR = runProgram(R);
+  EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
+}
+
+TEST(InterProcSoundness, InternalEntryRejectedAfterInterProc) {
+  // take's entry check was elided because its only call site proves it;
+  // the module records the whole-program contract, and the run driver
+  // must refuse to enter take directly (which would bypass the proof).
+  const char *Src = "int take(int* p) { return p[0]; }\n"
+                    "int main() {\n"
+                    "  int* q = (int*)malloc(4);\n"
+                    "  q[0] = 5;\n"
+                    "  return take(q);\n"
+                    "}";
+  BuildResult On = buildSpec(Src, "optimize,softbound,checkopt");
+  ASSERT_TRUE(On.M->hasInterProcContract());
+
+  RunOptions RO;
+  RO.Entry = "take";
+  RunResult RR = runProgram(On, RO);
+  EXPECT_FALSE(RR.ok());
+  EXPECT_NE(RR.Message.find("interproc"), std::string::npos) << RR.Message;
+
+  RunResult Main = runProgram(On);
+  ASSERT_TRUE(Main.ok()) << Main.Message;
+  EXPECT_EQ(Main.ExitCode, 5);
+
+  // Without the interproc sub-pass no contract exists and any entry is
+  // still accepted.
+  BuildResult Off =
+      buildSpec(Src, "optimize,softbound,checkopt(redundant,range,hoist)");
+  EXPECT_FALSE(Off.M->hasInterProcContract());
+  RunResult OffTake = runProgram(Off, RO);
+  EXPECT_EQ(OffTake.Message.find("interproc"), std::string::npos)
+      << OffTake.Message;
+}
+
 TEST(InterProcSoundness, AttackAndBugBenchSuitesStayDetected) {
   // Interproc alone (no other sub-passes masking it): every Table 3
   // attack and Table 4 bug must still be detected.
@@ -439,6 +498,69 @@ TEST(InterProcPrecision, SinkBlockedByInterveningAccess) {
   checkopt::propagateInterProcChecks(M, Stats);
   EXPECT_EQ(Stats.InterProcSunkElided, 0u);
   EXPECT_EQ(countChecksIn(*Caller), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Scalability: pathologically deep modules must not overflow the stack
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraph, DeepCallChainDoesNotOverflowHostStack) {
+  // A 50000-deep direct call chain: the SCC computation must walk the
+  // graph iteratively — recursing per call edge would exhaust the host
+  // stack long before this depth.
+  Module M;
+  TypeContext &Ctx = M.ctx();
+  IRBuilder B(M);
+  constexpr unsigned N = 50000;
+  std::vector<Function *> Fs(N);
+  for (unsigned I = 0; I < N; ++I)
+    Fs[I] =
+        M.createFunction("f" + std::to_string(I), Ctx.funcTy(Ctx.voidTy(), {}));
+  for (unsigned I = 0; I < N; ++I) {
+    B.setInsertPoint(Fs[I]->createBlock("entry"));
+    if (I + 1 < N)
+      B.call(Fs[I + 1], {});
+    B.ret();
+  }
+
+  checkopt::CallGraph CG(M);
+  EXPECT_EQ(CG.callSites().size(), N - 1);
+  // Completion order: the leaf finishes first, the root last.
+  EXPECT_EQ(CG.sccId(Fs[N - 1]), 0u);
+  EXPECT_EQ(CG.sccId(Fs[0]), N - 1);
+  EXPECT_FALSE(CG.isRecursive(Fs[0]));
+  EXPECT_FALSE(CG.externallyReachable(Fs[1]));
+}
+
+TEST(InterProcPrecision, DeepCfgChainIsWalkedIteratively) {
+  // One function with a 10000-block straight-line CFG: the refinement
+  // accumulation and the fact walk both traverse the dominator tree with
+  // explicit worklists. The entry check dominates the identical final
+  // check, which must still be elided at this depth.
+  Module M;
+  TypeContext &Ctx = M.ctx();
+  Type *I8P = Ctx.ptrTo(Ctx.i8());
+  Type *BT = Ctx.boundsTy();
+  IRBuilder B(M);
+
+  Function *F =
+      M.createFunction("_sb_f", Ctx.funcTy(Ctx.voidTy(), {I8P, BT}));
+  F->setTransformed();
+  B.setInsertPoint(F->createBlock("b0"));
+  B.spatialCheck(F->arg(0), F->arg(1), 8, /*IsStore=*/true);
+  for (unsigned I = 1; I < 10000; ++I) {
+    BasicBlock *Next = F->createBlock("b" + std::to_string(I));
+    B.br(Next);
+    B.setInsertPoint(Next);
+  }
+  B.spatialCheck(F->arg(0), F->arg(1), 8, /*IsStore=*/true);
+  B.ret();
+
+  CheckOptStats Stats;
+  unsigned Deleted = checkopt::propagateInterProcChecks(M, Stats);
+  EXPECT_EQ(Deleted, 1u);
+  EXPECT_EQ(Stats.InterProcCallerElided, 1u);
+  EXPECT_EQ(countChecksIn(*F), 1u) << "the dominating entry check survives";
 }
 
 //===----------------------------------------------------------------------===//
