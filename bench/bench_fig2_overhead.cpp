@@ -18,19 +18,39 @@
 /// benchmarks.
 ///
 /// Flags (the CI bench-regression gate):
-///   --json <path>            write per-workload check counts, check-opt
-///                            elision stats, and per-pass timings as JSON.
-///   --baseline <path>        compare this run's dynamic-check counts
-///                            against a committed baseline; exit 1 when
-///                            any workload regresses (counts are
-///                            deterministic; timings are never gated).
+///   --json <path>            write per-workload check counts, simulated
+///                            checking costs, check-opt elision stats,
+///                            and per-pass timings as JSON.
+///   --baseline <path>        compare this run's dynamic-check counts and
+///                            simulated costs against a committed
+///                            baseline; exit 1 when any workload
+///                            regresses (counts are deterministic;
+///                            timings are never gated).
 ///   --write-baseline <path>  write a fresh baseline file (the refresh
 ///                            procedure documented in README.md).
+///   --summary <path>         write a per-workload current-vs-baseline
+///                            delta table as GitHub-flavoured markdown
+///                            (appended to the CI job summary).
+///
+/// The simulated cost is the §5.1 checking-cost component of a run,
+/// separated from the program's own instructions:
+///
+///   sim_cost = checks * check cost (3)
+///            + metadata loads * MetadataFacility::lookupCost()
+///            + metadata stores * updateCost()
+///            + hull-guard evaluations * 1
+///
+/// Dynamic-check counts alone undercount the runtime-limit hull design:
+/// a guarded fallback check that is skipped still pays its one-cycle
+/// guard test every iteration, and sim-cost keeps the gate honest about
+/// that trade.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchJson.h"
 #include "bench/BenchUtil.h"
+#include "runtime/HashTableMetadata.h"
+#include "runtime/ShadowSpaceMetadata.h"
 
 #include <cstring>
 #include <set>
@@ -54,6 +74,12 @@ const Config Configs[] = {
     {"shadow-store", CheckMode::StoreOnly, FacilityKind::Shadow},
 };
 
+/// The checking-cost component of one measured run (see the file header).
+uint64_t simCost(const VMCounters &C, const MetadataFacility &Meta) {
+  return C.Checks * 3 + C.MetaLoads * Meta.lookupCost() +
+         C.MetaStores * Meta.updateCost() + C.CheckGuards * 1;
+}
+
 /// Everything measured for one workload, for the table and the JSON dump.
 struct WorkloadNumbers {
   std::string Name;
@@ -61,6 +87,9 @@ struct WorkloadNumbers {
   double OverheadPct[4] = {0, 0, 0, 0};
   double WallRatio = 0;
   uint64_t Checks[4] = {0, 0, 0, 0}; // full-unopt/full-opt/store-unopt/store-opt
+  uint64_t SimCost[4] = {0, 0, 0, 0}; // Same runs, shadow-facility costs.
+  uint64_t CheckGuards = 0;           // Full-opt guard evaluations.
+  uint64_t GuardSkips = 0;            // Full-opt guarded-check skips.
   CheckOptStats CheckOpt;            // Default-pipeline (full, opt) stats.
   std::vector<PassTiming> Timings;   // Default-pipeline per-pass timings.
 };
@@ -85,6 +114,12 @@ void writeJson(const std::vector<WorkloadNumbers> &All,
     W.kv("checks_full", N.Checks[1]);
     W.kv("checks_store_unopt", N.Checks[2]);
     W.kv("checks_store", N.Checks[3]);
+    W.kv("sim_cost_full_unopt", N.SimCost[0]);
+    W.kv("sim_cost_full", N.SimCost[1]);
+    W.kv("sim_cost_store_unopt", N.SimCost[2]);
+    W.kv("sim_cost_store", N.SimCost[3]);
+    W.kv("check_guards_full", N.CheckGuards);
+    W.kv("guard_skips_full", N.GuardSkips);
     W.key("checkopt");
     W.beginObject();
     W.kv("static_before", N.CheckOpt.ChecksBefore);
@@ -99,6 +134,10 @@ void writeJson(const std::vector<WorkloadNumbers> &All,
     W.kv("interproc_sunk", N.CheckOpt.InterProcSunkElided);
     W.kv("interproc_arg_summaries", N.CheckOpt.InterProcArgSummaries);
     W.kv("interproc_ret_summaries", N.CheckOpt.InterProcRetSummaries);
+    W.kv("loops_counted_runtime", N.CheckOpt.LoopsCountedRuntime);
+    W.kv("runtime_hulls", N.CheckOpt.RuntimeHullChecks);
+    W.kv("runtime_fallbacks", N.CheckOpt.RuntimeGuardedFallbacks);
+    W.kv("runtime_discharged", N.CheckOpt.RuntimeGuardsDischarged);
     W.endObject();
     W.key("pass_timings_ms");
     W.beginArray();
@@ -133,6 +172,8 @@ void writeBaseline(const std::vector<WorkloadNumbers> &All,
     W.beginObject();
     W.kv("checks_full", N.Checks[1]);
     W.kv("checks_store", N.Checks[3]);
+    W.kv("sim_cost_full", N.SimCost[1]);
+    W.kv("sim_cost_store", N.SimCost[3]);
     W.endObject();
   }
   W.endObject();
@@ -179,7 +220,9 @@ int compareBaseline(const std::vector<WorkloadNumbers> &All,
       const char *Key;
       uint64_t Now;
     } Rows[] = {{"checks_full", Cur->Checks[1]},
-                {"checks_store", Cur->Checks[3]}};
+                {"checks_store", Cur->Checks[3]},
+                {"sim_cost_full", Cur->SimCost[1]},
+                {"sim_cost_store", Cur->SimCost[3]}};
     for (const auto &Row : Rows) {
       const JsonValue *Base = Entry.get(Row.Key);
       if (!Base || !Base->isNumber())
@@ -208,14 +251,66 @@ int compareBaseline(const std::vector<WorkloadNumbers> &All,
                   "--write-baseline to gate it)\n",
                   N.Name.c_str());
   if (Regressions == 0)
-    std::printf("  OK: no workload regressed its dynamic-check count\n");
+    std::printf("  OK: no workload regressed its dynamic-check count or "
+                "simulated cost\n");
   return Regressions;
+}
+
+/// Writes the per-workload current-vs-baseline deltas as a GitHub-flavoured
+/// markdown table (for $GITHUB_STEP_SUMMARY). Workloads absent from the
+/// baseline show "—" instead of a delta.
+void writeSummary(const std::vector<WorkloadNumbers> &All,
+                  const std::string &BaselinePath,
+                  const std::string &Path) {
+  JsonValue Doc;
+  std::string Err;
+  const JsonValue *WL = nullptr;
+  if (!BaselinePath.empty() && parseJsonFile(BaselinePath, Doc, Err))
+    WL = Doc.get("workloads");
+
+  std::string Out;
+  Out += "### bench-regression: dynamic checks and simulated cost\n\n";
+  Out += "| workload | checks_full | baseline | Δ | sim_cost_full | "
+         "baseline | Δ |\n";
+  Out += "|---|---:|---:|---:|---:|---:|---:|\n";
+  auto Fmt = [](uint64_t V) { return std::to_string(V); };
+  auto Delta = [](uint64_t Now, const JsonValue *Base) -> std::string {
+    if (!Base || !Base->isNumber())
+      return "—";
+    int64_t D = static_cast<int64_t>(Now) - Base->asInt();
+    if (D == 0)
+      return "0";
+    std::string S = std::to_string(D);
+    return D > 0 ? "**+" + S + "**" : S;
+  };
+  for (const auto &N : All) {
+    const JsonValue *E = WL ? WL->get(N.Name) : nullptr;
+    const JsonValue *BC = E ? E->get("checks_full") : nullptr;
+    const JsonValue *BS = E ? E->get("sim_cost_full") : nullptr;
+    Out += "| " + N.Name + " | " + Fmt(N.Checks[1]) + " | " +
+           (BC && BC->isNumber() ? Fmt(BC->asInt()) : std::string("—")) +
+           " | " + Delta(N.Checks[1], BC) + " | " + Fmt(N.SimCost[1]) +
+           " | " +
+           (BS && BS->isNumber() ? Fmt(BS->asInt()) : std::string("—")) +
+           " | " + Delta(N.SimCost[1], BS) + " |\n";
+  }
+  Out += "\nΔ > 0 (bold) regresses the gate; sim_cost = checks×3 + "
+         "meta-lookups×lookupCost + meta-stores×updateCost + "
+         "hull-guard tests×1.\n";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string JsonPath, BaselinePath, WriteBaselinePath;
+  std::string JsonPath, BaselinePath, WriteBaselinePath, SummaryPath;
   for (int I = 1; I < argc; ++I) {
     auto NeedArg = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
@@ -230,10 +325,12 @@ int main(int argc, char **argv) {
       BaselinePath = NeedArg("--baseline");
     else if (std::strcmp(argv[I], "--write-baseline") == 0)
       WriteBaselinePath = NeedArg("--write-baseline");
+    else if (std::strcmp(argv[I], "--summary") == 0)
+      SummaryPath = NeedArg("--summary");
     else {
       std::fprintf(stderr,
                    "unknown flag '%s' (flags: --json <path>, --baseline "
-                   "<path>, --write-baseline <path>)\n",
+                   "<path>, --write-baseline <path>, --summary <path>)\n",
                    argv[I]);
       return 2;
     }
@@ -310,7 +407,8 @@ int main(int argc, char **argv) {
   // ------------------------------------------------------------------
   std::printf("\n=== Check optimization: dynamic checks executed ===\n\n");
   TablePrinter C({"benchmark", "full unopt", "full opt", "red %",
-                  "store unopt", "store opt", "red %", "static elim %"});
+                  "store unopt", "store opt", "red %", "static elim %",
+                  "sim-cost full", "guards"});
   // Workloads dominated by counted loops, where hull hoisting applies; the
   // pointer-chasing Olden kernels keep their inherently dynamic checks.
   const std::set<std::string> CountedLoopSet = {"lbm", "hmmer", "compress",
@@ -334,10 +432,15 @@ int main(int argc, char **argv) {
         return 1;
       }
       Num.Checks[K] = M.R.Counters.Checks;
+      // Simulated checking cost of the measured (shadow-facility) run.
+      ShadowSpaceMetadata ShadowCosts;
+      Num.SimCost[K] = simCost(M.R.Counters, ShadowCosts);
       if (K == 1) {
         ElimRate = 100.0 * Prog.Stats.CheckOpt.eliminationRate();
         Num.CheckOpt = Prog.Pipeline.CheckOpt;
         Num.Timings = Prog.Pipeline.Passes;
+        Num.CheckGuards = M.R.Counters.CheckGuards;
+        Num.GuardSkips = M.R.Counters.GuardSkips;
       }
     }
     double RedFull =
@@ -357,7 +460,9 @@ int main(int argc, char **argv) {
     C.addRow({Num.Name, std::to_string(Num.Checks[0]),
               std::to_string(Num.Checks[1]), TablePrinter::fmt(RedFull, 1),
               std::to_string(Num.Checks[2]), std::to_string(Num.Checks[3]),
-              TablePrinter::fmt(RedStore, 1), TablePrinter::fmt(ElimRate, 1)});
+              TablePrinter::fmt(RedStore, 1), TablePrinter::fmt(ElimRate, 1),
+              std::to_string(Num.SimCost[1]),
+              std::to_string(Num.CheckGuards)});
   }
   C.print();
   std::printf("\ncheck-optimization shape checks:\n");
@@ -382,6 +487,8 @@ int main(int argc, char **argv) {
     writeJson(All, JsonPath);
   if (!WriteBaselinePath.empty())
     writeBaseline(All, WriteBaselinePath);
+  if (!SummaryPath.empty())
+    writeSummary(All, BaselinePath, SummaryPath);
   if (!BaselinePath.empty() && compareBaseline(All, BaselinePath) > 0)
     return 1;
   return 0;

@@ -102,6 +102,7 @@ public:
     if (Cfg.EliminateDominated == Default.EliminateDominated &&
         Cfg.RangeSubsumption == Default.RangeSubsumption &&
         Cfg.HoistLoopChecks == Default.HoistLoopChecks &&
+        Cfg.RuntimeLimitHulls == Default.RuntimeLimitHulls &&
         Cfg.InterProc == Default.InterProc &&
         Cfg.ElideSafeChecks == Default.ElideSafeChecks)
       return S;
@@ -112,6 +113,8 @@ public:
       Knobs.push_back("range");
     if (Cfg.HoistLoopChecks)
       Knobs.push_back("hoist");
+    if (Cfg.HoistLoopChecks && Cfg.RuntimeLimitHulls)
+      Knobs.push_back("runtime-limit");
     if (Cfg.InterProc)
       Knobs.push_back("interproc");
     if (Cfg.ElideSafeChecks)
@@ -140,6 +143,7 @@ public:
     Cfg.EliminateDominated = false;
     Cfg.RangeSubsumption = false;
     Cfg.HoistLoopChecks = false;
+    Cfg.RuntimeLimitHulls = false;
     Cfg.InterProc = false;
     Cfg.ElideSafeChecks = true;
     Ctx.stats().CheckOpt += optimizeChecks(M, Cfg);
@@ -188,11 +192,14 @@ bool parseSoftBoundKnobs(const std::vector<std::string> &Knobs,
 }
 
 const std::vector<std::string> CheckOptKnobs = {
-    "redundant", "range", "hoist", "interproc", "safe", "none", "off"};
+    "redundant", "range",         "hoist", "runtime-limit",
+    "interproc", "safe",          "none",  "off"};
 
 /// An empty knob list means the default configuration; a non-empty list
 /// enables exactly the named sub-passes ("none" enables nothing, "off"
-/// disables the whole subsystem).
+/// disables the whole subsystem). "runtime-limit" is a sub-knob of
+/// "hoist" (and implies it): symbolic-limit hull hoisting behind run-time
+/// trip/wrap guards.
 bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
                         CheckOptConfig &Cfg, std::string &Err) {
   if (Knobs.empty())
@@ -200,6 +207,7 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
   Cfg.EliminateDominated = false;
   Cfg.RangeSubsumption = false;
   Cfg.HoistLoopChecks = false;
+  Cfg.RuntimeLimitHulls = false;
   Cfg.InterProc = false;
   Cfg.ElideSafeChecks = false;
   for (const auto &K : Knobs) {
@@ -209,6 +217,8 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
       Cfg.RangeSubsumption = true;
     else if (K == "hoist")
       Cfg.HoistLoopChecks = true;
+    else if (K == "runtime-limit")
+      Cfg.HoistLoopChecks = Cfg.RuntimeLimitHulls = true;
     else if (K == "interproc")
       Cfg.InterProc = true;
     else if (K == "safe")
@@ -259,8 +269,8 @@ void registerBuiltins(PassRegistry &R) {
         knoblessFactory<ReoptimizePass>("reoptimize"));
   R.add("checkopt",
         "static check optimization: dominance RCE, range subsumption, "
-        "loop-hull hoisting, inter-procedural bounds propagation, "
-        "optional CCured-SAFE elision",
+        "loop-hull hoisting (with runtime-limit hulls), inter-procedural "
+        "bounds propagation, optional CCured-SAFE elision",
         CheckOptKnobs,
         [](const std::vector<std::string> &Knobs,
            std::string &Err) -> std::shared_ptr<const ModulePass> {

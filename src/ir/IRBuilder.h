@@ -123,9 +123,9 @@ public:
     return insert(new MakeBoundsInst(ctx().boundsTy(), Base, Bound, Name));
   }
   SpatialCheckInst *spatialCheck(Value *Ptr, Value *Bounds, uint64_t Size,
-                                 bool IsStore) {
-    return insert(
-        new SpatialCheckInst(ctx().voidTy(), Ptr, Bounds, Size, IsStore));
+                                 bool IsStore, Value *Guard = nullptr) {
+    return insert(new SpatialCheckInst(ctx().voidTy(), Ptr, Bounds, Size,
+                                       IsStore, Guard));
   }
   FuncPtrCheckInst *funcPtrCheck(Value *Ptr, Value *Bounds) {
     return insert(new FuncPtrCheckInst(ctx().voidTy(), Ptr, Bounds));

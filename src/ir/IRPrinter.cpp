@@ -150,6 +150,8 @@ std::string renderInst(NameMap &NM, const Instruction &I) {
     S += std::string("spatial.check ") + (C.isStoreCheck() ? "store " : "load ") +
          typedRef(NM, C.pointer()) + ", " + NM.ref(C.bounds()) + ", size " +
          std::to_string(C.accessSize());
+    if (C.guard())
+      S += ", if " + NM.ref(C.guard());
     break;
   }
   case ValueKind::FuncPtrCheck: {

@@ -399,15 +399,30 @@ public:
 
 /// The dereference check of §3.1: aborts unless
 /// base <= ptr && ptr + accessSize <= bound.
+///
+/// A check may carry an optional i1 *guard* as a third operand: the check
+/// is evaluated only when the guard is true at run time, and is a no-op
+/// otherwise. This is the vocabulary of run-time-limit hull hoisting
+/// (opt/checks/LoopHoist.cpp): the pre-loop hull checks are guarded by
+/// the trip/wrap window over the loop limit, and the original in-loop
+/// check survives as the fallback guarded by the window's complement.
+/// Guarded checks are second-class for every static analysis — they must
+/// never source facts or summaries, because nothing guarantees they
+/// executed (see RedundantChecks.cpp / InterProc.cpp).
 class SpatialCheckInst : public Instruction {
 public:
   SpatialCheckInst(Type *VoidTy, Value *Ptr, Value *Bounds,
-                   uint64_t AccessSize, bool IsStore)
-      : Instruction(ValueKind::SpatialCheck, VoidTy, {Ptr, Bounds}),
+                   uint64_t AccessSize, bool IsStore, Value *Guard = nullptr)
+      : Instruction(ValueKind::SpatialCheck, VoidTy,
+                    Guard ? std::vector<Value *>{Ptr, Bounds, Guard}
+                          : std::vector<Value *>{Ptr, Bounds}),
         AccessSize(AccessSize), Store(IsStore) {}
 
   Value *pointer() const { return op(0); }
   Value *bounds() const { return op(1); }
+  /// The i1 guard, or null for an unconditional check.
+  Value *guard() const { return numOperands() > 2 ? op(2) : nullptr; }
+  bool isGuarded() const { return numOperands() > 2; }
   uint64_t accessSize() const { return AccessSize; }
   bool isStoreCheck() const { return Store; }
 

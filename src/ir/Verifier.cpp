@@ -60,6 +60,7 @@ private:
       error("block " + BB.name() + " does not end in a terminator");
 
     bool SeenNonPhi = false;
+    std::set<const Instruction *> SeenHere;
     for (auto It = BB.begin(); It != BB.end(); ++It) {
       const Instruction &I = **It;
       if (I.isTerminator() && I.parent()->back() != &I)
@@ -69,7 +70,18 @@ private:
           error(I, "phi after non-phi instruction");
       } else {
         SeenNonPhi = true;
+        // Same-block SSA order: an operand defined in this block must be
+        // defined *above* its use. (Phis are exempt: their operands flow
+        // in along edges.) Cross-block dominance is not checked here.
+        for (unsigned K = 0; K < I.numOperands(); ++K)
+          if (const auto *OpI =
+                  I.op(K) ? dyn_cast<Instruction>(I.op(K)) : nullptr)
+            if (OpI->parent() == &BB && !SeenHere.count(OpI))
+              error(I, "operand " + std::to_string(K) +
+                           " is used before its definition in block " +
+                           BB.name());
       }
+      SeenHere.insert(&I);
       checkOperands(I);
       checkTyping(I);
     }
@@ -229,6 +241,10 @@ private:
         error(I, "spatial.check on non-pointer");
       if (!C.bounds()->type()->isBounds())
         error(I, "spatial.check bounds operand is not bounds-typed");
+      if (C.numOperands() > 3)
+        error(I, "spatial.check with more than one guard operand");
+      if (const Value *G = C.guard(); G && G->type() != Ctx1())
+        error(I, "spatial.check guard is not i1");
       break;
     }
     case ValueKind::FuncPtrCheck:

@@ -588,7 +588,10 @@ unsigned softbound::eliminateRedundantChecks(Function &F) {
           ++Removed;
           continue;
         }
-        Best[Key] = std::max(Best[Key], Chk->accessSize());
+        // Guarded checks may consume prior facts (above) but never supply
+        // them: a skipped guard means the check did not execute.
+        if (!Chk->isGuarded())
+          Best[Key] = std::max(Best[Key], Chk->accessSize());
         ++It;
         continue;
       }

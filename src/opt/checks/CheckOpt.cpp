@@ -20,7 +20,10 @@ namespace checkopt {
 // Sub-pass entry points (RedundantChecks.cpp / LoopHoist.cpp).
 void eliminateRedundantSpatialChecks(Function &F, const CheckOptConfig &Cfg,
                                      CheckOptStats &Stats);
-void hoistLoopChecks(Function &F, CheckOptStats &Stats);
+void hoistLoopChecks(Function &F, CheckOptStats &Stats,
+                     const CheckOptConfig &Cfg,
+                     const std::map<const Argument *, IntRange> *ArgRanges,
+                     bool *ArgRangeDischargeUsed);
 
 } // namespace checkopt
 } // namespace softbound
@@ -38,8 +41,16 @@ unsigned countSpatialChecks(const Function &F) {
 
 } // namespace
 
-void softbound::optimizeChecks(Function &F, const CheckOptConfig &Cfg,
-                               CheckOptStats &Stats) {
+namespace {
+
+/// Shared body of the function- and module-level drivers. \p ArgRanges
+/// (optional) feeds the runtime-limit hull hoister's static guard
+/// discharge; \p DischargeUsed reports whether any discharge leaned on it.
+void optimizeChecksImpl(Function &F, const CheckOptConfig &Cfg,
+                        CheckOptStats &Stats,
+                        const std::map<const Argument *, checkopt::IntRange>
+                            *ArgRanges,
+                        bool *DischargeUsed) {
   if (!Cfg.Enable || !F.isDefinition())
     return;
   Stats.ChecksBefore += countSpatialChecks(F);
@@ -53,7 +64,7 @@ void softbound::optimizeChecks(Function &F, const CheckOptConfig &Cfg,
   // become dominating facts that the elimination walk can use to subsume
   // checks in later loops over the same object.
   if (Cfg.HoistLoopChecks) {
-    checkopt::hoistLoopChecks(F, Stats);
+    checkopt::hoistLoopChecks(F, Stats, Cfg, ArgRanges, DischargeUsed);
     // Identical hull pointers materialized for several checks of the same
     // loop collapse here, letting exact-fact elimination dedup their checks.
     localCSE(F);
@@ -67,15 +78,40 @@ void softbound::optimizeChecks(Function &F, const CheckOptConfig &Cfg,
   Stats.ChecksAfter += countSpatialChecks(F);
 }
 
+} // namespace
+
+void softbound::optimizeChecks(Function &F, const CheckOptConfig &Cfg,
+                               CheckOptStats &Stats) {
+  optimizeChecksImpl(F, Cfg, Stats, nullptr, nullptr);
+}
+
 CheckOptStats softbound::optimizeChecks(Module &M, const CheckOptConfig &Cfg) {
   CheckOptStats Stats;
+  // Top-down argument ranges let the runtime-limit hoister discharge its
+  // trip/wrap guards statically. They lean on the closed-module
+  // assumption, so any use is recorded as an entry contract below —
+  // exactly as checkopt(interproc) records its own deletions. Module
+  // driver only: the ranges need every call site.
+  checkopt::InterProcArgRanges IPR;
+  const std::map<const Argument *, checkopt::IntRange> *Ranges = nullptr;
+  bool DischargeUsed = false;
+  if (Cfg.Enable && Cfg.HoistLoopChecks && Cfg.RuntimeLimitHulls &&
+      Cfg.InterProc) {
+    IPR = checkopt::computeInterProcArgRanges(M);
+    Ranges = &IPR.Ranges;
+  }
   for (const auto &F : M.functions())
-    optimizeChecks(*F, Cfg, Stats);
+    optimizeChecksImpl(*F, Cfg, Stats, Ranges, &DischargeUsed);
+  if (DischargeUsed)
+    M.recordInterProcContract(IPR.Internal);
   // Inter-procedural propagation runs after the per-function passes so
   // hoisted hull checks and surviving dominating checks serve as call-site
   // facts; it needs every call site, so only the module driver can run it.
+  // When the hoister already computed the argument-range fixpoint above,
+  // the propagation adopts it instead of repeating the most expensive
+  // phase (the per-function passes never change a call argument's value).
   if (Cfg.Enable && Cfg.InterProc) {
-    unsigned Deleted = checkopt::propagateInterProcChecks(M, Stats);
+    unsigned Deleted = checkopt::propagateInterProcChecks(M, Stats, Ranges);
     Stats.ChecksAfter -= std::min(Deleted, Stats.ChecksAfter);
   }
   return Stats;

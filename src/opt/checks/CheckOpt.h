@@ -79,6 +79,13 @@ struct CheckOptConfig {
   bool RangeSubsumption = true;
   /// Hoist loop-invariant and affine-indexed checks out of counted loops.
   bool HoistLoopChecks = true;
+  /// Extend hull hoisting to loops counted by a loop-invariant *symbolic*
+  /// limit (`for (i = 0; i < n; i++)`): hull endpoints are computed from
+  /// the live limit value in the preheader behind a trip/wrap window
+  /// guard, with the original in-loop check kept as the out-of-window
+  /// fallback (LoopHoist.cpp "Run-time limits"). Sub-knob of
+  /// HoistLoopChecks; `checkopt(hoist,runtime-limit)` in pipeline specs.
+  bool RuntimeLimitHulls = true;
   /// Inter-procedural bounds propagation (opt/checks/InterProc.h): elide
   /// callee checks proven at every call site, reuse callee-guaranteed
   /// checks as caller facts, and settle global-array checks via
@@ -102,6 +109,12 @@ struct CheckOptStats {
   unsigned HoistedChecksInserted = 0; ///< Pre-loop hull checks added.
   unsigned LoopsAnalyzed = 0;  ///< Natural loops inspected.
   unsigned LoopsCounted = 0;   ///< Loops with a provable constant trip set.
+
+  // Runtime-limit hull hoisting (LoopHoist.cpp "Run-time limits").
+  unsigned LoopsCountedRuntime = 0; ///< Symbolic-limit counted loops.
+  unsigned RuntimeHullChecks = 0;   ///< Guard-protected hull checks added.
+  unsigned RuntimeGuardedFallbacks = 0; ///< In-loop fallback checks kept.
+  unsigned RuntimeGuardsDischarged = 0; ///< Guards settled by arg ranges.
 
   // Inter-procedural bounds propagation (opt/checks/InterProc.h).
   unsigned InterProcChecksElided = 0;  ///< Total checks the pass deleted.
@@ -131,6 +144,10 @@ struct CheckOptStats {
     HoistedChecksInserted += O.HoistedChecksInserted;
     LoopsAnalyzed += O.LoopsAnalyzed;
     LoopsCounted += O.LoopsCounted;
+    LoopsCountedRuntime += O.LoopsCountedRuntime;
+    RuntimeHullChecks += O.RuntimeHullChecks;
+    RuntimeGuardedFallbacks += O.RuntimeGuardedFallbacks;
+    RuntimeGuardsDischarged += O.RuntimeGuardsDischarged;
     InterProcChecksElided += O.InterProcChecksElided;
     InterProcCalleeElided += O.InterProcCalleeElided;
     InterProcCallerElided += O.InterProcCallerElided;

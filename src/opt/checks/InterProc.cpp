@@ -690,9 +690,17 @@ public:
         Defined.push_back(F.get());
   }
 
-  unsigned run(CheckOptStats &Stats);
+  unsigned run(CheckOptStats &Stats,
+               const std::map<const Argument *, IntRange> *Seed = nullptr);
+
+  /// Just the argument-range phase (see InterProc.h
+  /// computeInterProcArgRanges).
+  InterProcArgRanges argRanges();
 
 private:
+  void prepare();
+  void adoptArgRanges(const std::map<const Argument *, IntRange> &Seed);
+
   struct FuncInfo {
     std::unique_ptr<DomTree> DT;
     std::unique_ptr<InstOrder> Ord;
@@ -826,17 +834,21 @@ void Engine::summarize(Function &F) {
   for (const auto &IP : *F.entry()) {
     Instruction *I = IP.get();
     if (auto *C = dyn_cast<SpatialCheckInst>(I)) {
-      EntryPrefix.insert(C);
+      // A guarded check may be skipped at run time, so it can never be a
+      // must-execute entry check; stepping over it is fine (it has no
+      // effect beyond a possible — equally fatal — trap).
+      if (!C->isGuarded())
+        EntryPrefix.insert(C);
       continue;
     }
-    if (!I->isPure() && !isa<FuncPtrCheckInst>(I))
+    if (!isUnobservableBeforeCheck(I))
       break;
   }
 
   for (const auto &BB : F.blocks()) {
     for (const auto &IP : *BB) {
       auto *C = dyn_cast<SpatialCheckInst>(IP.get());
-      if (!C)
+      if (!C || C->isGuarded())
         continue;
       LinearPtr L = decomposeLinearPtr(C->pointer());
       CanonBounds CB = canonBounds(C->bounds());
@@ -916,7 +928,8 @@ void Engine::summarize(Function &F) {
         for (const auto &BB : F.blocks())
           for (const auto &IP : *BB) {
             auto *C = dyn_cast<SpatialCheckInst>(IP.get());
-            if (!C || !instDominates(*FI.DT, *FI.Ord, C, Ret))
+            if (!C || C->isGuarded() ||
+                !instDominates(*FI.DT, *FI.Ord, C, Ret))
               continue;
             LinearPtr LC = decomposeLinearPtr(C->pointer());
             if (LC.Index || LC.Root != LV.Root ||
@@ -1081,7 +1094,7 @@ void Engine::visitCheck(FuncInfo &FI, FactEnv &Env, BasicBlock *BB,
       }
       break; // Any call is an effect barrier either way.
     }
-    if (I->isPure() || isa<SpatialCheckInst>(I) || isa<FuncPtrCheckInst>(I))
+    if (isUnobservableBeforeCheck(I))
       continue;
     break; // Loads, stores, metadata ops, terminators: barrier.
   }
@@ -1130,8 +1143,13 @@ void Engine::visitCall(FactEnv &Env, CallInst *Call, Function *Callee) {
 void Engine::walkBlockBody(FuncInfo &FI, FactEnv &Env, BasicBlock *BB) {
   for (auto It = BB->begin(); It != BB->end(); ++It) {
     Instruction *I = It->get();
-    if (isa<SpatialCheckInst>(I)) {
-      visitCheck(FI, Env, BB, It);
+    if (auto *C = dyn_cast<SpatialCheckInst>(I)) {
+      // Guarded checks (runtime-limit hulls and their in-loop fallbacks)
+      // are invisible to the inter-procedural propagation: they may not
+      // have executed, so they prove nothing, and their conditions are
+      // managed entirely by the hoister that emitted them.
+      if (!C->isGuarded())
+        visitCheck(FI, Env, BB, It);
       continue;
     }
     if (auto *Call = dyn_cast<CallInst>(I)) {
@@ -1173,10 +1191,7 @@ void Engine::walk(Function &F) {
   }
 }
 
-unsigned Engine::run(CheckOptStats &Stats) {
-  if (Defined.empty())
-    return 0;
-
+void Engine::prepare() {
   for (Function *F : Defined) {
     FuncInfo &FI = Infos[F];
     FI.DT = std::make_unique<DomTree>(*F);
@@ -1194,8 +1209,52 @@ unsigned Engine::run(CheckOptStats &Stats) {
         }
       }
   }
+}
 
-  propagateArgRanges(); // Also installs every Infos[F].SR.
+InterProcArgRanges Engine::argRanges() {
+  InterProcArgRanges Out;
+  if (Defined.empty())
+    return Out;
+  prepare();
+  propagateArgRanges();
+  for (Function *F : Defined) {
+    const auto &Rs = ArgRanges[F];
+    for (unsigned I = 0; I < F->numArgs() && I < Rs.size(); ++I)
+      Out.Ranges[F->arg(I)] = Rs[I];
+    if (!CG.externallyReachable(F))
+      Out.Internal.push_back(F);
+  }
+  return Out;
+}
+
+/// Re-seeds ArgRanges from a prior computeInterProcArgRanges() of the
+/// same module and builds the per-function analyses on the current IR —
+/// the fixpoint itself is not repeated (see the seed contract in
+/// InterProc.h).
+void Engine::adoptArgRanges(
+    const std::map<const Argument *, IntRange> &Seed) {
+  for (Function *F : Defined) {
+    std::vector<IntRange> Rs(F->numArgs());
+    for (unsigned I = 0; I < F->numArgs(); ++I)
+      if (auto It = Seed.find(F->arg(I)); It != Seed.end())
+        Rs[I] = It->second;
+    ArgRanges[F] = std::move(Rs);
+    Infos[F].SR =
+        std::make_unique<ScalarRanges>(*F, *Infos[F].DT, ArgRanges[F]);
+  }
+}
+
+unsigned Engine::run(CheckOptStats &Stats,
+                     const std::map<const Argument *, IntRange> *Seed) {
+  if (Defined.empty())
+    return 0;
+
+  prepare();
+
+  if (Seed)
+    adoptArgRanges(*Seed); // Installs every Infos[F].SR from the seed.
+  else
+    propagateArgRanges(); // Also installs every Infos[F].SR.
 
   for (Function *F : CG.bottomUp())
     summarize(*F);
@@ -1270,7 +1329,14 @@ unsigned Engine::run(CheckOptStats &Stats) {
 
 } // namespace
 
-unsigned checkopt::propagateInterProcChecks(Module &M, CheckOptStats &Stats) {
+unsigned checkopt::propagateInterProcChecks(
+    Module &M, CheckOptStats &Stats,
+    const std::map<const Argument *, IntRange> *SeedArgRanges) {
   Engine E(M);
-  return E.run(Stats);
+  return E.run(Stats, SeedArgRanges);
+}
+
+InterProcArgRanges checkopt::computeInterProcArgRanges(Module &M) {
+  Engine E(M);
+  return E.argRanges();
 }

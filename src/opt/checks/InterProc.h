@@ -77,6 +77,8 @@
 #include "ir/Module.h"
 
 #include <cstdint>
+#include <map>
+#include <vector>
 
 namespace softbound {
 
@@ -111,7 +113,33 @@ struct IntRange {
 /// redundant (sweeping stranded bounds arithmetic with dce). Updates the
 /// InterProc* counters of \p Stats and returns the number of spatial
 /// checks deleted (the caller owns the ChecksAfter adjustment).
-unsigned propagateInterProcChecks(Module &M, CheckOptStats &Stats);
+///
+/// \p SeedArgRanges (optional) is a previously computed
+/// computeInterProcArgRanges() result for the same module: the argument
+/// fixpoint is skipped and the seed adopted verbatim. Sound across the
+/// per-function check passes because they never change a call argument's
+/// value (hoisting only adds pure arithmetic, elimination only deletes
+/// checks, CSE substitutes value-identical SSA names), so the pre-pass
+/// fixpoint still over-approximates every argument.
+unsigned propagateInterProcChecks(
+    Module &M, CheckOptStats &Stats,
+    const std::map<const Argument *, IntRange> *SeedArgRanges = nullptr);
+
+/// The propagation's first phase on its own: top-down integer argument
+/// ranges over the call graph (threshold widening, branch refinement),
+/// flattened per Argument. Externally reachable functions (the VM entry,
+/// address-taken functions) get full-width ranges; arguments of functions
+/// with no observed call site come back empty (bottom). `Internal` is the
+/// call graph's non-externally-reachable cohort: every range here leans on
+/// the closed-module assumption, so a consumer that deletes (or weakens)
+/// a check based on one must record the entry contract with exactly this
+/// set (Module::recordInterProcContract) — the runtime-limit hull hoister
+/// does this when it discharges a trip/wrap guard statically.
+struct InterProcArgRanges {
+  std::map<const Argument *, IntRange> Ranges;
+  std::vector<const Function *> Internal;
+};
+InterProcArgRanges computeInterProcArgRanges(Module &M);
 
 } // namespace checkopt
 } // namespace softbound

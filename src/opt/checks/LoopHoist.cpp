@@ -16,49 +16,89 @@
 /// box; one check per endpoint goes into the preheader (one total for an
 /// invariant address) and the in-loop check is deleted — O(trip count)
 /// dynamic checks become O(1), à la CHOP. Hull checks emitted for an inner
-/// loop use only constants, so the enclosing loop's pass (loops are
-/// processed innermost-first) hoists them again, collapsing a whole nest's
-/// checks to two.
+/// loop stay invariant in enclosing loops, so the enclosing loop's pass
+/// (loops are processed innermost-first) hoists them again, collapsing a
+/// whole nest's checks to two.
 ///
-/// Soundness rests on three proofs, all established before any rewrite:
+/// **Run-time limits.** Loops counted by a loop-invariant *symbolic* limit
+/// (`for (i = 0; i < n; i++)` — Loops.h SymbolicCountedLoop) hoist too:
+/// the IV box spans become affine in the limit's run-time value L
+/// (`C + K*L`), the hull corner offsets are materialized in the preheader
+/// as `Root + (K*L + C)` bytes, and every proof the constant case makes
+/// statically becomes a *window* [WLo, WHi] of L values for which it
+/// holds: at least one body iteration runs (the trip test — zero-trip
+/// loops must perform no check), the IV reaches the exit without wrapping
+/// its width, every intermediate node of the index expression stays inside
+/// its bit width over the box, and the emitted i64 hull arithmetic cannot
+/// wrap (the former compile-time far-from-wrap guard, now a dynamic
+/// branch). The window becomes an i1 *guard*: hull checks execute only
+/// when L is inside it, and the original in-loop check survives as a
+/// fallback guarded by the window's complement — outside the window the
+/// loop simply keeps its unmodified per-iteration checking. When the
+/// limit is a function argument whose inter-procedurally propagated range
+/// (checkopt(interproc)'s top-down argument ranges) lies inside the
+/// window, the guard is discharged statically: unguarded hulls, no
+/// fallback — and the module records the whole-program contract the range
+/// proof leaned on (Module::recordInterProcContract).
 ///
-///   1. Exact iteration sets. analyzeCountedLoop() gives each IV sequence;
-///      a check's block dominating the latch means the check runs on every
-///      completed iteration (header checks also run on the exiting pass,
-///      so they widen to the exit IV). loopBodyIsSafe() excludes anything
-///      that could keep a normally-completing run from finishing every
-///      iteration, and enclosing IVs are only used when the hoisted loop's
-///      header dominates the enclosing latch (the nest runs every
-///      enclosing iteration). Hence on a clean run the original program
-///      itself evaluates checks at both hull corners: the hoisted checks
-///      are a subset of the original dynamic checks, moved earlier. A run
-///      that would have trapped still traps — though possibly earlier and,
-///      when the original trap was of another kind (say, a division by
-///      zero three iterations before the out-of-bounds access), as a
-///      spatial violation instead. Clean runs are never affected.
+/// Soundness rests on the same three proofs as the constant case, all
+/// established before any rewrite and conditioned on the window:
 ///
-///   2. Faithful re-evaluation. The linearizer verifies that every
-///      intermediate node of the index expression stays inside its bit
-///      width over the whole IV box; each node is linear (separable) in
-///      the IVs, so its extremes sit at box corners and corner checks
-///      cover every iteration. The real (wrapping) arithmetic therefore
-///      equals the exact linear value, and the emitted `Root + constant`
-///      address is bit-identical to what the deleted check would have
-///      computed at that iteration.
+///   1. Exact iteration sets. analyzeCountedLoop() /
+///      analyzeSymbolicCountedLoop() give each IV sequence; a check's
+///      block dominating the latch means the check runs on every
+///      completed iteration (header checks widen to the exit IV; for
+///      symbolic loops header checks are skipped — they run even on
+///      zero-trip passes). loopBodyIsSafe() excludes anything that could
+///      keep a normally-completing run from finishing every iteration,
+///      and enclosing IVs are only used when the hoisted loop's header
+///      dominates the enclosing latch. Hence on a clean run inside the
+///      window the original program itself evaluates checks at both hull
+///      corners: the hoisted checks are a subset of the original dynamic
+///      checks, moved earlier. Outside the window the fallback checks are
+///      the original checks, unmoved. A run that would have trapped still
+///      traps — though possibly earlier and, when the original trap was
+///      of another kind, as a spatial violation instead. Clean runs are
+///      never affected.
+///
+///   2. Faithful re-evaluation. The linearizer verifies (for every L in
+///      the window) that every intermediate node of the index expression
+///      stays inside its bit width over the whole IV box; each node is
+///      linear (separable) in the IVs, so its extremes sit at box corners
+///      and corner checks cover every iteration. The real (wrapping)
+///      arithmetic therefore equals the exact linear value, and the
+///      emitted `Root + (K*L + C)` address is bit-identical to what the
+///      deleted check would have computed at that iteration.
 ///
 ///   3. Monotonicity. The byte offset is linear over the box, so the two
 ///      extreme-corner checks imply every intermediate one: an underflow
 ///      (addr < base) surfaces at the low corner, an overflow
 ///      (addr + size > bound) at the high one.
 ///
+/// Guarded checks are invisible to the other static passes (they may not
+/// execute, so they prove nothing — see RedundantChecks.cpp and
+/// InterProc.cpp); only this pass, which owns their guards, re-hoists
+/// them out of enclosing loops. Re-hoisting moves the guard computation
+/// and hull address chain (pure, non-trapping instructions over
+/// enclosing-invariant leaves) into the enclosing preheader, so nests of
+/// any depth still collapse to O(1) checks; hoisting out of an enclosing
+/// *symbolic* loop conjoins that loop's exact trip test (trip false <=>
+/// the inner preheader never ran) onto the moved guard.
+///
 //===----------------------------------------------------------------------===//
 
 #include "opt/Dominators.h"
 #include "opt/checks/CheckOpt.h"
+#include "opt/checks/InterProc.h"
 #include "opt/checks/Loops.h"
+#include "opt/checks/RangeAnalysis.h"
 #include "support/Casting.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
+#include <tuple>
+#include <vector>
 
 using namespace softbound;
 using namespace softbound::checkopt;
@@ -69,19 +109,9 @@ namespace {
 /// 64-bit address arithmetic can never wrap.
 constexpr int64_t MaxByteOffset = int64_t(1) << 40;
 
-/// Inclusive range of values an IV takes at the program point of interest.
-struct IVRange {
-  int64_t Lo = 0;
-  int64_t Hi = 0;
-};
-using IVBox = std::map<const Value *, IVRange>;
-
-/// An integer as an exact linear function B + sum(Coef[iv] * iv) over the
-/// IVs of the box.
-struct LinExpr {
-  std::map<const Value *, int64_t> Coef;
-  int64_t B = 0;
-};
+/// Bound on the |K * L| product term of an emitted hull offset: far from
+/// the i64 edge, so `mul` and the following `add` cannot wrap.
+constexpr int64_t MaxProductTerm = int64_t(1) << 62;
 
 bool fitsWidth(__int128 V, unsigned Bits) {
   if (Bits >= 64)
@@ -91,25 +121,138 @@ bool fitsWidth(__int128 V, unsigned Bits) {
   return V >= Min && V <= Max;
 }
 
-/// Extremes of a (separable) linear form over the box.
-void extremes(const LinExpr &E, const IVBox &Box, __int128 &Min,
-              __int128 &Max) {
-  Min = Max = E.B;
-  for (const auto &[IV, A] : E.Coef) {
-    const IVRange &R = Box.at(IV);
-    Min += __int128(A) * (A >= 0 ? R.Lo : R.Hi);
-    Max += __int128(A) * (A >= 0 ? R.Hi : R.Lo);
+__int128 widthMin(unsigned Bits) {
+  if (Bits >= 64)
+    Bits = 64;
+  return -(__int128(1) << (Bits - 1));
+}
+__int128 widthMax(unsigned Bits) {
+  if (Bits >= 64)
+    Bits = 64;
+  return (__int128(1) << (Bits - 1)) - 1;
+}
+
+__int128 floorDiv(__int128 A, __int128 B) { // B > 0
+  __int128 Q = A / B;
+  return Q * B > A ? Q - 1 : Q;
+}
+__int128 ceilDiv(__int128 A, __int128 B) { // B > 0
+  __int128 Q = A / B;
+  return Q * B < A ? Q + 1 : Q;
+}
+
+/// A value affine in the symbolic limit's run-time value L: C + K * L.
+/// K == 0 is the compile-time-constant case.
+struct AffVal {
+  __int128 C = 0;
+  int64_t K = 0;
+  bool isConst() const { return K == 0; }
+};
+
+/// Inclusive IV span over the box; at most one dimension of a box is
+/// affine (the one driven by the symbolic limit).
+struct IVSpan {
+  AffVal Lo, Hi;
+};
+using IVBox = std::map<const Value *, IVSpan>;
+
+/// The window of L values for which every accumulated proof obligation
+/// holds, intersected constraint by constraint. Constant obligations
+/// (K == 0) either hold for every L or empty the window outright.
+struct LimitWindow {
+  int64_t Lo = INT64_MIN;
+  int64_t Hi = INT64_MAX;
+  bool Empty = false;
+
+  void clampLo(__int128 V) {
+    if (V > INT64_MAX) {
+      Empty = true;
+      return;
+    }
+    if (V > Lo)
+      Lo = static_cast<int64_t>(V);
+    if (Lo > Hi)
+      Empty = true;
+  }
+  void clampHi(__int128 V) {
+    if (V < INT64_MIN) {
+      Empty = true;
+      return;
+    }
+    if (V < Hi)
+      Hi = static_cast<int64_t>(V);
+    if (Lo > Hi)
+      Empty = true;
+  }
+  bool bounded() const { return Lo > INT64_MIN || Hi < INT64_MAX; }
+};
+
+/// Requires A(L) >= Min for every L in the window (narrowing the window
+/// to exactly the L values satisfying it).
+void requireMin(LimitWindow &Win, const AffVal &A, __int128 Min) {
+  if (A.K == 0) {
+    if (A.C < Min)
+      Win.Empty = true;
+  } else if (A.K > 0) {
+    Win.clampLo(ceilDiv(Min - A.C, A.K));
+  } else {
+    Win.clampHi(floorDiv(A.C - Min, -__int128(A.K)));
   }
 }
 
-/// Verifies the node's real (width-wrapped) evaluation matches the exact
-/// linear value for every point of the box, and that it stays far below
-/// the 64-bit wrap guard.
-bool boxFits(const LinExpr &E, const IVBox &Box, unsigned Bits) {
-  __int128 Min, Max;
-  extremes(E, Box, Min, Max);
-  return fitsWidth(Min, Bits) && fitsWidth(Max, Bits) &&
-         Min >= -MaxByteOffset && Max <= MaxByteOffset;
+/// Requires A(L) <= Max for every L in the window.
+void requireMax(LimitWindow &Win, const AffVal &A, __int128 Max) {
+  if (A.K == 0) {
+    if (A.C > Max)
+      Win.Empty = true;
+  } else if (A.K > 0) {
+    Win.clampHi(floorDiv(Max - A.C, A.K));
+  } else {
+    Win.clampLo(ceilDiv(A.C - Max, -__int128(A.K)));
+  }
+}
+
+/// An integer as an exact linear function B + sum(Coef[iv] * iv) over the
+/// IVs of the box.
+struct LinExpr {
+  std::map<const Value *, int64_t> Coef;
+  int64_t B = 0;
+};
+
+/// Extremes of a (separable) linear form over the box, as affine
+/// functions of L. False when a coefficient combination escapes i64.
+bool extremes(const LinExpr &E, const IVBox &Box, AffVal &Min, AffVal &Max) {
+  __int128 MinC = E.B, MaxC = E.B, MinK = 0, MaxK = 0;
+  for (const auto &[IV, A] : E.Coef) {
+    const IVSpan &S = Box.at(IV);
+    const AffVal &ForMin = A >= 0 ? S.Lo : S.Hi;
+    const AffVal &ForMax = A >= 0 ? S.Hi : S.Lo;
+    MinC += __int128(A) * ForMin.C;
+    MaxC += __int128(A) * ForMax.C;
+    MinK += __int128(A) * ForMin.K;
+    MaxK += __int128(A) * ForMax.K;
+  }
+  if (!fitsWidth(MinK, 64) || !fitsWidth(MaxK, 64))
+    return false;
+  Min = AffVal{MinC, static_cast<int64_t>(MinK)};
+  Max = AffVal{MaxC, static_cast<int64_t>(MaxK)};
+  return true;
+}
+
+/// Requires the node's real (width-wrapped) evaluation to match the exact
+/// linear value for every point of the box and every L in the window, and
+/// to stay far below the 64-bit wrap guard. Narrows the window; empties
+/// it when no L qualifies.
+bool boxFits(const LinExpr &E, const IVBox &Box, unsigned Bits,
+             LimitWindow &Win) {
+  AffVal Min, Max;
+  if (!extremes(E, Box, Min, Max))
+    return false;
+  __int128 Lo = std::max<__int128>(widthMin(Bits), -__int128(MaxByteOffset));
+  __int128 Hi = std::min<__int128>(widthMax(Bits), MaxByteOffset);
+  requireMin(Win, Min, Lo);
+  requireMax(Win, Max, Hi);
+  return !Win.Empty;
 }
 
 bool addScaled(LinExpr &Acc, const LinExpr &E, int64_t Scale) {
@@ -126,10 +269,17 @@ bool addScaled(LinExpr &Acc, const LinExpr &E, int64_t Scale) {
   return true;
 }
 
-/// Linearizes integer \p V over the IV box. Leaves must be constants or
-/// box IVs — a loop-invariant but unknown value cannot contribute to a
-/// compile-time hull.
-bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
+/// Linearizes integer \p V over the IV box, accumulating proof-obligation
+/// constraints on L into \p Win. Leaves must be constants or box IVs — a
+/// loop-invariant but unknown value (other than the limit itself, which
+/// only enters through span endpoints) cannot contribute to a hull.
+/// Every box dimension the expression *touches* is recorded in \p Used —
+/// including dimensions whose coefficient later cancels: any per-node
+/// obligation was evaluated over that dimension's span, whose validity
+/// needs the owning loop's wrap window.
+bool linearizeInt(Value *V, const IVBox &Box, LimitWindow &Win,
+                  std::set<const Value *> &Used, LinExpr &Out,
+                  int Depth = 0) {
   if (Depth > 16)
     return false;
   if (auto *C = dyn_cast<ConstantInt>(V)) {
@@ -137,12 +287,13 @@ bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
     return true;
   }
   if (Box.count(V)) {
+    Used.insert(V);
     Out = LinExpr{{{V, 1}}, 0}; // IV values fit their width by construction.
     return true;
   }
   if (auto *Cast = dyn_cast<CastInst>(V)) {
     LinExpr Src;
-    if (!linearizeInt(Cast->source(), Box, Src, Depth + 1))
+    if (!linearizeInt(Cast->source(), Box, Win, Used, Src, Depth + 1))
       return false;
     switch (Cast->opcode()) {
     case CastInst::Op::SExt:
@@ -150,9 +301,11 @@ bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
       return true;
     case CastInst::Op::ZExt: {
       // zext equals the identity only on non-negative values.
-      __int128 Min, Max;
-      extremes(Src, Box, Min, Max);
-      if (Min < 0)
+      AffVal Min, Max;
+      if (!extremes(Src, Box, Min, Max))
+        return false;
+      requireMin(Win, Min, 0);
+      if (Win.Empty)
         return false;
       Out = std::move(Src);
       return true;
@@ -163,8 +316,8 @@ bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
   }
   if (auto *BO = dyn_cast<BinOpInst>(V)) {
     LinExpr L, R;
-    if (!linearizeInt(BO->lhs(), Box, L, Depth + 1) ||
-        !linearizeInt(BO->rhs(), Box, R, Depth + 1))
+    if (!linearizeInt(BO->lhs(), Box, Win, Used, L, Depth + 1) ||
+        !linearizeInt(BO->rhs(), Box, Win, Used, R, Depth + 1))
       return false;
     LinExpr Res;
     switch (BO->opcode()) {
@@ -194,9 +347,12 @@ bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
       // common power-of-two wrap guard on an index that never wraps.
       if (!R.Coef.empty() || R.B <= 0)
         return false;
-      __int128 Min, Max;
-      extremes(L, Box, Min, Max);
-      if (Min < 0 || Max >= R.B)
+      AffVal Min, Max;
+      if (!extremes(L, Box, Min, Max))
+        return false;
+      requireMin(Win, Min, 0);
+      requireMax(Win, Max, R.B - 1);
+      if (Win.Empty)
         return false;
       Res = std::move(L);
       break;
@@ -205,7 +361,7 @@ bool linearizeInt(Value *V, const IVBox &Box, LinExpr &Out, int Depth = 0) {
       return false;
     }
     unsigned Bits = cast<IntType>(BO->type())->bits();
-    if (!boxFits(Res, Box, Bits))
+    if (!boxFits(Res, Box, Bits, Win))
       return false;
     Out = std::move(Res);
     return true;
@@ -220,9 +376,11 @@ struct LinPtr {
 };
 
 /// Linearizes pointer \p P through in-loop bitcasts and GEPs down to a
-/// loop-invariant root.
+/// loop-invariant root, narrowing \p Win with every node's obligations
+/// and recording every box dimension touched in \p Used.
 bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
-                  LinPtr &Out, int Depth = 0) {
+                  LimitWindow &Win, std::set<const Value *> &Used, LinPtr &Out,
+                  int Depth = 0) {
   if (Depth > 16)
     return false;
   if (L.isInvariant(P)) {
@@ -231,11 +389,11 @@ bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
   }
   if (auto *BC = dyn_cast<CastInst>(P);
       BC && BC->opcode() == CastInst::Op::Bitcast)
-    return linearizePtr(BC->source(), L, Box, Out, Depth + 1);
+    return linearizePtr(BC->source(), L, Box, Win, Used, Out, Depth + 1);
   auto *G = dyn_cast<GEPInst>(P);
   if (!G)
     return false;
-  if (!linearizePtr(G->pointer(), L, Box, Out, Depth + 1))
+  if (!linearizePtr(G->pointer(), L, Box, Win, Used, Out, Depth + 1))
     return false;
 
   Type *Cur = G->sourceType();
@@ -260,13 +418,13 @@ bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
       return false;
     }
     LinExpr Idx;
-    if (!linearizeInt(G->index(K), Box, Idx))
+    if (!linearizeInt(G->index(K), Box, Win, Used, Idx))
       return false;
     if (!addScaled(Out.Off, Idx, Scale))
       return false;
   }
   // Final guard: hull offsets stay far from any 64-bit wrap.
-  return boxFits(Out.Off, Box, 64);
+  return boxFits(Out.Off, Box, 64, Win);
 }
 
 /// Inserts \p I before the terminator of \p BB.
@@ -276,36 +434,137 @@ template <typename T> T *insertAtEnd(BasicBlock *BB, T *I) {
   return I;
 }
 
-/// Per-loop hoisting context, caching the i8* view of each root pointer.
+/// True when moving \p I to a dominating block cannot change behaviour:
+/// pure and unable to trap (divisions stay put).
+bool isSpeculatable(const Instruction *I) {
+  switch (I->kind()) {
+  case ValueKind::GEP:
+  case ValueKind::Cast:
+  case ValueKind::ICmp:
+  case ValueKind::Select:
+    return true;
+  case ValueKind::BinOp:
+    switch (cast<BinOpInst>(I)->opcode()) {
+    case BinOpInst::Op::SDiv:
+    case BinOpInst::Op::UDiv:
+    case BinOpInst::Op::SRem:
+    case BinOpInst::Op::URem:
+      return false; // May trap on a zero divisor.
+    default:
+      return true;
+    }
+  default:
+    return false;
+  }
+}
+
+/// How each loop of the function was classified.
+struct LoopShape {
+  bool Constant = false;
+  bool Symbolic = false;
+  bool Usable = false; ///< Shape recognized and body safe.
+  CountedLoop CL;
+  SymbolicCountedLoop SCL;
+};
+
+/// Per-loop hoisting context, caching the i8* view of each root pointer,
+/// the widened limit value, and the emitted guard values.
 class LoopHoister {
 public:
   using LoopOfIV = std::map<const Value *, const NaturalLoop *>;
+  using ArgRangeMap = std::map<const Argument *, IntRange>;
 
-  LoopHoister(Module &M, const NaturalLoop &L, const CountedLoop &CL,
+  LoopHoister(Module &M, const NaturalLoop &L, const LoopShape &Shape,
               const DomTree &DT, const IVBox &Enclosing,
-              const LoopOfIV &EnclosingLoops, CheckOptStats &Stats)
-      : M(M), L(L), CL(CL), DT(DT), Enclosing(Enclosing),
-        EnclosingLoops(EnclosingLoops), Stats(Stats) {}
+              const LoopOfIV &EnclosingLoops,
+              const SymbolicCountedLoop *AncestorSym,
+              const ArgRangeMap *ArgRanges, bool *DischargeUsed,
+              CheckOptStats &Stats)
+      : M(M), L(L), Shape(Shape), DT(DT), Enclosing(Enclosing),
+        EnclosingLoops(EnclosingLoops), AncestorSym(AncestorSym),
+        ArgRanges(ArgRanges), DischargeUsed(DischargeUsed), Stats(Stats) {
+    if (Shape.Symbolic)
+      Symbol = Shape.SCL.Limit;
+    else if (AncestorSym)
+      Symbol = AncestorSym->Limit;
+  }
 
   void run() {
-    for (BasicBlock *BB : L.Blocks)
-      if (DT.dominates(BB, L.Latch)) // Checks that run on every iteration.
-        hoistInBlock(BB);
+    for (BasicBlock *BB : L.Blocks) {
+      if (!DT.dominates(BB, L.Latch)) // Checks that run on every iteration.
+        continue;
+      // Symbolic loops: header checks also run on the (possibly zero-trip)
+      // exiting pass, whose IV is the limit itself — leave them alone.
+      if (Shape.Symbolic && BB == L.Header)
+        continue;
+      hoistInBlock(BB);
+    }
   }
 
 private:
   void hoistInBlock(BasicBlock *BB);
   Value *byteView(Value *Root);
-  void emitCheck(Value *Root, int64_t ByteOff, const SpatialCheckInst *Proto);
+  Value *limit64();
+  Value *guardFor(const LimitWindow &Win);
+  Value *notOf(Value *G);
+  Value *tripWindowGuard();
+  void emitHull(Value *Root, const AffVal &Off, const SpatialCheckInst *Proto,
+                Value *Guard);
+  bool collectAvailChain(Value *V, std::vector<Instruction *> &PostOrder,
+                         std::set<const Value *> &Visited, int Budget);
+  void commitAvailChain(const std::vector<Instruction *> &PostOrder);
+
+  /// The trip constraint on L: at least one body iteration runs. A
+  /// half-line, exact in both directions (false <=> the body never runs).
+  LimitWindow tripWindow() const {
+    LimitWindow W;
+    int64_t Edge = Shape.SCL.Init - Shape.SCL.EndAdj;
+    if (Shape.SCL.Up)
+      W.clampLo(Edge);
+    else
+      W.clampHi(Edge);
+    return W;
+  }
+
+  /// The inter-procedural argument range of the symbol, or an empty
+  /// IntRange when unknown.
+  IntRange symbolRange() const {
+    if (!ArgRanges || !Symbol)
+      return IntRange();
+    auto *A = dyn_cast<Argument>(Symbol);
+    if (!A)
+      return IntRange();
+    auto It = ArgRanges->find(A);
+    return It == ArgRanges->end() ? IntRange() : It->second;
+  }
+
+  /// True when the propagated symbol range proves every L lands inside
+  /// \p Win — the static discharge of the trip/wrap guard.
+  bool rangeDischarges(const LimitWindow &Win) const {
+    IntRange R = symbolRange();
+    return !R.empty() && !R.isFull() && R.Lo >= Win.Lo && R.Hi <= Win.Hi;
+  }
 
   Module &M;
   const NaturalLoop &L;
-  const CountedLoop &CL;
+  const LoopShape &Shape;
   const DomTree &DT;
   const IVBox &Enclosing; ///< Usable IVs of enclosing counted loops.
   const LoopOfIV &EnclosingLoops; ///< Which loop each enclosing IV drives.
+  const SymbolicCountedLoop *AncestorSym; ///< Symbolic ancestor dim, if any.
+  const ArgRangeMap *ArgRanges;           ///< Interproc argument ranges.
+  bool *DischargeUsed; ///< Out-flag: a range proof was relied on.
   CheckOptStats &Stats;
+  Value *Symbol = nullptr; ///< The one symbolic limit usable here.
   std::map<Value *, Value *> ByteViews;
+  Value *Lim64 = nullptr;
+  std::map<std::pair<int64_t, int64_t>, Value *> Guards;
+  std::map<Value *, Value *> NotGuards;
+  /// Hull emission dedup: (root, C, K, bounds, guard) -> strongest
+  /// (size, is-store) already emitted for that address.
+  std::map<std::tuple<Value *, int64_t, int64_t, Value *, Value *>,
+           std::pair<uint64_t, bool>>
+      Emitted;
 };
 
 Value *LoopHoister::byteView(Value *Root) {
@@ -322,19 +581,143 @@ Value *LoopHoister::byteView(Value *Root) {
   return View;
 }
 
-void LoopHoister::emitCheck(Value *Root, int64_t ByteOff,
-                            const SpatialCheckInst *Proto) {
+Value *LoopHoister::limit64() {
+  if (Lim64)
+    return Lim64;
+  Type *I64 = M.ctx().i64();
+  Lim64 = Symbol;
+  if (Symbol->type() != I64)
+    Lim64 = insertAtEnd(L.Preheader, new CastInst(CastInst::Op::SExt, Symbol,
+                                                  I64, "lim64"));
+  return Lim64;
+}
+
+/// Materializes the window test `WLo <= L && L <= WHi` in the preheader.
+/// A half already implied by the limit's own bit width (canonical values
+/// always lie inside it) is elided; null when the whole window is.
+Value *LoopHoister::guardFor(const LimitWindow &Win) {
+  unsigned LBits = cast<IntType>(Symbol->type())->bits();
+  bool NeedLo = Win.Lo > widthMin(LBits);
+  bool NeedHi = Win.Hi < widthMax(LBits);
+  auto Key = std::make_pair(NeedLo ? Win.Lo : INT64_MIN,
+                            NeedHi ? Win.Hi : INT64_MAX);
+  auto It = Guards.find(Key);
+  if (It != Guards.end())
+    return It->second;
+  Type *I1 = M.ctx().i1();
+  Value *G = nullptr;
+  if (NeedLo)
+    G = insertAtEnd(L.Preheader,
+                    new ICmpInst(ICmpInst::Pred::SGE, limit64(),
+                                 M.constI64(Win.Lo), I1, "hull.glo"));
+  if (NeedHi) {
+    Value *Hi = insertAtEnd(L.Preheader,
+                            new ICmpInst(ICmpInst::Pred::SLE, limit64(),
+                                         M.constI64(Win.Hi), I1, "hull.ghi"));
+    G = G ? insertAtEnd(L.Preheader,
+                        new BinOpInst(BinOpInst::Op::And, G, Hi, "hull.g"))
+          : Hi;
+  }
+  Guards[Key] = G;
+  return G;
+}
+
+Value *LoopHoister::notOf(Value *G) {
+  auto It = NotGuards.find(G);
+  if (It != NotGuards.end())
+    return It->second;
+  Value *N = insertAtEnd(L.Preheader,
+                         new BinOpInst(BinOpInst::Op::Xor, G,
+                                       M.constI1(true), "hull.ng"));
+  NotGuards[G] = N;
+  return N;
+}
+
+/// The exact "body runs at least once" test of a symbolic loop, for
+/// conjoining onto guards of checks moved out of it.
+Value *LoopHoister::tripWindowGuard() { return guardFor(tripWindow()); }
+
+void LoopHoister::emitHull(Value *Root, const AffVal &Off,
+                           const SpatialCheckInst *Proto, Value *Guard) {
+  // Guard identity participates in the dedup key through the guard Value
+  // itself (guardFor caches per window, so equal windows share a Value).
+  auto Key = std::make_tuple(Root, static_cast<int64_t>(Off.C), Off.K,
+                             Proto->bounds(), Guard);
+  auto It = Emitted.find(Key);
+  if (It != Emitted.end() && It->second.first >= Proto->accessSize() &&
+      (It->second.second || !Proto->isStoreCheck()))
+    return; // An equal-or-stronger hull for these bytes already exists.
+
   Value *Ptr = byteView(Root);
-  if (ByteOff != 0)
+  if (!Off.isConst()) {
+    Value *OffV = insertAtEnd(
+        L.Preheader, new BinOpInst(BinOpInst::Op::Mul, limit64(),
+                                   M.constI64(Off.K), Root->name() + ".kxl"));
+    if (Off.C != 0)
+      OffV = insertAtEnd(L.Preheader,
+                         new BinOpInst(BinOpInst::Op::Add, OffV,
+                                       M.constI64(static_cast<int64_t>(Off.C)),
+                                       Root->name() + ".off"));
     Ptr = insertAtEnd(L.Preheader,
                       new GEPInst(cast<PointerType>(Ptr->type()), M.ctx().i8(),
-                                  Ptr, {M.constI64(ByteOff)},
+                                  Ptr, {OffV}, Root->name() + ".hull"));
+  } else if (Off.C != 0) {
+    Ptr = insertAtEnd(L.Preheader,
+                      new GEPInst(cast<PointerType>(Ptr->type()), M.ctx().i8(),
+                                  Ptr, {M.constI64(static_cast<int64_t>(Off.C))},
                                   Root->name() + ".hull"));
+  }
   insertAtEnd(L.Preheader,
               new SpatialCheckInst(Proto->type(), Ptr, Proto->bounds(),
-                                   Proto->accessSize(),
-                                   Proto->isStoreCheck()));
+                                   Proto->accessSize(), Proto->isStoreCheck(),
+                                   Guard));
+  Emitted[Key] = {std::max(It == Emitted.end() ? 0 : It->second.first,
+                           Proto->accessSize()),
+                  (It != Emitted.end() && It->second.second) ||
+                      Proto->isStoreCheck()};
   ++Stats.HoistedChecksInserted;
+  if (Guard)
+    ++Stats.RuntimeHullChecks;
+}
+
+/// Collects the in-loop instructions (operands-first) that must move to
+/// the preheader for \p V to be available there. Every node must be pure,
+/// non-trapping, and rooted in loop-invariant leaves. Returns false when
+/// \p V cannot be made available.
+bool LoopHoister::collectAvailChain(Value *V,
+                                    std::vector<Instruction *> &PostOrder,
+                                    std::set<const Value *> &Visited,
+                                    int Budget) {
+  if (L.isInvariant(V))
+    return true;
+  if (Visited.count(V))
+    return true;
+  if (static_cast<int>(PostOrder.size()) >= Budget)
+    return false;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I || !isSpeculatable(I))
+    return false;
+  Visited.insert(V);
+  for (Value *Op : I->operands())
+    if (!collectAvailChain(Op, PostOrder, Visited, Budget))
+      return false;
+  PostOrder.push_back(I);
+  return true;
+}
+
+void LoopHoister::commitAvailChain(const std::vector<Instruction *> &PostOrder) {
+  auto &Target = L.Preheader->instructions();
+  for (Instruction *I : PostOrder) {
+    BasicBlock *From = I->parent();
+    auto &Src = From->instructions();
+    for (auto It = Src.begin(); It != Src.end(); ++It) {
+      if (It->get() != I)
+        continue;
+      Target.splice(std::prev(Target.end()), Src, It);
+      I->setParent(L.Preheader);
+      break;
+    }
+  }
 }
 
 void LoopHoister::hoistInBlock(BasicBlock *BB) {
@@ -346,32 +729,102 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
       continue;
     }
 
-    // IV values this check observes: body blocks run for Init..LastBody;
-    // the header additionally executes on the exiting pass with ExitIV.
-    if (!InHeader && CL.BodyCount == 0) {
+    if (Shape.Constant && !InHeader && Shape.CL.BodyCount == 0) {
       // Provably dead body: the check never executes at all.
       It = BB->erase(It);
       ++Stats.LoopChecksHoisted;
       continue;
     }
-    int64_t IvLast = InHeader ? CL.ExitIV : CL.LastBody;
-    IVBox Box = Enclosing;
-    Box[CL.IV] = IVRange{std::min(CL.Init, IvLast), std::max(CL.Init, IvLast)};
 
-    Value *P = Chk->pointer();
-    if (L.isInvariant(P)) {
-      insertAtEnd(L.Preheader,
-                  new SpatialCheckInst(Chk->type(), P, Chk->bounds(),
-                                       Chk->accessSize(),
-                                       Chk->isStoreCheck()));
-      ++Stats.HoistedChecksInserted;
-      ++Stats.LoopChecksHoisted;
-      It = BB->erase(It);
+    // --- Path 1: pointer (and guard) available on entry, possibly after
+    // moving a pure chain. Covers plain invariant checks and the guarded
+    // hull checks an inner loop's pass planted in its preheader.
+    {
+      Value *P = Chk->pointer();
+      Value *G = Chk->guard();
+      std::vector<Instruction *> Chain;
+      std::set<const Value *> Visited;
+      bool Avail = collectAvailChain(P, Chain, Visited, 64) &&
+                   (!G || collectAvailChain(G, Chain, Visited, 64));
+      if (Avail) {
+        // Splice the moved chain in FIRST: everything emitted below (the
+        // trip test, the conjoined guard, the hoisted check) must follow
+        // the chain's definitions in the preheader, or the And would read
+        // its guard operand before it is computed.
+        commitAvailChain(Chain);
+        Value *NewGuard = G;
+        bool Discharged = false;
+        if (Shape.Symbolic) {
+          // A check hoisted out of a symbolic loop must not run on a
+          // zero-trip pass: conjoin the *exact* trip test (false <=> the
+          // body, and hence the original check, never executed) — unless
+          // the propagated argument range settles it.
+          IntRange R = symbolRange();
+          LimitWindow TW = tripWindow();
+          if (!R.empty() && !R.isFull() &&
+              (Shape.SCL.Up ? R.Hi < TW.Lo : R.Lo > TW.Hi)) {
+            // Provably zero-trip at every call site: the check is dead.
+            It = BB->erase(It);
+            ++Stats.LoopChecksHoisted;
+            ++Stats.RuntimeGuardsDischarged;
+            if (DischargeUsed)
+              *DischargeUsed = true;
+            continue;
+          }
+          if (rangeDischarges(TW)) {
+            Discharged = true;
+          } else if (Value *Trip = tripWindowGuard()) {
+            NewGuard =
+                G ? insertAtEnd(L.Preheader, new BinOpInst(BinOpInst::Op::And,
+                                                           Trip, G, "hull.g"))
+                  : Trip;
+          }
+          // A null trip guard means the window is the limit's whole width:
+          // the loop provably runs, so the original guard (if any) stands.
+        }
+        insertAtEnd(L.Preheader,
+                    new SpatialCheckInst(Chk->type(), P, Chk->bounds(),
+                                         Chk->accessSize(), Chk->isStoreCheck(),
+                                         NewGuard));
+        ++Stats.HoistedChecksInserted;
+        if (NewGuard)
+          ++Stats.RuntimeHullChecks;
+        if (Discharged) {
+          ++Stats.RuntimeGuardsDischarged;
+          if (DischargeUsed)
+            *DischargeUsed = true;
+        }
+        ++Stats.LoopChecksHoisted;
+        It = BB->erase(It);
+        continue;
+      }
+    }
+
+    // --- Path 2: affine hull. Guarded checks never take it: their guard
+    // conditions belong to the pass invocation that emitted them.
+    if (Chk->isGuarded()) {
+      ++It;
       continue;
     }
 
+    // IV values this check observes: body blocks run the body IV span;
+    // a (constant-loop) header check additionally observes the exit IV.
+    IVBox Box = Enclosing;
+    if (Shape.Constant) {
+      int64_t IvLast = InHeader ? Shape.CL.ExitIV : Shape.CL.LastBody;
+      Box[Shape.CL.IV] =
+          IVSpan{AffVal{std::min(Shape.CL.Init, IvLast), 0},
+                 AffVal{std::max(Shape.CL.Init, IvLast), 0}};
+    } else {
+      const SymbolicCountedLoop &S = Shape.SCL;
+      Box[S.IV] = S.Up ? IVSpan{AffVal{S.Init, 0}, AffVal{S.EndAdj, 1}}
+                       : IVSpan{AffVal{S.EndAdj, 1}, AffVal{S.Init, 0}};
+    }
+
+    LimitWindow Win;
     LinPtr LP;
-    if (!linearizePtr(P, L, Box, LP)) {
+    std::set<const Value *> UsedDims;
+    if (!linearizePtr(Chk->pointer(), L, Box, Win, UsedDims, LP)) {
       ++It;
       continue;
     }
@@ -381,8 +834,11 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
     // with another iteration's offset — an address the original program
     // never computes.
     bool EnclosingOk = true;
+    const Value *OwnIV = Shape.Constant
+                             ? static_cast<const Value *>(Shape.CL.IV)
+                             : static_cast<const Value *>(Shape.SCL.IV);
     for (const auto &[IV, A] : LP.Off.Coef) {
-      if (A == 0 || IV == CL.IV)
+      if (A == 0 || IV == OwnIV)
         continue;
       const NaturalLoop *E = EnclosingLoops.at(IV);
       if (!E->isInvariant(LP.Root) || !E->isInvariant(Chk->bounds())) {
@@ -394,12 +850,91 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
       ++It;
       continue;
     }
-    __int128 Min, Max;
-    extremes(LP.Off, Box, Min, Max);
-    emitCheck(LP.Root, static_cast<int64_t>(Min), Chk);
-    if (Max != Min)
-      emitCheck(LP.Root, static_cast<int64_t>(Max), Chk);
+    // The ancestor's span (and hence every obligation evaluated over it)
+    // is only the true iteration set while the ancestor's own IV cannot
+    // wrap — required whenever the expression *touched* that dimension,
+    // even if its coefficient cancelled out of the final offset.
+    bool AncestorSymUsed =
+        AncestorSym && UsedDims.count(AncestorSym->IV) != 0;
+
+    // The window: per-node obligations are already in Win; add the IV
+    // wrap windows of every symbolic dimension the hull relies on, and
+    // the hoisted loop's own trip test (its hull checks run even when the
+    // loop would not).
+    if (Shape.Symbolic) {
+      Win.clampLo(Shape.SCL.LimitMin);
+      Win.clampHi(Shape.SCL.LimitMax);
+      LimitWindow TW = tripWindow();
+      Win.clampLo(TW.Lo);
+      Win.clampHi(TW.Hi);
+    }
+    if (AncestorSymUsed) {
+      // The ancestor's trip is execution-implied (this preheader only
+      // runs inside its body); only its wrap window is needed.
+      Win.clampLo(AncestorSym->LimitMin);
+      Win.clampHi(AncestorSym->LimitMax);
+    }
+
+    AffVal Min, Max;
+    if (!extremes(LP.Off, Box, Min, Max)) {
+      ++It;
+      continue;
+    }
+    // Emitted `K*L + C` hull arithmetic must not wrap i64: the product
+    // term stays far from the edge, and C must be emittable as an i64
+    // immediate (the sum is window-bounded already).
+    for (const AffVal *Corner : {&Min, &Max})
+      if (!Corner->isConst()) {
+        if (!fitsWidth(Corner->C, 64)) {
+          Win.Empty = true;
+          break;
+        }
+        requireMin(Win, AffVal{0, Corner->K}, -MaxProductTerm);
+        requireMax(Win, AffVal{0, Corner->K}, MaxProductTerm);
+      }
+    if (Win.Empty) {
+      ++It;
+      continue;
+    }
+
+    bool NeedGuard = Shape.Symbolic || Win.bounded();
+    Value *Guard = nullptr;
+    if (NeedGuard) {
+      IntRange R = symbolRange();
+      if (Shape.Symbolic && !R.empty() && !R.isFull()) {
+        LimitWindow TW = tripWindow();
+        if (Shape.SCL.Up ? R.Hi < TW.Lo : R.Lo > TW.Hi) {
+          // Provably zero-trip at every call site: the check is dead.
+          It = BB->erase(It);
+          ++Stats.LoopChecksHoisted;
+          ++Stats.RuntimeGuardsDischarged;
+          if (DischargeUsed)
+            *DischargeUsed = true;
+          continue;
+        }
+      }
+      if (rangeDischarges(Win)) {
+        ++Stats.RuntimeGuardsDischarged;
+        if (DischargeUsed)
+          *DischargeUsed = true;
+      } else {
+        Guard = guardFor(Win);
+      }
+    }
+
+    emitHull(LP.Root, Min, Chk, Guard);
+    if (Max.C != Min.C || Max.K != Min.K)
+      emitHull(LP.Root, Max, Chk, Guard);
     ++Stats.LoopChecksHoisted;
+    if (Guard) {
+      // Outside the window the loop keeps its original per-iteration
+      // check: re-insert it guarded by the complement.
+      BB->insertBefore(It, std::unique_ptr<Instruction>(new SpatialCheckInst(
+                               Chk->type(), Chk->pointer(), Chk->bounds(),
+                               Chk->accessSize(), Chk->isStoreCheck(),
+                               notOf(Guard))));
+      ++Stats.RuntimeGuardedFallbacks;
+    }
     It = BB->erase(It);
   }
 }
@@ -409,7 +944,10 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
 namespace softbound {
 namespace checkopt {
 
-void hoistLoopChecks(Function &F, CheckOptStats &Stats) {
+void hoistLoopChecks(Function &F, CheckOptStats &Stats,
+                     const CheckOptConfig &Cfg,
+                     const std::map<const Argument *, IntRange> *ArgRanges,
+                     bool *ArgRangeDischargeUsed) {
   if (!F.isDefinition())
     return;
   DomTree DT(F);
@@ -419,36 +957,59 @@ void hoistLoopChecks(Function &F, CheckOptStats &Stats) {
 
   // Counted-loop analysis and body-safety for every loop up front, so each
   // loop can borrow the IV ranges of its safe counted ancestors.
-  std::vector<CountedLoop> Counted(Loops.size());
-  std::vector<bool> Usable(Loops.size());
+  std::vector<LoopShape> Shapes(Loops.size());
   for (size_t I = 0; I < Loops.size(); ++I) {
-    if (!analyzeCountedLoop(Loops[I], Counted[I]))
+    LoopShape &S = Shapes[I];
+    if (analyzeCountedLoop(Loops[I], S.CL)) {
+      S.Constant = true;
+      ++Stats.LoopsCounted;
+    } else if (Cfg.RuntimeLimitHulls &&
+               analyzeSymbolicCountedLoop(Loops[I], S.SCL)) {
+      S.Symbolic = true;
+      ++Stats.LoopsCountedRuntime;
+    } else {
       continue;
-    ++Stats.LoopsCounted;
-    Usable[I] = loopBodyIsSafe(Loops[I]);
+    }
+    S.Usable = loopBodyIsSafe(Loops[I]);
   }
 
   for (size_t I = 0; I < Loops.size(); ++I) {
-    if (!Usable[I])
+    if (!Shapes[I].Usable)
       continue;
     const NaturalLoop &L = Loops[I];
     // Enclosing counted loops whose every iteration runs this loop in
     // full: the nest is rectangular, so their IV ranges may widen hulls
-    // (subject to the per-check root/bounds invariance test above).
+    // (subject to the per-check root/bounds invariance test above). At
+    // most one symbolic dimension may exist per hull — the hoisted loop's
+    // own limit wins; otherwise the first symbolic ancestor claims it.
     IVBox Enclosing;
     LoopHoister::LoopOfIV EnclosingLoops;
+    const SymbolicCountedLoop *AncestorSym = nullptr;
+    bool SymbolTaken = Shapes[I].Symbolic;
     for (size_t E = 0; E < Loops.size(); ++E) {
-      if (E == I || !Usable[E] || !Loops[E].contains(L.Header) ||
-          Counted[E].BodyCount <= 0)
+      if (E == I || !Shapes[E].Usable || !Loops[E].contains(L.Header))
         continue;
       if (!DT.dominates(L.Header, Loops[E].Latch))
         continue;
-      const CountedLoop &CE = Counted[E];
-      Enclosing[CE.IV] = IVRange{std::min(CE.Init, CE.LastBody),
-                                 std::max(CE.Init, CE.LastBody)};
-      EnclosingLoops[CE.IV] = &Loops[E];
+      if (Shapes[E].Constant) {
+        const CountedLoop &CE = Shapes[E].CL;
+        if (CE.BodyCount <= 0)
+          continue;
+        Enclosing[CE.IV] = IVSpan{AffVal{std::min(CE.Init, CE.LastBody), 0},
+                                  AffVal{std::max(CE.Init, CE.LastBody), 0}};
+        EnclosingLoops[CE.IV] = &Loops[E];
+      } else if (Shapes[E].Symbolic && !SymbolTaken) {
+        const SymbolicCountedLoop &SE = Shapes[E].SCL;
+        Enclosing[SE.IV] =
+            SE.Up ? IVSpan{AffVal{SE.Init, 0}, AffVal{SE.EndAdj, 1}}
+                  : IVSpan{AffVal{SE.EndAdj, 1}, AffVal{SE.Init, 0}};
+        EnclosingLoops[SE.IV] = &Loops[E];
+        AncestorSym = &SE;
+        SymbolTaken = true;
+      }
     }
-    LoopHoister(M, L, Counted[I], DT, Enclosing, EnclosingLoops, Stats)
+    LoopHoister(M, L, Shapes[I], DT, Enclosing, EnclosingLoops, AncestorSym,
+                ArgRanges, ArgRangeDischargeUsed, Stats)
         .run();
   }
 }

@@ -8,6 +8,7 @@
 
 #include "opt/Dominators.h"
 #include "opt/checks/Predicates.h"
+#include "opt/checks/RangeAnalysis.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -113,17 +114,11 @@ bool fitsWidth(__int128 V, unsigned Bits) {
   return V >= Min && V <= Max;
 }
 
-} // namespace
-
-bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
-  // --- Induction variable: header phi = [Init, Preheader], [Next, Latch]
-  // with Next = IV +/- constant.
-  auto *Br = dyn_cast<BrInst>(L.Header->terminator());
-  if (!Br || !Br->isConditional())
-    return false;
-
-  PhiInst *IV = nullptr;
-  int64_t Init = 0, Step = 0;
+/// First header phi of the shape [constant Init from the preheader],
+/// [phi +/- constant from a latch-side binop]. Shared by the constant and
+/// symbolic counted-loop analyzers.
+bool findInductionVar(const NaturalLoop &L, PhiInst *&IV, int64_t &Init,
+                      int64_t &Step) {
   for (auto &I : *L.Header) {
     auto *Phi = dyn_cast<PhiInst>(I.get());
     if (!Phi)
@@ -159,36 +154,64 @@ bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
     IV = Phi;
     Init = InitC->value();
     Step = S;
-    break;
+    return true;
   }
-  if (!IV)
-    return false;
+  return false;
+}
 
-  // --- Exit condition: icmp between the IV and a constant limit.
+/// The exit comparison's predicate oriented so "Pred(IV, limit) true"
+/// means "stay in the loop", with the limit-side operand returned raw.
+/// Sign extensions are peeled off the IV side (the frontend widens i32
+/// IVs to compare against i64 limits); canonical values are already
+/// sign-extended, so the peeled comparison is value-identical.
+bool orientExitCondition(const NaturalLoop &L, const BrInst *Br, PhiInst *IV,
+                         ICmpInst::Pred &Pred, Value *&LimitSide) {
   bool Negate = false;
   const ICmpInst *Cmp = peelCondition(Br->condition(), Negate);
   if (!Cmp)
     return false;
-
-  ICmpInst::Pred Pred = Cmp->pred();
-  const ConstantInt *LimitC = nullptr;
-  if (Cmp->lhs() == IV) {
-    LimitC = dyn_cast<ConstantInt>(Cmp->rhs());
-  } else if (Cmp->rhs() == IV) {
-    LimitC = dyn_cast<ConstantInt>(Cmp->lhs());
+  Pred = Cmp->pred();
+  if (stripSExt(Cmp->lhs()) == IV) {
+    LimitSide = Cmp->rhs();
+  } else if (stripSExt(Cmp->rhs()) == IV) {
+    LimitSide = Cmp->lhs();
     Pred = swapPred(Pred);
-  }
-  if (!LimitC)
+  } else {
     return false;
+  }
   if (Negate)
     Pred = invertPred(Pred);
-  // Orient so that Pred true means "stay in the loop".
   bool TrueStays = L.contains(Br->successor(0));
   bool FalseStays = L.contains(Br->successor(1));
   if (TrueStays == FalseStays)
     return false; // Both or neither in-loop: not the exit branch shape.
   if (!TrueStays)
     Pred = invertPred(Pred);
+  return true;
+}
+
+} // namespace
+
+bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
+  // --- Induction variable: header phi = [Init, Preheader], [Next, Latch]
+  // with Next = IV +/- constant.
+  auto *Br = dyn_cast<BrInst>(L.Header->terminator());
+  if (!Br || !Br->isConditional())
+    return false;
+
+  PhiInst *IV = nullptr;
+  int64_t Init = 0, Step = 0;
+  if (!findInductionVar(L, IV, Init, Step))
+    return false;
+
+  // --- Exit condition: icmp between the IV and a constant limit.
+  ICmpInst::Pred Pred;
+  Value *LimitSide = nullptr;
+  if (!orientExitCondition(L, Br, IV, Pred, LimitSide))
+    return false;
+  const auto *LimitC = dyn_cast<ConstantInt>(LimitSide);
+  if (!LimitC)
+    return false;
 
   // --- Body count C: number of k >= 0 with pred(Init + k*Step, Limit).
   // Everything is computed in 128-bit: near-full-range i64 constants make
@@ -262,6 +285,101 @@ bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
   // LastBody lies between Lo and ExitIV, so the width checks above cover it.
   Out.LastBody = C > 0 ? static_cast<int64_t>(Lo + (C - 1) * S) : Init;
   Out.ExitIV = static_cast<int64_t>(ExitIV);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic counted-loop recognition
+//===----------------------------------------------------------------------===//
+
+bool checkopt::analyzeSymbolicCountedLoop(const NaturalLoop &L,
+                                          SymbolicCountedLoop &Out) {
+  auto *Br = dyn_cast<BrInst>(L.Header->terminator());
+  if (!Br || !Br->isConditional())
+    return false;
+
+  PhiInst *IV = nullptr;
+  int64_t Init = 0, Step = 0;
+  if (!findInductionVar(L, IV, Init, Step))
+    return false;
+  // Only unit steps: for |Step| > 1 the IV can step *past* the limit and
+  // wrap its width before the exit test ever fails, and proving it cannot
+  // would need a divisibility guard the emitted window cannot express.
+  if (Step != 1 && Step != -1)
+    return false;
+
+  ICmpInst::Pred Pred;
+  Value *LimitSide = nullptr;
+  if (!orientExitCondition(L, Br, IV, Pred, LimitSide))
+    return false;
+
+  // The limit: peel value-preserving sign extensions (the peeled value is
+  // canonically equal), then require availability on entry. Constants are
+  // the constant analyzer's territory.
+  Value *Limit = stripSExt(LimitSide);
+  if (isa<ConstantInt>(Limit) || !isa<IntType>(Limit->type()) ||
+      !L.isInvariant(Limit) || Limit == IV)
+    return false;
+
+  unsigned W = cast<IntType>(IV->type())->bits();
+  if (W > 64)
+    return false;
+  const int64_t WMax =
+      W >= 64 ? INT64_MAX : (int64_t(1) << (W - 1)) - 1;
+  const int64_t WMin = W >= 64 ? INT64_MIN : -(int64_t(1) << (W - 1));
+  if (Init < WMin || Init > WMax)
+    return false; // Un-canonical hand-built constant: refuse.
+
+  // Per-predicate shape. The LimitMin/LimitMax window guarantees the IV
+  // reaches the exit value without leaving [WMin, WMax]: with a unit step
+  // the largest value the latch ever computes is the exit value itself
+  // (L for SLT, L+1 for SLE; mirrored downward), so bounding L bounds
+  // every intermediate.
+  using P = ICmpInst::Pred;
+  switch (Pred) {
+  case P::SLT: // Body IVs [Init, L-1]; exit value L.
+    if (Step != 1)
+      return false;
+    Out.Up = true;
+    Out.EndAdj = -1;
+    Out.LimitMin = INT64_MIN;
+    Out.LimitMax = WMax;
+    break;
+  case P::SLE: // Body IVs [Init, L]; exit value L+1.
+    if (Step != 1)
+      return false;
+    Out.Up = true;
+    Out.EndAdj = 0;
+    Out.LimitMin = INT64_MIN;
+    Out.LimitMax = WMax == INT64_MAX ? INT64_MAX - 1 : WMax - 1;
+    break;
+  case P::SGT: // Body IVs [L+1, Init]; exit value L.
+    if (Step != -1)
+      return false;
+    Out.Up = false;
+    Out.EndAdj = 1;
+    Out.LimitMin = WMin;
+    Out.LimitMax = INT64_MAX;
+    break;
+  case P::SGE: // Body IVs [L, Init]; exit value L-1.
+    if (Step != -1)
+      return false;
+    Out.Up = false;
+    Out.EndAdj = 0;
+    Out.LimitMin = WMin == INT64_MIN ? INT64_MIN + 1 : WMin + 1;
+    Out.LimitMax = INT64_MAX;
+    break;
+  default:
+    // Unsigned and equality predicates: no sound signed interval form
+    // under an unknown limit (ULT would additionally need L >= 0 and
+    // NE an exact divisibility hit).
+    return false;
+  }
+
+  Out.IV = IV;
+  Out.Init = Init;
+  Out.Step = Step;
+  Out.Limit = Limit;
   return true;
 }
 

@@ -17,7 +17,9 @@
 #define SOFTBOUND_OPT_CHECKS_LOOPS_H
 
 #include "ir/Function.h"
+#include "opt/checks/Predicates.h"
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -38,10 +40,11 @@ struct NaturalLoop {
     return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
   }
   /// True when \p V is available on entry to the loop (constant, argument,
-  /// or instruction defined outside the loop body).
+  /// or instruction defined outside the loop body). One definition shared
+  /// with the inter-procedural engine: see availableOnEntry (Predicates.h).
   bool isInvariant(const Value *V) const {
-    auto *I = dyn_cast<Instruction>(V);
-    return !I || !contains(I->parent());
+    return availableOnEntry(V,
+                            [this](const BasicBlock *BB) { return contains(BB); });
   }
 };
 
@@ -67,6 +70,44 @@ struct CountedLoop {
 /// `(zext i1) != 0` re-test wrapper). Rejects any sequence that would
 /// wrap its bit width or fail to terminate.
 bool analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out);
+
+/// A counted loop whose limit is a loop-invariant SSA value rather than a
+/// compile-time constant — the `for (i = 0; i < n; i++)` shape. The IV
+/// starts at the constant Init and steps by exactly +/-1 until the
+/// oriented relational predicate against Limit fails, so the body's IV
+/// set is an interval with one run-time endpoint:
+///
+///   up   (Step = +1): IV in [Init, L + EndAdj]  (EndAdj: SLT -1, SLE 0)
+///   down (Step = -1): IV in [L + EndAdj, Init]  (EndAdj: SGT +1, SGE 0)
+///
+/// where L is the run-time value of Limit. The closed form is valid only
+/// when (a) the loop runs at least one body iteration and (b) L lies in
+/// [LimitMin, LimitMax], the window inside which the IV provably reaches
+/// the exit without wrapping its bit width. Both are run-time conditions
+/// on L; the hoister (LoopHoist.cpp) narrows the window further with its
+/// own arithmetic-fidelity constraints and either proves it from
+/// inter-procedural argument ranges or tests it with an emitted guard.
+struct SymbolicCountedLoop {
+  PhiInst *IV = nullptr;
+  int64_t Init = 0;
+  int64_t Step = 0;       ///< +1 or -1.
+  Value *Limit = nullptr; ///< Loop-invariant integer SSA value.
+  bool Up = false;        ///< True for +1 loops (SLT/SLE).
+  int64_t EndAdj = 0;     ///< Run-time body-IV endpoint = L + EndAdj.
+  int64_t LimitMin = INT64_MIN; ///< IV-wrap window on L (inclusive).
+  int64_t LimitMax = INT64_MAX;
+};
+
+/// Recognizes \p L as a symbolic counted loop: header phi with constant
+/// init from the preheader, `phi +/- 1` from the latch, exit branch
+/// controlled by `icmp IV, Limit` (through the frontend's re-test wrapper
+/// and value-preserving sign extensions on either side) where Limit is
+/// available on entry to the loop. Only the signed relational predicates
+/// are accepted: unsigned and equality forms have no sound interval
+/// closed form under an unknown limit. Loops whose limit is a
+/// compile-time constant are the constant analyzer's job and are
+/// rejected here.
+bool analyzeSymbolicCountedLoop(const NaturalLoop &L, SymbolicCountedLoop &Out);
 
 /// True when no instruction in the loop can let a run finish *normally*
 /// without executing every remaining iteration: no exit/setjmp/longjmp

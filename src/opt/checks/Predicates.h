@@ -22,6 +22,31 @@
 namespace softbound {
 namespace checkopt {
 
+/// True when \p V is available on entry to a single-entry region whose
+/// blocks \p Contains describes: a constant, global, or argument, or an
+/// instruction defined outside the region. Because SSA values consume no
+/// memory state, such a value's dynamic value is the same on entry and at
+/// every point inside the region — no store, call, or metadata update can
+/// change it. This is the one definition of "invariant" shared by the
+/// loop hoister (NaturalLoop::isInvariant, symbolic-limit recognition in
+/// Loops.cpp) and the inter-procedural engine's cross-call reasoning, so
+/// the two passes can never disagree about what survives a region.
+template <typename InRegion>
+inline bool availableOnEntry(const Value *V, InRegion &&Contains) {
+  const auto *I = dyn_cast<Instruction>(V);
+  return !I || !Contains(I->parent());
+}
+
+/// True when executing \p I cannot produce an observable effect other
+/// than a (fatal) trap: pure instructions and the check instructions
+/// themselves. This is the barrier test behind both of InterProc's
+/// "nothing observable can intervene" scans — the must-execute entry
+/// prefix and the duplicate-check sink — one definition, so the two scans
+/// cannot drift apart.
+inline bool isUnobservableBeforeCheck(const Instruction *I) {
+  return I->isPure() || isa<SpatialCheckInst>(I) || isa<FuncPtrCheckInst>(I);
+}
+
 /// Peels the frontend's boolean re-test wrappers — `icmp ne (zext i1 X), 0`
 /// and `icmp eq (zext i1 X), 0` — off a branch condition, tracking parity,
 /// until the underlying relational comparison is reached. \p Negate is true

@@ -90,10 +90,16 @@ void RCEWalker::walk(BasicBlock *BB) {
         ++Stats.RangeEliminated;
         continue;
       }
-      if (Cfg.EliminateDominated)
-        Exact.add(P, B, 0, Size);
-      if (Cfg.RangeSubsumption)
-        Ranged.add(PO.Root, B, PO.Offset, PO.Offset + Size);
+      // A guarded check (runtime-limit hull or its fallback) may be
+      // *deleted* when a dominating unconditional check proves its bytes —
+      // skipping a proven check is always sound — but it must never source
+      // a fact: nothing guarantees it executed.
+      if (!Chk->isGuarded()) {
+        if (Cfg.EliminateDominated)
+          Exact.add(P, B, 0, Size);
+        if (Cfg.RangeSubsumption)
+          Ranged.add(PO.Root, B, PO.Offset, PO.Offset + Size);
+      }
       ++It;
       continue;
     }

@@ -833,6 +833,19 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
   }
   case ValueKind::SpatialCheck: {
     auto &Chk = cast<SpatialCheckInst>(I);
+    if (Value *G = Chk.guard()) {
+      // Guarded check: the guard test costs one simulated instruction on
+      // every execution; the check itself only runs (and only counts as a
+      // dynamic check) when the guard is true — so a hull whose window
+      // guard failed falls back to honest per-iteration check accounting,
+      // and a skipped fallback costs its one-cycle test, not a free ride.
+      ++C.CheckGuards;
+      C.Cycles += 1;
+      if ((eval(Fr, G).A & 1) == 0) {
+        ++C.GuardSkips;
+        return;
+      }
+    }
     VMVal P = eval(Fr, Chk.pointer());
     VMVal B = eval(Fr, Chk.bounds());
     ++C.Checks;

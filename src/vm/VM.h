@@ -59,6 +59,8 @@ struct VMCounters {
   uint64_t PtrLoads = 0;  ///< Loads whose result type is a pointer (Fig. 1).
   uint64_t PtrStores = 0; ///< Stores whose value type is a pointer (Fig. 1).
   uint64_t Checks = 0;
+  uint64_t CheckGuards = 0; ///< Guard evaluations on guarded spatial checks.
+  uint64_t GuardSkips = 0;  ///< Guarded checks skipped (guard was false).
   uint64_t FuncPtrChecks = 0;
   uint64_t MetaLoads = 0;
   uint64_t MetaStores = 0;

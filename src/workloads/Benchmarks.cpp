@@ -306,7 +306,10 @@ int main() {
 }
 )";
 
-// Olden tsp: nearest-neighbour tour over a linked city list. ~15%.
+// Olden tsp: nearest-neighbour tour over a linked city list, fed by the
+// point-set conditioning phase the real tsp's uniform() generation has —
+// coordinate arrays swept under a run-time city count (the variable-limit
+// shape runtime-limit hull hoisting targets). ~15%.
 const char *TspSrc = R"(
 struct city {
   long x; long y;
@@ -314,13 +317,42 @@ struct city {
   struct city* next;
 };
 
+long xs[2048];
+long ys[2048];
+int cfg[1];
+
+void gen_coords(int n) {
+  for (int i = 0; i < n; i++) {
+    xs[i] = (long)(sb_rand() % 4096);
+    ys[i] = (long)(sb_rand() % 4096);
+  }
+}
+
+/* Coupled Jacobi-style relaxation of the point cloud: 24 sweeps, the
+   conditioning step before the tour (mirrors the original's point
+   generation pass). The limit n is only known at run time. */
+void smooth_coords(int n) {
+  for (int r = 0; r < 24; r++) {
+    for (int i = 0; i < n; i++) {
+      long jx = xs[i];
+      xs[i] = (jx * 3 + ys[i] + (i % 17)) / 4;
+      ys[i] = (ys[i] * 3 + jx + 7) / 4;
+    }
+  }
+}
+
 int main() {
   sb_srand(23);
+  cfg[0] = 1536 + (int)(sb_rand() % 256);
+  int n = cfg[0];
+  gen_coords(n);
+  smooth_coords(n);
   struct city* head = NULL;
   for (int i = 0; i < 150; i++) {
     struct city* c = (struct city*)malloc(sizeof(struct city));
-    c->x = (long)(sb_rand() % 4096);
-    c->y = (long)(sb_rand() % 4096);
+    int k = i * 10;
+    c->x = xs[k] + i;
+    c->y = ys[k] + 2 * i;
     c->visited = 0;
     c->next = head;
     head = c;
@@ -661,13 +693,44 @@ int main() {
 
 // SPEC li: cons-cell expression interpreter (eval over list structures).
 // ~52%.
-const char *LiSrc = R"(
+const char *LiSrc = R"SRC(
 struct cell {
   int tag;           /* 0 = number, 1 = pair */
   long num;
   struct cell* car;
   struct cell* cdr;
 };
+
+/* xlisp reads program text before evaluating it: a reader buffer scanned
+   under a strlen-derived (run-time) length — the variable-limit shape. */
+char prog[384];
+int toks[384];
+
+int load_prog() {
+  strcpy(prog, "( + ( * 12 7 ) ( - ( * 3 20 ) ( + 9 4 ) ) ( + ( * 2 31 ) ( - 44 5 ) ) ( - ( + 17 25 ) ( * 6 9 ) ) ( * ( + 1 2 ) ( + 3 4 ) ( - 9 2 ) ) ( + ( - 100 58 ) ( * 11 3 ) ( + 7 0 ) ( - 31 12 ) ) ( * ( - 50 29 ) ( + 8 13 ) ) ( + ( * 4 16 ) ( - 90 27 ) ( * 5 5 ) ) ( - ( * 14 3 ) ( + 6 28 ) ( - 77 41 ) )");
+  return (int)strlen(prog);
+}
+
+/* Classify every character of the program text. */
+int scan_text(int len) {
+  int depth = 0;
+  for (int i = 0; i < len; i++) {
+    int c = prog[i];
+    int t = 0;
+    if (c == 40) { t = 1; depth = depth + 1; }
+    else if (c == 41) { t = 2; depth = depth - 1; }
+    else if (c >= 48 && c <= 57) { t = 3; }
+    else if (c != 32) { t = 4; }
+    toks[i] = t;
+  }
+  return depth;
+}
+
+long lex_hash(int len) {
+  long h = 7;
+  for (int i = 0; i < len; i++) h = h * 31 + toks[i] * 7 + prog[i];
+  return h;
+}
 
 struct cell* mknum(long v) {
   struct cell* c = (struct cell*)malloc(sizeof(struct cell));
@@ -709,15 +772,17 @@ struct cell* copy(struct cell* e) {
 
 int main() {
   sb_srand(43);
+  int len = load_prog();
   long chk = 0;
   for (int i = 0; i < 40; i++) {
+    chk += scan_text(len) + lex_hash(len) % 31;
     struct cell* e = gen(6);
     struct cell* e2 = copy(e);
     chk += eval(e) + eval(e2) * 2;
   }
   return (int)((chk % 251 + 251) % 251);
 }
-)";
+)SRC";
 
 // Olden em3d: bipartite graph relaxation through per-node pointer
 // arrays. ~58%.

@@ -448,6 +448,322 @@ TEST(CheckOptLoops, StoreOnlyStillMissesReadOverflow) {
 }
 
 //===----------------------------------------------------------------------===//
+// Runtime-limit hull hoisting (checkopt(hoist,runtime-limit))
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeHulls, GuardedCheckShapeIsVerified) {
+  Module M;
+  TypeContext &Ctx = M.ctx();
+  Function *F = M.createFunction(
+      "probe", Ctx.funcTy(Ctx.voidTy(), {Ctx.ptrTo(Ctx.i8()), Ctx.i64()}));
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M);
+  B.setInsertPoint(BB);
+  Value *Bounds = B.makeBounds(M.constI64(0x1000), M.constI64(0x1040));
+  Value *G = B.icmp(ICmpInst::Pred::SGE, F->arg(1), M.constI64(1));
+  SpatialCheckInst *C = B.spatialCheck(F->arg(0), Bounds, 8, true, G);
+  B.ret();
+  EXPECT_TRUE(C->isGuarded());
+  EXPECT_EQ(C->guard(), G);
+  EXPECT_TRUE(verifyModule(M).empty());
+  EXPECT_NE(printInstruction(*C).find(", if "), std::string::npos)
+      << "the printer must show the guarded-check shape";
+
+  // A non-i1 guard violates the verifier rule for the guarded shape.
+  Module M2;
+  TypeContext &Ctx2 = M2.ctx();
+  Function *F2 = M2.createFunction(
+      "probe", Ctx2.funcTy(Ctx2.voidTy(), {Ctx2.ptrTo(Ctx2.i8()), Ctx2.i64()}));
+  BasicBlock *BB2 = F2->createBlock("entry");
+  IRBuilder B2(M2);
+  B2.setInsertPoint(BB2);
+  Value *Bounds2 = B2.makeBounds(M2.constI64(0x1000), M2.constI64(0x1040));
+  B2.spatialCheck(F2->arg(0), Bounds2, 8, true, F2->arg(1));
+  B2.ret();
+  EXPECT_FALSE(verifyModule(M2).empty());
+}
+
+/// The GlobalArrayOverflow shape: a global array swept under a limit only
+/// known at run time (main's integer argument — externally reachable, so
+/// no argument range can discharge the guard statically).
+const char *VarLimitSweepSrc = "long buf[64];\n"
+                               "int main(int n) {\n"
+                               "  long s = 0;\n"
+                               "  for (int i = 0; i < n; i++) {\n"
+                               "    buf[i] = 7; s = s + buf[i];\n"
+                               "  }\n"
+                               "  return (int)(s % 100);\n"
+                               "}";
+
+TEST(RuntimeHulls, VariableLimitLoopCollapsesToGuardedHull) {
+  BuildResult Prog = planBuild(VarLimitSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  const CheckOptStats &S = Prog.Pipeline.CheckOpt;
+  EXPECT_GE(S.LoopsCountedRuntime, 1u);
+  EXPECT_EQ(S.RuntimeHullChecks, 2u) << "one guarded hull per endpoint";
+  EXPECT_GE(S.RuntimeGuardedFallbacks, 1u);
+
+  RunOptions RO;
+  RO.Args = {16};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 12);
+  EXPECT_EQ(R.Counters.Checks, 2u) << "O(n) -> O(1) dynamic checks";
+  EXPECT_GE(R.Counters.CheckGuards, 2u);
+
+  // Without the runtime-limit knob the loop keeps per-iteration checks.
+  CheckOptConfig NoRT;
+  NoRT.RuntimeLimitHulls = false;
+  BuildResult Off = planBuild(VarLimitSweepSrc, {}, NoRT);
+  ASSERT_TRUE(Off.ok());
+  EXPECT_EQ(Off.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
+  RunResult ROff = runProgram(Off, RO);
+  EXPECT_EQ(ROff.ExitCode, R.ExitCode);
+  EXPECT_GE(ROff.Counters.Checks, 16u);
+}
+
+TEST(RuntimeHulls, ZeroTripAndNegativeLimitsPerformNoCheck) {
+  BuildResult Prog = planBuild(VarLimitSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  for (int64_t N : {int64_t(0), int64_t(-3)}) {
+    RunOptions RO;
+    RO.Args = {N};
+    RunResult R = runProgram(Prog, RO);
+    ASSERT_TRUE(R.ok()) << "n=" << N << " " << trapName(R.Trap) << " "
+                        << R.Message;
+    EXPECT_EQ(R.ExitCode, 0);
+    EXPECT_EQ(R.Counters.Checks, 0u)
+        << "a zero-trip loop must perform no check at all";
+    EXPECT_GE(R.Counters.GuardSkips, 2u) << "hull guards tested and skipped";
+  }
+}
+
+TEST(RuntimeHulls, OverflowingLimitTrapsViaHull) {
+  BuildResult Prog = planBuild(VarLimitSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  RunOptions RO;
+  RO.Args = {64};
+  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "n == extent is clean";
+  RO.Args = {65};
+  RunResult R = runProgram(Prog, RO);
+  EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
+  EXPECT_EQ(R.Counters.Checks, 2u) << "the hull traps before the loop";
+}
+
+TEST(RuntimeHulls, DecreasingLoopWithSymbolicLowerLimit) {
+  const char *Src = "long buf[64];\n"
+                    "int main(int n) {\n"
+                    "  long s = 0;\n"
+                    "  for (int i = 63; i >= n; i--) { buf[i] = 2; s = s + 1; }\n"
+                    "  return (int)s;\n"
+                    "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Pipeline.CheckOpt.LoopsCountedRuntime, 1u);
+
+  RunOptions RO;
+  RO.Args = {60};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 4);
+  EXPECT_EQ(R.Counters.Checks, 2u);
+
+  RO.Args = {64}; // Zero-trip downward loop.
+  R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Counters.Checks, 0u);
+
+  RO.Args = {-1}; // Underflows buf[-1]: the low hull corner traps.
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+}
+
+TEST(RuntimeHulls, LimitMutatedInLoopIsRejected) {
+  // The exit test reloads lim[0] every iteration and the body stores to
+  // it: the limit's SSA value is defined inside the loop, so symbolic
+  // recognition must refuse — behaviour stays per-iteration checked and
+  // identical to the unoptimized build.
+  const char *Src =
+      "int a[16]; int lim[1];\n"
+      "int main() {\n"
+      "  lim[0] = 16;\n"
+      "  long s = 0;\n"
+      "  for (int i = 0; i < lim[0]; i++) {\n"
+      "    a[i] = i; lim[0] = lim[0] - 1; s = s + a[i];\n"
+      "  }\n"
+      "  return (int)s;\n"
+      "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_EQ(Prog.Pipeline.CheckOpt.LoopsCountedRuntime, 0u);
+  EXPECT_EQ(Prog.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+
+  EXPECT_GE(R.Counters.Checks, 8u)
+      << "the a[i] accesses keep one dynamic check per iteration";
+
+  CheckOptConfig Off;
+  Off.Enable = false;
+  RunResult ROff = planRun(Src, {}, Off);
+  EXPECT_EQ(R.ExitCode, ROff.ExitCode);
+}
+
+TEST(RuntimeHulls, OutOfWindowLimitFallsBackToInLoopChecks) {
+  // a[i % 4] linearizes as the identity only while i stays in [0, 4), so
+  // the window is n <= 4. Inside it the hull pair covers the loop;
+  // outside it the guarded fallback keeps honest per-iteration checking.
+  const char *Src = "long a[4];\n"
+                    "int main(int n) {\n"
+                    "  long s = 0;\n"
+                    "  for (int i = 0; i < n; i++) {\n"
+                    "    a[i % 4] = i; s = s + a[i % 4];\n"
+                    "  }\n"
+                    "  return (int)s;\n"
+                    "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_EQ(Prog.Pipeline.CheckOpt.RuntimeHullChecks, 2u);
+
+  RunOptions RO;
+  RO.Args = {4};
+  RunResult RIn = runProgram(Prog, RO);
+  ASSERT_TRUE(RIn.ok()) << RIn.Message;
+  EXPECT_EQ(RIn.ExitCode, 6);
+  EXPECT_EQ(RIn.Counters.Checks, 2u) << "inside the window: hulls only";
+
+  RO.Args = {6};
+  RunResult ROut = runProgram(Prog, RO);
+  ASSERT_TRUE(ROut.ok()) << ROut.Message;
+  EXPECT_EQ(ROut.ExitCode, 15);
+  EXPECT_EQ(ROut.Counters.Checks, 6u)
+      << "outside the window every fallback check must execute and count";
+  EXPECT_GE(ROut.Counters.CheckGuards, 8u);
+}
+
+TEST(RuntimeHulls, WrappingEndpointFallsBackAndStillTraps) {
+  // Mirrors PR 3's WrappedI64ArithmeticIsNotRangeElided: the hull
+  // endpoint (2^57+1)*8*(n-1) escapes the far-from-wrap window for every
+  // n > 1, so the guard must route those runs to the unmodified in-loop
+  // checks — which still trap on the wild address.
+  const char *Src =
+      "long a[4];\n"
+      "int main(int n) {\n"
+      "  long s = 0;\n"
+      "  for (long i = 0; i < n; i++) { s = s + a[i * 144115188075855873]; }\n"
+      "  return (int)s;\n"
+      "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+
+  RunOptions RO;
+  RO.Args = {1};
+  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "n=1 stays inside the window";
+  RO.Args = {2};
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+
+  CheckOptConfig Off;
+  Off.Enable = false;
+  BuildResult POff = planBuild(Src, {}, Off);
+  ASSERT_TRUE(POff.ok());
+  EXPECT_EQ(runProgram(POff, RO).Trap, TrapKind::SpatialViolation)
+      << "reference: the unoptimized build traps identically";
+}
+
+TEST(RuntimeHulls, InterProcArgumentRangesDischargeGuards) {
+  // Both call sites pass literal limits, so the propagated range [30, 50]
+  // proves the trip and wrap windows: unguarded hulls, no fallback — and
+  // the module must record the whole-program contract the proof used.
+  const char *Src =
+      "long buf[64];\n"
+      "int fill(long* p, int n) {\n"
+      "  long s = 0;\n"
+      "  for (int i = 0; i < n; i++) { p[i] = i; s = s + p[i]; }\n"
+      "  return (int)(s % 100);\n"
+      "}\n"
+      "int main() { return fill(buf, 30) + fill(buf, 50); }";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Pipeline.CheckOpt.RuntimeGuardsDischarged, 1u);
+  EXPECT_TRUE(Prog.M->hasInterProcContract());
+
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 60);
+  EXPECT_EQ(R.Counters.Checks, 4u) << "two unguarded hulls per call";
+  EXPECT_EQ(R.Counters.CheckGuards, 0u) << "discharged guards emit no test";
+
+  // Entering fill directly would bypass the range proof; refused.
+  RunOptions RO;
+  RO.Entry = "fill";
+  RunResult RBad = runProgram(Prog, RO);
+  EXPECT_FALSE(RBad.ok());
+}
+
+TEST(RuntimeHulls, SymbolicNestWithDistinctLimitsStaysSound) {
+  // Re-hoisting the inner loop's guarded hull out of the outer *symbolic*
+  // loop conjoins the outer trip test onto the moved guard. The moved
+  // guard chain (sext/icmp on m) must be spliced into the preheader
+  // before the conjunction that uses it — a use-before-def there reads 0,
+  // silently disabling both the hull and its fallback. Distinct limits
+  // keep localCSE from accidentally repairing the order.
+  const char *Src = "long a[64];\n"
+                    "int main(int n, int m) {\n"
+                    "  long s = 0;\n"
+                    "  for (int i = 0; i < n; i++)\n"
+                    "    for (int j = 0; j < m; j++) { a[j] = j; s = s + 1; }\n"
+                    "  return (int)(s % 100);\n"
+                    "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  ASSERT_TRUE(verifyModule(*Prog.M).empty())
+      << verifyModule(*Prog.M).front();
+
+  RunOptions RO;
+  RO.Args = {8, 32};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 56);
+  EXPECT_GE(R.Counters.Checks, 1u) << "the hull must actually execute";
+  EXPECT_LE(R.Counters.Checks, 4u);
+
+  RO.Args = {8, 65}; // Inner limit overruns a[64]: must trap, not run clean.
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+
+  RO.Args = {0, 65}; // Outer zero-trip: nothing runs, nothing traps.
+  RunResult RZ = runProgram(Prog, RO);
+  ASSERT_TRUE(RZ.ok()) << RZ.Message;
+  EXPECT_EQ(RZ.Counters.Checks, 0u);
+}
+
+TEST(RuntimeHulls, NestedConstantLoopRehoistsGuardedHulls) {
+  // The inner symbolic loop's guarded hulls are invariant in the outer
+  // constant loop (guard and address computed from n alone), so the outer
+  // pass moves them out: the whole nest runs O(1) hull checks, not O(r).
+  const char *Src =
+      "long xs[2048];\n"
+      "int cfg[1];\n"
+      "int smooth(int n) {\n"
+      "  for (int r = 0; r < 10; r++)\n"
+      "    for (int i = 0; i < n; i++)\n"
+      "      xs[i] = (xs[i] * 3 + 2048) / 4;\n"
+      "  return (int)xs[0];\n"
+      "}\n"
+      "int main() {\n"
+      "  cfg[0] = 1024;\n"
+      "  int n = cfg[0];\n"
+      "  for (int i = 0; i < n; i++) xs[i] = i;\n"
+      "  return smooth(n) % 100;\n"
+      "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_LE(R.Counters.Checks, 4u)
+      << "11k per-iteration checks collapse to one hull pair per loop nest";
+}
+
+//===----------------------------------------------------------------------===//
 // Precision: the struct-field exemplar
 //===----------------------------------------------------------------------===//
 

@@ -125,8 +125,14 @@ TEST(PipelineSpec, RoundTripsCanonicalForms) {
       {"optimize,softbound,checkopt", "optimize,softbound,checkopt"},
       {" optimize , softbound( store-only , no-shrink ) ",
        "optimize,softbound(store-only,no-shrink)"},
-      // The default sub-pass set now includes interproc.
-      {"checkopt(redundant,range,hoist,interproc)", "checkopt"},
+      // The default sub-pass set now includes interproc and runtime-limit;
+      // an explicit knob list enables exactly what it names, so the
+      // pre-runtime-limit default spells itself out.
+      {"checkopt(redundant,range,hoist,runtime-limit,interproc)", "checkopt"},
+      {"checkopt(redundant,range,hoist,interproc)",
+       "checkopt(redundant,range,hoist,interproc)"},
+      // runtime-limit implies (and canonically spells out) hoist.
+      {"checkopt(runtime-limit)", "checkopt(hoist,runtime-limit)"},
       {"checkopt(redundant,range,hoist)", "checkopt(redundant,range,hoist)"},
       {"checkopt()", "checkopt"},
       {"checkopt(range)", "checkopt(range)"},
