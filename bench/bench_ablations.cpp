@@ -63,8 +63,10 @@ const char *const LoopKernels[] = {"lbm", "hmmer", "ijpeg", "compress"};
 
 /// Section 5's corpus: the counted-loop kernels, the
 /// recursive/pointer-heavy ones where inter-procedural propagation is the
-/// only sub-pass with leverage, and the variable-limit kernels (tsp, li)
-/// that only runtime-limit hull hoisting reaches.
+/// only sub-pass with leverage, and the runtime-bound kernels that only
+/// runtime-limit hull hoisting reaches — tsp/li (variable limits) plus
+/// ijpeg/hmmer/go, whose scan-band (`lo..hi`), traceback (decreasing)
+/// and stride-8 phases exercise the symbolic-init/strided shapes.
 const char *const CheckOptKernels[] = {"lbm",       "hmmer", "ijpeg",
                                        "compress",  "perimeter", "bh",
                                        "go",        "tsp",   "li"};

@@ -135,9 +135,12 @@ void writeJson(const std::vector<WorkloadNumbers> &All,
     W.kv("interproc_arg_summaries", N.CheckOpt.InterProcArgSummaries);
     W.kv("interproc_ret_summaries", N.CheckOpt.InterProcRetSummaries);
     W.kv("loops_counted_runtime", N.CheckOpt.LoopsCountedRuntime);
+    W.kv("loops_symbolic_init", N.CheckOpt.LoopsCountedSymInit);
+    W.kv("loops_strided", N.CheckOpt.LoopsCountedStrided);
     W.kv("runtime_hulls", N.CheckOpt.RuntimeHullChecks);
     W.kv("runtime_fallbacks", N.CheckOpt.RuntimeGuardedFallbacks);
     W.kv("runtime_discharged", N.CheckOpt.RuntimeGuardsDischarged);
+    W.kv("runtime_divis_guards", N.CheckOpt.RuntimeDivisGuards);
     W.endObject();
     W.key("pass_timings_ms");
     W.beginArray();

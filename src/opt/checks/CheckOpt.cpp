@@ -8,6 +8,7 @@
 
 #include "opt/Passes.h"
 #include "opt/checks/InterProc.h"
+#include "opt/checks/LoopHoist.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -17,13 +18,9 @@ using namespace softbound;
 namespace softbound {
 namespace checkopt {
 
-// Sub-pass entry points (RedundantChecks.cpp / LoopHoist.cpp).
+// Sub-pass entry point (RedundantChecks.cpp).
 void eliminateRedundantSpatialChecks(Function &F, const CheckOptConfig &Cfg,
                                      CheckOptStats &Stats);
-void hoistLoopChecks(Function &F, CheckOptStats &Stats,
-                     const CheckOptConfig &Cfg,
-                     const std::map<const Argument *, IntRange> *ArgRanges,
-                     bool *ArgRangeDischargeUsed);
 
 } // namespace checkopt
 } // namespace softbound

@@ -79,12 +79,15 @@ struct CheckOptConfig {
   bool RangeSubsumption = true;
   /// Hoist loop-invariant and affine-indexed checks out of counted loops.
   bool HoistLoopChecks = true;
-  /// Extend hull hoisting to loops counted by a loop-invariant *symbolic*
-  /// limit (`for (i = 0; i < n; i++)`): hull endpoints are computed from
-  /// the live limit value in the preheader behind a trip/wrap window
-  /// guard, with the original in-loop check kept as the out-of-window
-  /// fallback (LoopHoist.cpp "Run-time limits"). Sub-knob of
-  /// HoistLoopChecks; `checkopt(hoist,runtime-limit)` in pipeline specs.
+  /// Extend hull hoisting to loops counted by loop-invariant *symbolic*
+  /// bounds — `for (i = 0; i < n; i++)`, symbolic init
+  /// (`for (i = lo; i < hi; i++)`), the decreasing
+  /// `for (i = n-1; i >= 0; i--)` shape, and |step| > 1 sweeps behind a
+  /// stride-divisibility test: hull endpoints are computed from the live
+  /// bound values in the preheader behind a trip/wrap region guard, with
+  /// the original in-loop check kept as the out-of-region fallback
+  /// (LoopHoist.cpp "Run-time bounds"). Sub-knob of HoistLoopChecks;
+  /// `checkopt(hoist,runtime-limit)` in pipeline specs.
   bool RuntimeLimitHulls = true;
   /// Inter-procedural bounds propagation (opt/checks/InterProc.h): elide
   /// callee checks proven at every call site, reuse callee-guaranteed
@@ -110,11 +113,16 @@ struct CheckOptStats {
   unsigned LoopsAnalyzed = 0;  ///< Natural loops inspected.
   unsigned LoopsCounted = 0;   ///< Loops with a provable constant trip set.
 
-  // Runtime-limit hull hoisting (LoopHoist.cpp "Run-time limits").
-  unsigned LoopsCountedRuntime = 0; ///< Symbolic-limit counted loops.
+  // Runtime-bound hull hoisting (LoopHoist.cpp "Run-time bounds").
+  unsigned LoopsCountedRuntime = 0; ///< Symbolic-bound counted loops.
+  unsigned LoopsCountedSymInit = 0; ///< ... with a symbolic *init* (incl.
+                                    ///< the decreasing `i = n-1; i >= 0`
+                                    ///< shape).
+  unsigned LoopsCountedStrided = 0; ///< ... with |step| > 1.
   unsigned RuntimeHullChecks = 0;   ///< Guard-protected hull checks added.
   unsigned RuntimeGuardedFallbacks = 0; ///< In-loop fallback checks kept.
   unsigned RuntimeGuardsDischarged = 0; ///< Guards settled by arg ranges.
+  unsigned RuntimeDivisGuards = 0;      ///< Stride-divisibility tests emitted.
 
   // Inter-procedural bounds propagation (opt/checks/InterProc.h).
   unsigned InterProcChecksElided = 0;  ///< Total checks the pass deleted.
@@ -145,9 +153,12 @@ struct CheckOptStats {
     LoopsAnalyzed += O.LoopsAnalyzed;
     LoopsCounted += O.LoopsCounted;
     LoopsCountedRuntime += O.LoopsCountedRuntime;
+    LoopsCountedSymInit += O.LoopsCountedSymInit;
+    LoopsCountedStrided += O.LoopsCountedStrided;
     RuntimeHullChecks += O.RuntimeHullChecks;
     RuntimeGuardedFallbacks += O.RuntimeGuardedFallbacks;
     RuntimeGuardsDischarged += O.RuntimeGuardsDischarged;
+    RuntimeDivisGuards += O.RuntimeDivisGuards;
     InterProcChecksElided += O.InterProcChecksElided;
     InterProcCalleeElided += O.InterProcCalleeElided;
     InterProcCallerElided += O.InterProcCallerElided;

@@ -20,29 +20,42 @@
 /// (loops are processed innermost-first) hoists them again, collapsing a
 /// whole nest's checks to two.
 ///
-/// **Run-time limits.** Loops counted by a loop-invariant *symbolic* limit
-/// (`for (i = 0; i < n; i++)` — Loops.h SymbolicCountedLoop) hoist too:
-/// the IV box spans become affine in the limit's run-time value L
-/// (`C + K*L`), the hull corner offsets are materialized in the preheader
-/// as `Root + (K*L + C)` bytes, and every proof the constant case makes
-/// statically becomes a *window* [WLo, WHi] of L values for which it
-/// holds: at least one body iteration runs (the trip test — zero-trip
-/// loops must perform no check), the IV reaches the exit without wrapping
-/// its width, every intermediate node of the index expression stays inside
-/// its bit width over the box, and the emitted i64 hull arithmetic cannot
-/// wrap (the former compile-time far-from-wrap guard, now a dynamic
-/// branch). The window becomes an i1 *guard*: hull checks execute only
-/// when L is inside it, and the original in-loop check survives as a
-/// fallback guarded by the window's complement — outside the window the
-/// loop simply keeps its unmodified per-iteration checking. When the
-/// limit is a function argument whose inter-procedurally propagated range
-/// (checkopt(interproc)'s top-down argument ranges) lies inside the
-/// window, the guard is discharged statically: unguarded hulls, no
-/// fallback — and the module records the whole-program contract the range
-/// proof leaned on (Module::recordInterProcContract).
+/// **Run-time bounds.** Loops counted by up to two loop-invariant
+/// *symbolic* bounds (Loops.h SymbolicCountedLoop) hoist too — symbolic
+/// init (`for (i = lo; i < hi; i++)`), the decreasing shape
+/// (`for (i = n - 1; i >= 0; i--)`), and |step| > 1 sweeps. The IV box
+/// spans become affine in the run-time values of the init symbol I and
+/// limit symbol L (`C + KI*I + KL*L`), the hull corner offsets are
+/// materialized in the preheader as `Root + (KI*I + KL*L + C)` bytes, and
+/// every proof the constant case makes statically becomes a *region* of
+/// (I, L) values for which it holds:
+///
+///   * at least one body iteration runs — exactly the loop's oriented
+///     stay-predicate Pred(I, L), one icmp on the live values (zero-trip
+///     loops must perform no check);
+///   * when |step| > 1, the span L - I is divisible by |step| (otherwise
+///     the IV steps past the limit and the closed-form endpoint is not
+///     the true last IV) — an emitted `(L - I) % s == 0` test;
+///   * the IV reaches the exit without wrapping its width, every
+///     intermediate node of the index expression stays inside its bit
+///     width over the box, and the emitted i64 hull/guard arithmetic
+///     cannot wrap. Each such obligation is an affine inequality over
+///     (I, L): one-symbol obligations narrow a per-symbol interval
+///     exactly, two-symbol ones append `KI*I + KL*L + C >= 0` constraints
+///     (with interval clamps keeping their own test arithmetic exact).
+///
+/// The region becomes an i1 *guard*: hull checks execute only when (I, L)
+/// is inside it, and the original in-loop check survives as a fallback
+/// guarded by the region's complement — outside it the loop simply keeps
+/// its unmodified per-iteration checking. When the symbols' inter-
+/// procedurally propagated ranges (checkopt(interproc)'s top-down
+/// argument ranges, peeled through sign extensions and constant +/-) lie
+/// inside the region, the guard is discharged statically: unguarded
+/// hulls, no fallback — and the module records the whole-program contract
+/// the range proof leaned on (Module::recordInterProcContract).
 ///
 /// Soundness rests on the same three proofs as the constant case, all
-/// established before any rewrite and conditioned on the window:
+/// established before any rewrite and conditioned on the region:
 ///
 ///   1. Exact iteration sets. analyzeCountedLoop() /
 ///      analyzeSymbolicCountedLoop() give each IV sequence; a check's
@@ -53,22 +66,30 @@
 ///      keep a normally-completing run from finishing every iteration,
 ///      and enclosing IVs are only used when the hoisted loop's header
 ///      dominates the enclosing latch. Hence on a clean run inside the
-///      window the original program itself evaluates checks at both hull
+///      region the original program itself evaluates checks at both hull
 ///      corners: the hoisted checks are a subset of the original dynamic
-///      checks, moved earlier. Outside the window the fallback checks are
+///      checks, moved earlier. Outside the region the fallback checks are
 ///      the original checks, unmoved. A run that would have trapped still
 ///      traps — though possibly earlier and, when the original trap was
 ///      of another kind, as a spatial violation instead. Clean runs are
-///      never affected.
+///      never affected. A symbol that coincides with an enclosing loop's
+///      IV is never paired with widening over that IV: the dimension is
+///      dropped from the box and every occurrence reads the one live
+///      value through the symbol instead, so corners mix no two
+///      iterations (see hoistLoopChecks).
 ///
-///   2. Faithful re-evaluation. The linearizer verifies (for every L in
-///      the window) that every intermediate node of the index expression
-///      stays inside its bit width over the whole IV box; each node is
-///      linear (separable) in the IVs, so its extremes sit at box corners
-///      and corner checks cover every iteration. The real (wrapping)
-///      arithmetic therefore equals the exact linear value, and the
-///      emitted `Root + (K*L + C)` address is bit-identical to what the
-///      deleted check would have computed at that iteration.
+///   2. Faithful re-evaluation. The linearizer verifies (for every (I, L)
+///      in the region) that every intermediate node of the index
+///      expression stays inside its bit width over the whole IV box; each
+///      node is linear (separable) in the IVs, so its extremes sit at box
+///      corners and corner checks cover every iteration. The real
+///      (wrapping) arithmetic therefore equals the exact linear value,
+///      and the emitted `Root + (KI*I + KL*L + C)` address is
+///      bit-identical to what the deleted check would have computed at
+///      that iteration. Guard tests themselves never trap and are exact
+///      whenever their interval clamps pass; when a clamp fails the
+///      conjunction is already false and the garbage cross/divisibility
+///      value is ignored.
 ///
 ///   3. Monotonicity. The byte offset is linear over the box, so the two
 ///      extreme-corner checks imply every intermediate one: an underflow
@@ -87,9 +108,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "opt/checks/LoopHoist.h"
+
 #include "opt/Dominators.h"
 #include "opt/checks/CheckOpt.h"
-#include "opt/checks/InterProc.h"
 #include "opt/checks/Loops.h"
 #include "opt/checks/RangeAnalysis.h"
 #include "support/Casting.h"
@@ -109,9 +131,16 @@ namespace {
 /// 64-bit address arithmetic can never wrap.
 constexpr int64_t MaxByteOffset = int64_t(1) << 40;
 
-/// Bound on the |K * L| product term of an emitted hull offset: far from
-/// the i64 edge, so `mul` and the following `add` cannot wrap.
+/// Bound on each |K * symbol| product term of an emitted hull offset: far
+/// from the i64 edge, so the two `mul`s and the following `add`s cannot
+/// wrap (their mathematical sum is the region-bounded offset).
 constexpr int64_t MaxProductTerm = int64_t(1) << 62;
+
+/// Bounds for the arithmetic of an emitted cross-constraint test
+/// `KI*I + KL*L + C >= 0`: products clamped to 2^60 and |C| to 2^61 keep
+/// every intermediate i64 sum below 2^62.
+constexpr int64_t CrossProdMax = int64_t(1) << 60;
+constexpr int64_t CrossCMax = int64_t(1) << 61;
 
 bool fitsWidth(__int128 V, unsigned Bits) {
   if (Bits >= 64)
@@ -141,110 +170,200 @@ __int128 ceilDiv(__int128 A, __int128 B) { // B > 0
   return Q * B < A ? Q + 1 : Q;
 }
 
-/// A value affine in the symbolic limit's run-time value L: C + K * L.
-/// K == 0 is the compile-time-constant case.
+/// A value affine in the run-time values of the (up to two) symbols of
+/// the active symbolic dimension: C + KI * init-symbol + KL * limit-symbol.
+/// KI == KL == 0 is the compile-time-constant case.
 struct AffVal {
   __int128 C = 0;
-  int64_t K = 0;
-  bool isConst() const { return K == 0; }
+  int64_t KI = 0;
+  int64_t KL = 0;
+  bool isConst() const { return KI == 0 && KL == 0; }
 };
 
 /// Inclusive IV span over the box; at most one dimension of a box is
-/// affine (the one driven by the symbolic limit).
+/// affine (the one driven by the symbolic bounds).
 struct IVSpan {
   AffVal Lo, Hi;
 };
 using IVBox = std::map<const Value *, IVSpan>;
 
-/// The window of L values for which every accumulated proof obligation
-/// holds, intersected constraint by constraint. Constant obligations
-/// (K == 0) either hold for every L or empty the window outright.
-struct LimitWindow {
+/// The (up to two) symbols a hull may be affine in. Either may be null:
+/// a constant init or constant limit contributes through AffVal::C only.
+struct SymPair {
+  const Value *I = nullptr;
+  const Value *L = nullptr;
+};
+
+/// One two-symbol constraint KI*I + KL*L + C >= 0 (both coefficients
+/// nonzero — single-symbol constraints narrow the intervals instead).
+struct CrossIneq {
+  int64_t KI = 0;
+  int64_t KL = 0;
+  int64_t C = 0;
+  bool operator<(const CrossIneq &O) const {
+    return std::tie(KI, KL, C) < std::tie(O.KI, O.KL, O.C);
+  }
+  bool operator==(const CrossIneq &O) const {
+    return KI == O.KI && KL == O.KL && C == O.C;
+  }
+};
+
+/// One inclusive interval of symbol values.
+struct SymInterval {
   int64_t Lo = INT64_MIN;
   int64_t Hi = INT64_MAX;
+};
+
+/// The region of (I, L) values for which every accumulated proof
+/// obligation holds: a rectangle of per-symbol intervals intersected with
+/// two-symbol half-planes, narrowed constraint by constraint. Constant
+/// obligations either hold for every (I, L) or empty the region outright.
+struct SymRegion {
+  SymInterval I, L;
+  std::vector<CrossIneq> Cross;
   bool Empty = false;
 
-  void clampLo(__int128 V) {
+  void clampLo(SymInterval &S, __int128 V) {
     if (V > INT64_MAX) {
       Empty = true;
       return;
     }
-    if (V > Lo)
-      Lo = static_cast<int64_t>(V);
-    if (Lo > Hi)
+    if (V > S.Lo)
+      S.Lo = static_cast<int64_t>(V);
+    if (S.Lo > S.Hi)
       Empty = true;
   }
-  void clampHi(__int128 V) {
+  void clampHi(SymInterval &S, __int128 V) {
     if (V < INT64_MIN) {
       Empty = true;
       return;
     }
-    if (V < Hi)
-      Hi = static_cast<int64_t>(V);
-    if (Lo > Hi)
+    if (V < S.Hi)
+      S.Hi = static_cast<int64_t>(V);
+    if (S.Lo > S.Hi)
       Empty = true;
   }
-  bool bounded() const { return Lo > INT64_MIN || Hi < INT64_MAX; }
+  bool bounded() const {
+    return I.Lo > INT64_MIN || I.Hi < INT64_MAX || L.Lo > INT64_MIN ||
+           L.Hi < INT64_MAX || !Cross.empty();
+  }
 };
 
-/// Requires A(L) >= Min for every L in the window (narrowing the window
-/// to exactly the L values satisfying it).
-void requireMin(LimitWindow &Win, const AffVal &A, __int128 Min) {
-  if (A.K == 0) {
+/// Appends the two-symbol constraint KI*I + KL*L + C >= 0, conjoining the
+/// interval clamps that keep its emitted i64 test arithmetic exact (a
+/// failed clamp falsifies the conjunction before the cross value is
+/// read). A constant term too large to test empties the region — the
+/// hull is simply not built.
+void addCross(SymRegion &R, __int128 KI, __int128 KL, __int128 C) {
+  if (R.Empty)
+    return;
+  if (!fitsWidth(KI, 64) || !fitsWidth(KL, 64) || C < -__int128(CrossCMax) ||
+      C > __int128(CrossCMax)) {
+    R.Empty = true;
+    return;
+  }
+  __int128 AbsKI = KI > 0 ? KI : -KI;
+  __int128 AbsKL = KL > 0 ? KL : -KL;
+  __int128 QI = CrossProdMax / AbsKI;
+  __int128 QL = CrossProdMax / AbsKL;
+  R.clampLo(R.I, -QI);
+  R.clampHi(R.I, QI);
+  R.clampLo(R.L, -QL);
+  R.clampHi(R.L, QL);
+  if (R.Empty)
+    return;
+  CrossIneq CI{static_cast<int64_t>(KI), static_cast<int64_t>(KL),
+               static_cast<int64_t>(C)};
+  if (std::find(R.Cross.begin(), R.Cross.end(), CI) == R.Cross.end())
+    R.Cross.push_back(CI);
+}
+
+/// Requires A(I, L) >= Min for every (I, L) in the region (narrowing the
+/// region to exactly the values satisfying it; two-symbol obligations
+/// narrow to the half-plane plus its test clamps).
+void requireMin(SymRegion &R, const AffVal &A, __int128 Min) {
+  if (R.Empty)
+    return;
+  if (A.KI == 0 && A.KL == 0) {
     if (A.C < Min)
-      Win.Empty = true;
-  } else if (A.K > 0) {
-    Win.clampLo(ceilDiv(Min - A.C, A.K));
+      R.Empty = true;
+  } else if (A.KL == 0) {
+    if (A.KI > 0)
+      R.clampLo(R.I, ceilDiv(Min - A.C, A.KI));
+    else
+      R.clampHi(R.I, floorDiv(A.C - Min, -__int128(A.KI)));
+  } else if (A.KI == 0) {
+    if (A.KL > 0)
+      R.clampLo(R.L, ceilDiv(Min - A.C, A.KL));
+    else
+      R.clampHi(R.L, floorDiv(A.C - Min, -__int128(A.KL)));
   } else {
-    Win.clampHi(floorDiv(A.C - Min, -__int128(A.K)));
+    addCross(R, A.KI, A.KL, A.C - Min);
   }
 }
 
-/// Requires A(L) <= Max for every L in the window.
-void requireMax(LimitWindow &Win, const AffVal &A, __int128 Max) {
-  if (A.K == 0) {
+/// Requires A(I, L) <= Max for every (I, L) in the region.
+void requireMax(SymRegion &R, const AffVal &A, __int128 Max) {
+  if (R.Empty)
+    return;
+  if (A.KI == 0 && A.KL == 0) {
     if (A.C > Max)
-      Win.Empty = true;
-  } else if (A.K > 0) {
-    Win.clampHi(floorDiv(Max - A.C, A.K));
+      R.Empty = true;
+  } else if (A.KL == 0) {
+    if (A.KI > 0)
+      R.clampHi(R.I, floorDiv(Max - A.C, A.KI));
+    else
+      R.clampLo(R.I, ceilDiv(A.C - Max, -__int128(A.KI)));
+  } else if (A.KI == 0) {
+    if (A.KL > 0)
+      R.clampHi(R.L, floorDiv(Max - A.C, A.KL));
+    else
+      R.clampLo(R.L, ceilDiv(A.C - Max, -__int128(A.KL)));
   } else {
-    Win.clampLo(ceilDiv(A.C - Max, -__int128(A.K)));
+    addCross(R, -__int128(A.KI), -__int128(A.KL), Max - A.C);
   }
 }
 
-/// An integer as an exact linear function B + sum(Coef[iv] * iv) over the
-/// IVs of the box.
+/// An integer as an exact linear function B + SI*I + SL*L +
+/// sum(Coef[iv] * iv) over the box IVs and the symbols.
 struct LinExpr {
   std::map<const Value *, int64_t> Coef;
   int64_t B = 0;
+  int64_t SI = 0; ///< Coefficient of the init symbol used as a leaf.
+  int64_t SL = 0; ///< Coefficient of the limit symbol used as a leaf.
+  bool isPureConst() const { return Coef.empty() && SI == 0 && SL == 0; }
 };
 
 /// Extremes of a (separable) linear form over the box, as affine
-/// functions of L. False when a coefficient combination escapes i64.
+/// functions of (I, L). False when a coefficient combination escapes i64.
 bool extremes(const LinExpr &E, const IVBox &Box, AffVal &Min, AffVal &Max) {
-  __int128 MinC = E.B, MaxC = E.B, MinK = 0, MaxK = 0;
+  __int128 MinC = E.B, MaxC = E.B;
+  __int128 MinKI = E.SI, MaxKI = E.SI, MinKL = E.SL, MaxKL = E.SL;
   for (const auto &[IV, A] : E.Coef) {
     const IVSpan &S = Box.at(IV);
     const AffVal &ForMin = A >= 0 ? S.Lo : S.Hi;
     const AffVal &ForMax = A >= 0 ? S.Hi : S.Lo;
     MinC += __int128(A) * ForMin.C;
     MaxC += __int128(A) * ForMax.C;
-    MinK += __int128(A) * ForMin.K;
-    MaxK += __int128(A) * ForMax.K;
+    MinKI += __int128(A) * ForMin.KI;
+    MaxKI += __int128(A) * ForMax.KI;
+    MinKL += __int128(A) * ForMin.KL;
+    MaxKL += __int128(A) * ForMax.KL;
   }
-  if (!fitsWidth(MinK, 64) || !fitsWidth(MaxK, 64))
+  if (!fitsWidth(MinKI, 64) || !fitsWidth(MaxKI, 64) ||
+      !fitsWidth(MinKL, 64) || !fitsWidth(MaxKL, 64))
     return false;
-  Min = AffVal{MinC, static_cast<int64_t>(MinK)};
-  Max = AffVal{MaxC, static_cast<int64_t>(MaxK)};
+  Min = AffVal{MinC, static_cast<int64_t>(MinKI), static_cast<int64_t>(MinKL)};
+  Max = AffVal{MaxC, static_cast<int64_t>(MaxKI), static_cast<int64_t>(MaxKL)};
   return true;
 }
 
 /// Requires the node's real (width-wrapped) evaluation to match the exact
-/// linear value for every point of the box and every L in the window, and
-/// to stay far below the 64-bit wrap guard. Narrows the window; empties
-/// it when no L qualifies.
+/// linear value for every point of the box and every (I, L) in the
+/// region, and to stay far below the 64-bit wrap guard. Narrows the
+/// region; empties it when no (I, L) qualifies.
 bool boxFits(const LinExpr &E, const IVBox &Box, unsigned Bits,
-             LimitWindow &Win) {
+             SymRegion &Win) {
   AffVal Min, Max;
   if (!extremes(E, Box, Min, Max))
     return false;
@@ -257,9 +376,13 @@ bool boxFits(const LinExpr &E, const IVBox &Box, unsigned Bits,
 
 bool addScaled(LinExpr &Acc, const LinExpr &E, int64_t Scale) {
   __int128 B = __int128(Acc.B) + __int128(E.B) * Scale;
-  if (!fitsWidth(B, 64))
+  __int128 SI = __int128(Acc.SI) + __int128(E.SI) * Scale;
+  __int128 SL = __int128(Acc.SL) + __int128(E.SL) * Scale;
+  if (!fitsWidth(B, 64) || !fitsWidth(SI, 64) || !fitsWidth(SL, 64))
     return false;
   Acc.B = static_cast<int64_t>(B);
+  Acc.SI = static_cast<int64_t>(SI);
+  Acc.SL = static_cast<int64_t>(SL);
   for (const auto &[IV, A] : E.Coef) {
     __int128 C = __int128(Acc.Coef[IV]) + __int128(A) * Scale;
     if (!fitsWidth(C, 64))
@@ -270,30 +393,39 @@ bool addScaled(LinExpr &Acc, const LinExpr &E, int64_t Scale) {
 }
 
 /// Linearizes integer \p V over the IV box, accumulating proof-obligation
-/// constraints on L into \p Win. Leaves must be constants or box IVs — a
-/// loop-invariant but unknown value (other than the limit itself, which
-/// only enters through span endpoints) cannot contribute to a hull.
-/// Every box dimension the expression *touches* is recorded in \p Used —
-/// including dimensions whose coefficient later cancels: any per-node
-/// obligation was evaluated over that dimension's span, whose validity
-/// needs the owning loop's wrap window.
-bool linearizeInt(Value *V, const IVBox &Box, LimitWindow &Win,
-                  std::set<const Value *> &Used, LinExpr &Out,
+/// constraints on (I, L) into \p Win. Leaves must be constants, box IVs,
+/// or the symbols themselves (loop-invariant and canonical, so a direct
+/// use reads the same value the span endpoints do — exact, no widening);
+/// any other loop-invariant but unknown value cannot contribute to a
+/// hull. Every box dimension the expression *touches* is recorded in
+/// \p Used — including dimensions whose coefficient later cancels: any
+/// per-node obligation was evaluated over that dimension's span, whose
+/// validity needs the owning loop's wrap window.
+bool linearizeInt(Value *V, const IVBox &Box, const SymPair &Syms,
+                  SymRegion &Win, std::set<const Value *> &Used, LinExpr &Out,
                   int Depth = 0) {
   if (Depth > 16)
     return false;
   if (auto *C = dyn_cast<ConstantInt>(V)) {
-    Out = LinExpr{{}, C->value()};
+    Out = LinExpr{{}, C->value(), 0, 0};
     return true;
   }
   if (Box.count(V)) {
     Used.insert(V);
-    Out = LinExpr{{{V, 1}}, 0}; // IV values fit their width by construction.
+    Out = LinExpr{{{V, 1}}, 0, 0, 0}; // IV values fit their width.
+    return true;
+  }
+  if (V == Syms.I) {
+    Out = LinExpr{{}, 0, 1, 0}; // Canonical symbol value: fits its width.
+    return true;
+  }
+  if (V == Syms.L) {
+    Out = LinExpr{{}, 0, 0, 1};
     return true;
   }
   if (auto *Cast = dyn_cast<CastInst>(V)) {
     LinExpr Src;
-    if (!linearizeInt(Cast->source(), Box, Win, Used, Src, Depth + 1))
+    if (!linearizeInt(Cast->source(), Box, Syms, Win, Used, Src, Depth + 1))
       return false;
     switch (Cast->opcode()) {
     case CastInst::Op::SExt:
@@ -316,8 +448,8 @@ bool linearizeInt(Value *V, const IVBox &Box, LimitWindow &Win,
   }
   if (auto *BO = dyn_cast<BinOpInst>(V)) {
     LinExpr L, R;
-    if (!linearizeInt(BO->lhs(), Box, Win, Used, L, Depth + 1) ||
-        !linearizeInt(BO->rhs(), Box, Win, Used, R, Depth + 1))
+    if (!linearizeInt(BO->lhs(), Box, Syms, Win, Used, L, Depth + 1) ||
+        !linearizeInt(BO->rhs(), Box, Syms, Win, Used, R, Depth + 1))
       return false;
     LinExpr Res;
     switch (BO->opcode()) {
@@ -332,10 +464,10 @@ bool linearizeInt(Value *V, const IVBox &Box, LimitWindow &Win,
         return false;
       break;
     case BinOpInst::Op::Mul: {
-      if (!L.Coef.empty() && !R.Coef.empty())
-        return false; // Nonlinear in the IVs.
-      const LinExpr &Var = L.Coef.empty() ? R : L;
-      int64_t K = L.Coef.empty() ? L.B : R.B;
+      if (!L.isPureConst() && !R.isPureConst())
+        return false; // Nonlinear in the IVs or symbols.
+      const LinExpr &Var = L.isPureConst() ? R : L;
+      int64_t K = L.isPureConst() ? L.B : R.B;
       Res = LinExpr{};
       if (!addScaled(Res, Var, K))
         return false;
@@ -345,7 +477,7 @@ bool linearizeInt(Value *V, const IVBox &Box, LimitWindow &Win,
     case BinOpInst::Op::URem: {
       // `X % C` is the identity when X provably stays in [0, C): the
       // common power-of-two wrap guard on an index that never wraps.
-      if (!R.Coef.empty() || R.B <= 0)
+      if (!R.isPureConst() || R.B <= 0)
         return false;
       AffVal Min, Max;
       if (!extremes(L, Box, Min, Max))
@@ -379,8 +511,8 @@ struct LinPtr {
 /// loop-invariant root, narrowing \p Win with every node's obligations
 /// and recording every box dimension touched in \p Used.
 bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
-                  LimitWindow &Win, std::set<const Value *> &Used, LinPtr &Out,
-                  int Depth = 0) {
+                  const SymPair &Syms, SymRegion &Win,
+                  std::set<const Value *> &Used, LinPtr &Out, int Depth = 0) {
   if (Depth > 16)
     return false;
   if (L.isInvariant(P)) {
@@ -389,11 +521,11 @@ bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
   }
   if (auto *BC = dyn_cast<CastInst>(P);
       BC && BC->opcode() == CastInst::Op::Bitcast)
-    return linearizePtr(BC->source(), L, Box, Win, Used, Out, Depth + 1);
+    return linearizePtr(BC->source(), L, Box, Syms, Win, Used, Out, Depth + 1);
   auto *G = dyn_cast<GEPInst>(P);
   if (!G)
     return false;
-  if (!linearizePtr(G->pointer(), L, Box, Win, Used, Out, Depth + 1))
+  if (!linearizePtr(G->pointer(), L, Box, Syms, Win, Used, Out, Depth + 1))
     return false;
 
   Type *Cur = G->sourceType();
@@ -418,7 +550,7 @@ bool linearizePtr(Value *P, const NaturalLoop &L, const IVBox &Box,
       return false;
     }
     LinExpr Idx;
-    if (!linearizeInt(G->index(K), Box, Win, Used, Idx))
+    if (!linearizeInt(G->index(K), Box, Syms, Win, Used, Idx))
       return false;
     if (!addScaled(Out.Off, Idx, Scale))
       return false;
@@ -435,7 +567,8 @@ template <typename T> T *insertAtEnd(BasicBlock *BB, T *I) {
 }
 
 /// True when moving \p I to a dominating block cannot change behaviour:
-/// pure and unable to trap (divisions stay put).
+/// pure and unable to trap (divisions stay put — except by a nonzero
+/// constant, which the stride-divisibility guards rely on).
 bool isSpeculatable(const Instruction *I) {
   switch (I->kind()) {
   case ValueKind::GEP:
@@ -448,8 +581,21 @@ bool isSpeculatable(const Instruction *I) {
     case BinOpInst::Op::SDiv:
     case BinOpInst::Op::UDiv:
     case BinOpInst::Op::SRem:
-    case BinOpInst::Op::URem:
-      return false; // May trap on a zero divisor.
+    case BinOpInst::Op::URem: {
+      // May trap on a zero divisor — unless the divisor is a nonzero
+      // compile-time constant (the emitted divisibility tests). Nonzero
+      // is judged *after* masking to the instruction's width: the VM's
+      // unsigned-division trap test masks, so an un-canonical constant
+      // like (i8 256) is a zero divisor at run time.
+      auto *C = dyn_cast<ConstantInt>(cast<BinOpInst>(I)->rhs());
+      if (!C)
+        return false;
+      uint64_t V = static_cast<uint64_t>(C->value());
+      unsigned Bits = cast<IntType>(C->type())->bits();
+      if (Bits < 64)
+        V &= (uint64_t(1) << Bits) - 1;
+      return V != 0;
+    }
     default:
       return true;
     }
@@ -467,34 +613,57 @@ struct LoopShape {
   SymbolicCountedLoop SCL;
 };
 
+/// The body-IV span of a symbolic counted loop as affine endpoints.
+IVSpan symbolicSpan(const SymbolicCountedLoop &S) {
+  AffVal Init = S.InitV ? AffVal{0, 1, 0} : AffVal{S.InitC, 0, 0};
+  AffVal End = S.Limit ? AffVal{S.EndAdj, 0, 1}
+                       : AffVal{__int128(S.LimitC) + S.EndAdj, 0, 0};
+  return S.Up ? IVSpan{Init, End} : IVSpan{End, Init};
+}
+
 /// Per-loop hoisting context, caching the i8* view of each root pointer,
-/// the widened limit value, and the emitted guard values.
+/// the widened symbol values, and the emitted guard values.
 class LoopHoister {
 public:
   using LoopOfIV = std::map<const Value *, const NaturalLoop *>;
   using ArgRangeMap = std::map<const Argument *, IntRange>;
 
+  using BlockPosMap = std::map<const BasicBlock *, unsigned>;
+
   LoopHoister(Module &M, const NaturalLoop &L, const LoopShape &Shape,
-              const DomTree &DT, const IVBox &Enclosing,
-              const LoopOfIV &EnclosingLoops,
+              const DomTree &DT, const BlockPosMap &BlockPos,
+              const IVBox &Enclosing, const LoopOfIV &EnclosingLoops,
               const SymbolicCountedLoop *AncestorSym,
               const ArgRangeMap *ArgRanges, bool *DischargeUsed,
               CheckOptStats &Stats)
-      : M(M), L(L), Shape(Shape), DT(DT), Enclosing(Enclosing),
-        EnclosingLoops(EnclosingLoops), AncestorSym(AncestorSym),
-        ArgRanges(ArgRanges), DischargeUsed(DischargeUsed), Stats(Stats) {
+      : M(M), L(L), Shape(Shape), DT(DT), BlockPos(BlockPos),
+        Enclosing(Enclosing), EnclosingLoops(EnclosingLoops),
+        AncestorSym(AncestorSym), ArgRanges(ArgRanges),
+        DischargeUsed(DischargeUsed), Stats(Stats) {
     if (Shape.Symbolic)
-      Symbol = Shape.SCL.Limit;
+      SymSrc = &Shape.SCL;
     else if (AncestorSym)
-      Symbol = AncestorSym->Limit;
+      SymSrc = AncestorSym;
+    if (SymSrc) {
+      Syms.I = SymSrc->InitV;
+      Syms.L = SymSrc->Limit;
+    }
   }
 
   void run() {
-    for (BasicBlock *BB : L.Blocks) {
+    // Visit the loop's blocks in function order, never in pointer-set
+    // order: hull emission order must be identical from run to run, or
+    // the gated dynamic-check counts drift under ASLR.
+    std::vector<BasicBlock *> Ordered(L.Blocks.begin(), L.Blocks.end());
+    std::sort(Ordered.begin(), Ordered.end(),
+              [&](const BasicBlock *A, const BasicBlock *B) {
+                return BlockPos.at(A) < BlockPos.at(B);
+              });
+    for (BasicBlock *BB : Ordered) {
       if (!DT.dominates(BB, L.Latch)) // Checks that run on every iteration.
         continue;
       // Symbolic loops: header checks also run on the (possibly zero-trip)
-      // exiting pass, whose IV is the limit itself — leave them alone.
+      // exiting pass, whose IV is the exit value — leave them alone.
       if (Shape.Symbolic && BB == L.Header)
         continue;
       hoistInBlock(BB);
@@ -504,65 +673,217 @@ public:
 private:
   void hoistInBlock(BasicBlock *BB);
   Value *byteView(Value *Root);
-  Value *limit64();
-  Value *guardFor(const LimitWindow &Win);
+  Value *sym64(const Value *Sym);
+  Value *symOrConst64(const Value *Sym, int64_t C);
+  Value *scaled(Value *V, int64_t K, const std::string &Name);
+  Value *andOf(Value *A, Value *B);
+  Value *guardFor(const SymRegion &Win);
+  Value *tripGuard();
+  Value *divisGuard();
+  Value *combinedGuard(const SymRegion &Win, bool NeedTrip, bool NeedDiv);
   Value *notOf(Value *G);
-  Value *tripWindowGuard();
   void emitHull(Value *Root, const AffVal &Off, const SpatialCheckInst *Proto,
                 Value *Guard);
   bool collectAvailChain(Value *V, std::vector<Instruction *> &PostOrder,
                          std::set<const Value *> &Visited, int Budget);
   void commitAvailChain(const std::vector<Instruction *> &PostOrder);
 
-  /// The trip constraint on L: at least one body iteration runs. A
-  /// half-line, exact in both directions (false <=> the body never runs).
-  LimitWindow tripWindow() const {
-    LimitWindow W;
-    int64_t Edge = Shape.SCL.Init - Shape.SCL.EndAdj;
-    if (Shape.SCL.Up)
-      W.clampLo(Edge);
-    else
-      W.clampHi(Edge);
-    return W;
+  /// The symbols' values as affine forms (constants collapse to C).
+  AffVal initAff() const {
+    return SymSrc->InitV ? AffVal{0, 1, 0} : AffVal{SymSrc->InitC, 0, 0};
+  }
+  AffVal limitAff() const {
+    return SymSrc->Limit ? AffVal{0, 0, 1} : AffVal{SymSrc->LimitC, 0, 0};
   }
 
-  /// The inter-procedural argument range of the symbol, or an empty
-  /// IntRange when unknown.
-  IntRange symbolRange() const {
-    if (!ArgRanges || !Symbol)
-      return IntRange();
-    auto *A = dyn_cast<Argument>(Symbol);
-    if (!A)
-      return IntRange();
-    auto It = ArgRanges->find(A);
-    return It == ArgRanges->end() ? IntRange() : It->second;
+  /// The inter-procedurally propagated range of a symbol's run-time
+  /// value: argument ranges peeled through value-preserving sign
+  /// extensions and constant +/- chains (each step width-checked — a
+  /// shift that could wrap its node's width collapses to full). Constants
+  /// are point ranges. Sets \p UsedArg when an Argument range was read;
+  /// any proof built on the result must then record the entry contract.
+  IntRange rangeOf(const Value *V, bool &UsedArg, int Depth = 0) const {
+    if (Depth > 8)
+      return IntRange::full();
+    if (auto *C = dyn_cast<ConstantInt>(V))
+      return IntRange::of(C->value());
+    if (auto *A = dyn_cast<Argument>(V)) {
+      if (!ArgRanges)
+        return IntRange::full();
+      auto It = ArgRanges->find(A);
+      if (It == ArgRanges->end())
+        return IntRange::full();
+      UsedArg = true;
+      return It->second;
+    }
+    if (auto *CI = dyn_cast<CastInst>(V);
+        CI && CI->opcode() == CastInst::Op::SExt)
+      return rangeOf(CI->source(), UsedArg, Depth + 1);
+    if (auto *B = dyn_cast<BinOpInst>(V)) {
+      const ConstantInt *C = nullptr;
+      const Value *Other = nullptr;
+      int Sign = 0;
+      if (B->opcode() == BinOpInst::Op::Add) {
+        if ((C = dyn_cast<ConstantInt>(B->rhs()))) {
+          Other = B->lhs();
+          Sign = 1;
+        } else if ((C = dyn_cast<ConstantInt>(B->lhs()))) {
+          Other = B->rhs();
+          Sign = 1;
+        }
+      } else if (B->opcode() == BinOpInst::Op::Sub) {
+        if ((C = dyn_cast<ConstantInt>(B->rhs()))) {
+          Other = B->lhs();
+          Sign = -1;
+        }
+      }
+      if (C && Other) {
+        IntRange R = rangeOf(Other, UsedArg, Depth + 1);
+        if (R.empty() || R.isFull())
+          return R;
+        unsigned Bits = cast<IntType>(B->type())->bits();
+        __int128 Lo = __int128(R.Lo) + Sign * __int128(C->value());
+        __int128 Hi = __int128(R.Hi) + Sign * __int128(C->value());
+        // The binop wraps at its width; the shifted range is its value
+        // only when no point of it can leave that width.
+        if (Lo < widthMin(Bits) || Hi > widthMax(Bits))
+          return IntRange::full();
+        return IntRange::make(static_cast<int64_t>(Lo),
+                              static_cast<int64_t>(Hi));
+      }
+    }
+    return IntRange::full();
   }
 
-  /// True when the propagated symbol range proves every L lands inside
-  /// \p Win — the static discharge of the trip/wrap guard.
-  bool rangeDischarges(const LimitWindow &Win) const {
-    IntRange R = symbolRange();
-    return !R.empty() && !R.isFull() && R.Lo >= Win.Lo && R.Hi <= Win.Hi;
+  bool usable(const IntRange &R) const { return !R.empty() && !R.isFull(); }
+
+  /// The symbol ranges are fixed for the hoister's lifetime (SymSrc never
+  /// changes), so they are resolved once, on first use. RangesUsedArg
+  /// remembers whether an Argument range was consulted; every proof built
+  /// on the cached ranges reports that through its UsedArg out-flag.
+  void ensureRanges() const {
+    if (RangesCached)
+      return;
+    RangesCached = true;
+    CachedRI = SymSrc->InitV ? rangeOf(SymSrc->InitV, RangesUsedArg)
+                             : IntRange::of(SymSrc->InitC);
+    CachedRL = SymSrc->Limit ? rangeOf(SymSrc->Limit, RangesUsedArg)
+                             : IntRange::of(SymSrc->LimitC);
+  }
+
+  /// True when the propagated symbol ranges prove the loop can never run
+  /// a body iteration — the stay-predicate is false for every (I, L).
+  bool provablyZeroTrip(bool &UsedArg) const {
+    ensureRanges();
+    const IntRange &RI = CachedRI, &RL = CachedRL;
+    if (!usable(RI) || !usable(RL))
+      return false;
+    if (RangesUsedArg)
+      UsedArg = true;
+    switch (SymSrc->Pred) {
+    case ICmpInst::Pred::SLT:
+      return RI.Lo >= RL.Hi;
+    case ICmpInst::Pred::SLE:
+      return RI.Lo > RL.Hi;
+    case ICmpInst::Pred::SGT:
+      return RI.Hi <= RL.Lo;
+    case ICmpInst::Pred::SGE:
+      return RI.Hi < RL.Lo;
+    default:
+      return false;
+    }
+  }
+
+  /// True when the ranges prove at least one body iteration always runs.
+  bool provablyTrips(const IntRange &RI, const IntRange &RL) const {
+    if (!usable(RI) || !usable(RL))
+      return false;
+    switch (SymSrc->Pred) {
+    case ICmpInst::Pred::SLT:
+      return RI.Hi < RL.Lo;
+    case ICmpInst::Pred::SLE:
+      return RI.Hi <= RL.Lo;
+    case ICmpInst::Pred::SGT:
+      return RI.Lo > RL.Hi;
+    case ICmpInst::Pred::SGE:
+      return RI.Lo >= RL.Hi;
+    default:
+      return false;
+    }
+  }
+
+  /// provablyTrips over the cached symbol ranges.
+  bool provablyTripsNow(bool &UsedArg) const {
+    ensureRanges();
+    if (RangesUsedArg)
+      UsedArg = true;
+    return provablyTrips(CachedRI, CachedRL);
+  }
+
+  /// True when the propagated symbol ranges prove every (I, L) lands
+  /// inside \p Win — plus the trip and divisibility conditions when
+  /// requested — the static discharge of the region guard.
+  bool rangeDischarges(const SymRegion &Win, bool NeedTrip, bool NeedDiv,
+                       bool &UsedArg) const {
+    if (!SymSrc)
+      return false;
+    ensureRanges();
+    const IntRange &RI = CachedRI, &RL = CachedRL;
+    if (!usable(RI) || !usable(RL))
+      return false;
+    if (RangesUsedArg)
+      UsedArg = true;
+    if (RI.Lo < Win.I.Lo || RI.Hi > Win.I.Hi || RL.Lo < Win.L.Lo ||
+        RL.Hi > Win.L.Hi)
+      return false;
+    for (const CrossIneq &X : Win.Cross) {
+      __int128 Min = __int128(X.C) +
+                     __int128(X.KI) * (X.KI > 0 ? RI.Lo : RI.Hi) +
+                     __int128(X.KL) * (X.KL > 0 ? RL.Lo : RL.Hi);
+      if (Min < 0)
+        return false;
+    }
+    if (NeedTrip && !provablyTrips(RI, RL))
+      return false;
+    if (NeedDiv) {
+      // Only point ranges can settle divisibility statically.
+      if (RI.Lo != RI.Hi || RL.Lo != RL.Hi)
+        return false;
+      int64_t S = SymSrc->Step > 0 ? SymSrc->Step : -SymSrc->Step;
+      if ((__int128(RL.Lo) - RI.Lo) % S != 0)
+        return false;
+    }
+    return true;
   }
 
   Module &M;
   const NaturalLoop &L;
   const LoopShape &Shape;
   const DomTree &DT;
+  const BlockPosMap &BlockPos; ///< Function-order index of every block.
   const IVBox &Enclosing; ///< Usable IVs of enclosing counted loops.
   const LoopOfIV &EnclosingLoops; ///< Which loop each enclosing IV drives.
   const SymbolicCountedLoop *AncestorSym; ///< Symbolic ancestor dim, if any.
   const ArgRangeMap *ArgRanges;           ///< Interproc argument ranges.
   bool *DischargeUsed; ///< Out-flag: a range proof was relied on.
   CheckOptStats &Stats;
-  Value *Symbol = nullptr; ///< The one symbolic limit usable here.
+  const SymbolicCountedLoop *SymSrc = nullptr; ///< Owner of the symbols.
+  SymPair Syms; ///< The (up to two) symbols usable here.
+  mutable bool RangesCached = false;   ///< ensureRanges() ran.
+  mutable IntRange CachedRI, CachedRL; ///< Symbol ranges (once per loop).
+  mutable bool RangesUsedArg = false;  ///< They consulted an Argument range.
   std::map<Value *, Value *> ByteViews;
-  Value *Lim64 = nullptr;
-  std::map<std::pair<int64_t, int64_t>, Value *> Guards;
+  std::map<const Value *, Value *> Sym64s;
+  using GuardKey = std::tuple<int64_t, int64_t, int64_t, int64_t,
+                              std::vector<CrossIneq>>;
+  std::map<GuardKey, Value *> Guards;
+  std::map<std::tuple<Value *, bool, bool>, Value *> Combined;
+  Value *TripG = nullptr;
+  Value *DivisG = nullptr;
   std::map<Value *, Value *> NotGuards;
-  /// Hull emission dedup: (root, C, K, bounds, guard) -> strongest
+  /// Hull emission dedup: (root, C, KI, KL, bounds, guard) -> strongest
   /// (size, is-store) already emitted for that address.
-  std::map<std::tuple<Value *, int64_t, int64_t, Value *, Value *>,
+  std::map<std::tuple<Value *, int64_t, int64_t, int64_t, Value *, Value *>,
            std::pair<uint64_t, bool>>
       Emitted;
 };
@@ -581,44 +902,156 @@ Value *LoopHoister::byteView(Value *Root) {
   return View;
 }
 
-Value *LoopHoister::limit64() {
-  if (Lim64)
-    return Lim64;
+/// The symbol's run-time value widened to i64 in the preheader.
+Value *LoopHoister::sym64(const Value *Sym) {
+  auto It = Sym64s.find(Sym);
+  if (It != Sym64s.end())
+    return It->second;
   Type *I64 = M.ctx().i64();
-  Lim64 = Symbol;
-  if (Symbol->type() != I64)
-    Lim64 = insertAtEnd(L.Preheader, new CastInst(CastInst::Op::SExt, Symbol,
-                                                  I64, "lim64"));
-  return Lim64;
+  Value *V = const_cast<Value *>(Sym);
+  if (V->type() != I64)
+    V = insertAtEnd(L.Preheader,
+                    new CastInst(CastInst::Op::SExt, V, I64, "sym64"));
+  Sym64s[Sym] = V;
+  return V;
 }
 
-/// Materializes the window test `WLo <= L && L <= WHi` in the preheader.
-/// A half already implied by the limit's own bit width (canonical values
-/// always lie inside it) is elided; null when the whole window is.
-Value *LoopHoister::guardFor(const LimitWindow &Win) {
-  unsigned LBits = cast<IntType>(Symbol->type())->bits();
-  bool NeedLo = Win.Lo > widthMin(LBits);
-  bool NeedHi = Win.Hi < widthMax(LBits);
-  auto Key = std::make_pair(NeedLo ? Win.Lo : INT64_MIN,
-                            NeedHi ? Win.Hi : INT64_MAX);
+Value *LoopHoister::symOrConst64(const Value *Sym, int64_t C) {
+  return Sym ? sym64(Sym) : static_cast<Value *>(M.constI64(C));
+}
+
+Value *LoopHoister::scaled(Value *V, int64_t K, const std::string &Name) {
+  if (K == 1)
+    return V;
+  return insertAtEnd(L.Preheader,
+                     new BinOpInst(BinOpInst::Op::Mul, V, M.constI64(K), Name));
+}
+
+Value *LoopHoister::andOf(Value *A, Value *B) {
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  return insertAtEnd(L.Preheader,
+                     new BinOpInst(BinOpInst::Op::And, A, B, "hull.g"));
+}
+
+/// Materializes the region test in the preheader: per-symbol interval
+/// halves (those already implied by the symbol's own bit width — every
+/// canonical value lies inside it — are elided) conjoined with each
+/// two-symbol constraint test. Null when the whole region is implied.
+Value *LoopHoister::guardFor(const SymRegion &Win) {
+  int64_t ILo = INT64_MIN, IHi = INT64_MAX, LLo = INT64_MIN, LHi = INT64_MAX;
+  if (Syms.I) {
+    unsigned B = cast<IntType>(Syms.I->type())->bits();
+    if (Win.I.Lo > widthMin(B))
+      ILo = Win.I.Lo;
+    if (Win.I.Hi < widthMax(B))
+      IHi = Win.I.Hi;
+  }
+  if (Syms.L) {
+    unsigned B = cast<IntType>(Syms.L->type())->bits();
+    if (Win.L.Lo > widthMin(B))
+      LLo = Win.L.Lo;
+    if (Win.L.Hi < widthMax(B))
+      LHi = Win.L.Hi;
+  }
+  std::vector<CrossIneq> Cross = Win.Cross;
+  std::sort(Cross.begin(), Cross.end());
+  GuardKey Key{ILo, IHi, LLo, LHi, Cross};
   auto It = Guards.find(Key);
   if (It != Guards.end())
     return It->second;
+
   Type *I1 = M.ctx().i1();
   Value *G = nullptr;
-  if (NeedLo)
-    G = insertAtEnd(L.Preheader,
-                    new ICmpInst(ICmpInst::Pred::SGE, limit64(),
-                                 M.constI64(Win.Lo), I1, "hull.glo"));
-  if (NeedHi) {
-    Value *Hi = insertAtEnd(L.Preheader,
-                            new ICmpInst(ICmpInst::Pred::SLE, limit64(),
-                                         M.constI64(Win.Hi), I1, "hull.ghi"));
-    G = G ? insertAtEnd(L.Preheader,
-                        new BinOpInst(BinOpInst::Op::And, G, Hi, "hull.g"))
-          : Hi;
+  auto AddCmp = [&](ICmpInst::Pred P, const Value *Sym, int64_t C,
+                    const char *Nm) {
+    G = andOf(G, insertAtEnd(L.Preheader,
+                             new ICmpInst(P, sym64(Sym), M.constI64(C), I1,
+                                          Nm)));
+  };
+  if (ILo != INT64_MIN)
+    AddCmp(ICmpInst::Pred::SGE, Syms.I, ILo, "hull.gilo");
+  if (IHi != INT64_MAX)
+    AddCmp(ICmpInst::Pred::SLE, Syms.I, IHi, "hull.gihi");
+  if (LLo != INT64_MIN)
+    AddCmp(ICmpInst::Pred::SGE, Syms.L, LLo, "hull.gllo");
+  if (LHi != INT64_MAX)
+    AddCmp(ICmpInst::Pred::SLE, Syms.L, LHi, "hull.glhi");
+  for (const CrossIneq &X : Cross) {
+    Value *Sum = insertAtEnd(
+        L.Preheader,
+        new BinOpInst(BinOpInst::Op::Add, scaled(sym64(Syms.I), X.KI, "hull.xi"),
+                      scaled(sym64(Syms.L), X.KL, "hull.xl"), "hull.xs"));
+    if (X.C != 0)
+      Sum = insertAtEnd(L.Preheader,
+                        new BinOpInst(BinOpInst::Op::Add, Sum,
+                                      M.constI64(X.C), "hull.xc"));
+    G = andOf(G, insertAtEnd(L.Preheader,
+                             new ICmpInst(ICmpInst::Pred::SGE, Sum,
+                                          M.constI64(0), I1, "hull.gx")));
   }
   Guards[Key] = G;
+  return G;
+}
+
+/// The exact "body runs at least once" test: the loop's oriented
+/// stay-predicate over the live init and limit values. One icmp on
+/// canonical i64 values — no arithmetic, so exact in both directions
+/// (false <=> the body, and hence any original in-loop check, never
+/// executed).
+Value *LoopHoister::tripGuard() {
+  if (TripG)
+    return TripG;
+  TripG = insertAtEnd(
+      L.Preheader,
+      new ICmpInst(SymSrc->Pred, symOrConst64(SymSrc->InitV, SymSrc->InitC),
+                   symOrConst64(SymSrc->Limit, SymSrc->LimitC), M.ctx().i1(),
+                   "hull.trip"));
+  return TripG;
+}
+
+/// The stride-divisibility test `(L - I) % |step| == 0`. Its subtraction
+/// is exact only under the |I|, |L| <= 2^61 interval clamps the caller
+/// conjoins into the region whenever this guard is needed; outside them
+/// the region conjunct is already false and the garbage remainder is
+/// ignored. srem by a nonzero constant cannot trap.
+Value *LoopHoister::divisGuard() {
+  if (DivisG)
+    return DivisG;
+  int64_t S = SymSrc->Step > 0 ? SymSrc->Step : -SymSrc->Step;
+  Value *D = insertAtEnd(
+      L.Preheader,
+      new BinOpInst(BinOpInst::Op::Sub,
+                    symOrConst64(SymSrc->Limit, SymSrc->LimitC),
+                    symOrConst64(SymSrc->InitV, SymSrc->InitC), "hull.span"));
+  Value *R = insertAtEnd(L.Preheader, new BinOpInst(BinOpInst::Op::SRem, D,
+                                                    M.constI64(S), "hull.rem"));
+  DivisG = insertAtEnd(L.Preheader,
+                       new ICmpInst(ICmpInst::Pred::EQ, R, M.constI64(0),
+                                    M.ctx().i1(), "hull.div"));
+  ++Stats.RuntimeDivisGuards;
+  return DivisG;
+}
+
+/// The full hull guard: region test AND exact trip test AND divisibility,
+/// as requested. Cached so every check of the loop sharing a region
+/// shares one guard value (the Emitted dedup and the VM's guard
+/// accounting both key on value identity).
+Value *LoopHoister::combinedGuard(const SymRegion &Win, bool NeedTrip,
+                                  bool NeedDiv) {
+  Value *Region = guardFor(Win);
+  auto Key = std::make_tuple(Region, NeedTrip, NeedDiv);
+  auto It = Combined.find(Key);
+  if (It != Combined.end())
+    return It->second;
+  Value *G = Region;
+  if (NeedTrip)
+    G = andOf(G, tripGuard());
+  if (NeedDiv)
+    G = andOf(G, divisGuard());
+  Combined[Key] = G;
   return G;
 }
 
@@ -633,16 +1066,12 @@ Value *LoopHoister::notOf(Value *G) {
   return N;
 }
 
-/// The exact "body runs at least once" test of a symbolic loop, for
-/// conjoining onto guards of checks moved out of it.
-Value *LoopHoister::tripWindowGuard() { return guardFor(tripWindow()); }
-
 void LoopHoister::emitHull(Value *Root, const AffVal &Off,
                            const SpatialCheckInst *Proto, Value *Guard) {
   // Guard identity participates in the dedup key through the guard Value
-  // itself (guardFor caches per window, so equal windows share a Value).
-  auto Key = std::make_tuple(Root, static_cast<int64_t>(Off.C), Off.K,
-                             Proto->bounds(), Guard);
+  // itself (combinedGuard caches per region, so equal regions share one).
+  auto Key = std::make_tuple(Root, static_cast<int64_t>(Off.C), Off.KI,
+                             Off.KL, Proto->bounds(), Guard);
   auto It = Emitted.find(Key);
   if (It != Emitted.end() && It->second.first >= Proto->accessSize() &&
       (It->second.second || !Proto->isStoreCheck()))
@@ -650,9 +1079,16 @@ void LoopHoister::emitHull(Value *Root, const AffVal &Off,
 
   Value *Ptr = byteView(Root);
   if (!Off.isConst()) {
-    Value *OffV = insertAtEnd(
-        L.Preheader, new BinOpInst(BinOpInst::Op::Mul, limit64(),
-                                   M.constI64(Off.K), Root->name() + ".kxl"));
+    Value *OffV = nullptr;
+    if (Off.KI != 0)
+      OffV = scaled(sym64(Syms.I), Off.KI, Root->name() + ".kxi");
+    if (Off.KL != 0) {
+      Value *T = scaled(sym64(Syms.L), Off.KL, Root->name() + ".kxl");
+      OffV = OffV ? insertAtEnd(L.Preheader,
+                                new BinOpInst(BinOpInst::Op::Add, OffV, T,
+                                              Root->name() + ".kx"))
+                  : T;
+    }
     if (Off.C != 0)
       OffV = insertAtEnd(L.Preheader,
                          new BinOpInst(BinOpInst::Op::Add, OffV,
@@ -758,29 +1194,28 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
           // A check hoisted out of a symbolic loop must not run on a
           // zero-trip pass: conjoin the *exact* trip test (false <=> the
           // body, and hence the original check, never executed) — unless
-          // the propagated argument range settles it.
-          IntRange R = symbolRange();
-          LimitWindow TW = tripWindow();
-          if (!R.empty() && !R.isFull() &&
-              (Shape.SCL.Up ? R.Hi < TW.Lo : R.Lo > TW.Hi)) {
+          // the propagated symbol ranges settle it.
+          bool UsedArg = false;
+          if (provablyZeroTrip(UsedArg)) {
             // Provably zero-trip at every call site: the check is dead.
             It = BB->erase(It);
             ++Stats.LoopChecksHoisted;
             ++Stats.RuntimeGuardsDischarged;
-            if (DischargeUsed)
+            if (UsedArg && DischargeUsed)
               *DischargeUsed = true;
             continue;
           }
-          if (rangeDischarges(TW)) {
+          bool UsedArg2 = false;
+          if (provablyTripsNow(UsedArg2)) {
             Discharged = true;
-          } else if (Value *Trip = tripWindowGuard()) {
-            NewGuard =
-                G ? insertAtEnd(L.Preheader, new BinOpInst(BinOpInst::Op::And,
-                                                           Trip, G, "hull.g"))
-                  : Trip;
+            if (UsedArg2 && DischargeUsed)
+              *DischargeUsed = true;
+          } else {
+            NewGuard = G ? insertAtEnd(L.Preheader,
+                                       new BinOpInst(BinOpInst::Op::And,
+                                                     tripGuard(), G, "hull.g"))
+                         : tripGuard();
           }
-          // A null trip guard means the window is the limit's whole width:
-          // the loop provably runs, so the original guard (if any) stands.
         }
         insertAtEnd(L.Preheader,
                     new SpatialCheckInst(Chk->type(), P, Chk->bounds(),
@@ -789,11 +1224,8 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
         ++Stats.HoistedChecksInserted;
         if (NewGuard)
           ++Stats.RuntimeHullChecks;
-        if (Discharged) {
+        if (Discharged)
           ++Stats.RuntimeGuardsDischarged;
-          if (DischargeUsed)
-            *DischargeUsed = true;
-        }
         ++Stats.LoopChecksHoisted;
         It = BB->erase(It);
         continue;
@@ -813,18 +1245,16 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
     if (Shape.Constant) {
       int64_t IvLast = InHeader ? Shape.CL.ExitIV : Shape.CL.LastBody;
       Box[Shape.CL.IV] =
-          IVSpan{AffVal{std::min(Shape.CL.Init, IvLast), 0},
-                 AffVal{std::max(Shape.CL.Init, IvLast), 0}};
+          IVSpan{AffVal{std::min(Shape.CL.Init, IvLast), 0, 0},
+                 AffVal{std::max(Shape.CL.Init, IvLast), 0, 0}};
     } else {
-      const SymbolicCountedLoop &S = Shape.SCL;
-      Box[S.IV] = S.Up ? IVSpan{AffVal{S.Init, 0}, AffVal{S.EndAdj, 1}}
-                       : IVSpan{AffVal{S.EndAdj, 1}, AffVal{S.Init, 0}};
+      Box[Shape.SCL.IV] = symbolicSpan(Shape.SCL);
     }
 
-    LimitWindow Win;
+    SymRegion Win;
     LinPtr LP;
     std::set<const Value *> UsedDims;
-    if (!linearizePtr(Chk->pointer(), L, Box, Win, UsedDims, LP)) {
+    if (!linearizePtr(Chk->pointer(), L, Box, Syms, Win, UsedDims, LP)) {
       ++It;
       continue;
     }
@@ -845,6 +1275,17 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
         EnclosingOk = false;
         break;
       }
+      // Widening over E is equally unsound when a hull *symbol* varies
+      // inside E: the corner would pair the live symbol value with other
+      // E iterations' span points — a triangular nest (`i = j+1`), whose
+      // mixed corners are addresses the program never computes. (A symbol
+      // that IS E's IV never reaches here: that dimension was dropped
+      // from the box up front and reads through the symbol instead.)
+      if ((Syms.I && !E->isInvariant(Syms.I)) ||
+          (Syms.L && !E->isInvariant(Syms.L))) {
+        EnclosingOk = false;
+        break;
+      }
     }
     if (!EnclosingOk) {
       ++It;
@@ -857,22 +1298,34 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
     bool AncestorSymUsed =
         AncestorSym && UsedDims.count(AncestorSym->IV) != 0;
 
-    // The window: per-node obligations are already in Win; add the IV
-    // wrap windows of every symbolic dimension the hull relies on, and
-    // the hoisted loop's own trip test (its hull checks run even when the
-    // loop would not).
+    // The region: per-node obligations are already in Win; add the
+    // IV-wrap windows of every symbolic dimension the hull relies on.
+    // The hoisted loop's own trip test is a separate exact conjunct (its
+    // hull checks run even when the loop would not); the ancestor's trip
+    // is execution-implied (this preheader only runs inside its body),
+    // so only its wrap window — and, for strided shapes, divisibility —
+    // is needed.
+    bool NeedTrip = Shape.Symbolic;
+    // Divisibility validates only a strided span's closed-form endpoint,
+    // so it is needed exactly when the expression touched that span's
+    // dimension — for the hoisted loop just as for the ancestor.
+    bool NeedDiv = (Shape.Symbolic && Shape.SCL.NeedDivis &&
+                    UsedDims.count(Shape.SCL.IV) != 0) ||
+                   (AncestorSymUsed && AncestorSym->NeedDivis);
     if (Shape.Symbolic) {
-      Win.clampLo(Shape.SCL.LimitMin);
-      Win.clampHi(Shape.SCL.LimitMax);
-      LimitWindow TW = tripWindow();
-      Win.clampLo(TW.Lo);
-      Win.clampHi(TW.Hi);
+      requireMin(Win, limitAff(), Shape.SCL.LimitMin);
+      requireMax(Win, limitAff(), Shape.SCL.LimitMax);
     }
     if (AncestorSymUsed) {
-      // The ancestor's trip is execution-implied (this preheader only
-      // runs inside its body); only its wrap window is needed.
-      Win.clampLo(AncestorSym->LimitMin);
-      Win.clampHi(AncestorSym->LimitMax);
+      requireMin(Win, limitAff(), AncestorSym->LimitMin);
+      requireMax(Win, limitAff(), AncestorSym->LimitMax);
+    }
+    if (NeedDiv) {
+      // Keep the divisibility test's i64 subtraction exact.
+      requireMin(Win, initAff(), -CrossCMax);
+      requireMax(Win, initAff(), CrossCMax);
+      requireMin(Win, limitAff(), -CrossCMax);
+      requireMax(Win, limitAff(), CrossCMax);
     }
 
     AffVal Min, Max;
@@ -880,54 +1333,62 @@ void LoopHoister::hoistInBlock(BasicBlock *BB) {
       ++It;
       continue;
     }
-    // Emitted `K*L + C` hull arithmetic must not wrap i64: the product
-    // term stays far from the edge, and C must be emittable as an i64
-    // immediate (the sum is window-bounded already).
+    // Emitted `KI*I + KL*L + C` hull arithmetic must not wrap i64: each
+    // product term stays far from the edge, and C must be emittable as
+    // an i64 immediate with headroom (the final sum is region-bounded to
+    // |offset| <= MaxByteOffset already).
     for (const AffVal *Corner : {&Min, &Max})
       if (!Corner->isConst()) {
-        if (!fitsWidth(Corner->C, 64)) {
+        if (!fitsWidth(Corner->C, 64) || Corner->C > __int128(CrossCMax) ||
+            Corner->C < -__int128(CrossCMax)) {
           Win.Empty = true;
           break;
         }
-        requireMin(Win, AffVal{0, Corner->K}, -MaxProductTerm);
-        requireMax(Win, AffVal{0, Corner->K}, MaxProductTerm);
+        if (Corner->KI != 0) {
+          requireMin(Win, AffVal{0, Corner->KI, 0}, -MaxProductTerm);
+          requireMax(Win, AffVal{0, Corner->KI, 0}, MaxProductTerm);
+        }
+        if (Corner->KL != 0) {
+          requireMin(Win, AffVal{0, 0, Corner->KL}, -MaxProductTerm);
+          requireMax(Win, AffVal{0, 0, Corner->KL}, MaxProductTerm);
+        }
       }
     if (Win.Empty) {
       ++It;
       continue;
     }
 
-    bool NeedGuard = Shape.Symbolic || Win.bounded();
+    bool WantGuard = NeedTrip || NeedDiv || Win.bounded();
     Value *Guard = nullptr;
-    if (NeedGuard) {
-      IntRange R = symbolRange();
-      if (Shape.Symbolic && !R.empty() && !R.isFull()) {
-        LimitWindow TW = tripWindow();
-        if (Shape.SCL.Up ? R.Hi < TW.Lo : R.Lo > TW.Hi) {
+    if (WantGuard) {
+      if (NeedTrip) {
+        bool UsedArg = false;
+        if (provablyZeroTrip(UsedArg)) {
           // Provably zero-trip at every call site: the check is dead.
           It = BB->erase(It);
           ++Stats.LoopChecksHoisted;
           ++Stats.RuntimeGuardsDischarged;
-          if (DischargeUsed)
+          if (UsedArg && DischargeUsed)
             *DischargeUsed = true;
           continue;
         }
       }
-      if (rangeDischarges(Win)) {
+      bool UsedArg = false;
+      if (rangeDischarges(Win, NeedTrip, NeedDiv, UsedArg)) {
         ++Stats.RuntimeGuardsDischarged;
-        if (DischargeUsed)
+        if (UsedArg && DischargeUsed)
           *DischargeUsed = true;
       } else {
-        Guard = guardFor(Win);
+        Guard = combinedGuard(Win, NeedTrip, NeedDiv);
       }
     }
 
     emitHull(LP.Root, Min, Chk, Guard);
-    if (Max.C != Min.C || Max.K != Min.K)
+    if (Max.C != Min.C || Max.KI != Min.KI || Max.KL != Min.KL)
       emitHull(LP.Root, Max, Chk, Guard);
     ++Stats.LoopChecksHoisted;
     if (Guard) {
-      // Outside the window the loop keeps its original per-iteration
+      // Outside the region the loop keeps its original per-iteration
       // check: re-insert it guarded by the complement.
       BB->insertBefore(It, std::unique_ptr<Instruction>(new SpatialCheckInst(
                                Chk->type(), Chk->pointer(), Chk->bounds(),
@@ -955,6 +1416,15 @@ void hoistLoopChecks(Function &F, CheckOptStats &Stats,
   Stats.LoopsAnalyzed += Loops.size();
   Module &M = *F.parent();
 
+  // One function-order index shared by every loop's hoister (block visit
+  // order must be deterministic; see LoopHoister::run).
+  LoopHoister::BlockPosMap BlockPos;
+  {
+    unsigned Pos = 0;
+    for (const auto &BB : F.blocks())
+      BlockPos[BB.get()] = Pos++;
+  }
+
   // Counted-loop analysis and body-safety for every loop up front, so each
   // loop can borrow the IV ranges of its safe counted ancestors.
   std::vector<LoopShape> Shapes(Loops.size());
@@ -967,6 +1437,10 @@ void hoistLoopChecks(Function &F, CheckOptStats &Stats,
                analyzeSymbolicCountedLoop(Loops[I], S.SCL)) {
       S.Symbolic = true;
       ++Stats.LoopsCountedRuntime;
+      if (S.SCL.InitV)
+        ++Stats.LoopsCountedSymInit;
+      if (S.SCL.NeedDivis)
+        ++Stats.LoopsCountedStrided;
     } else {
       continue;
     }
@@ -981,35 +1455,53 @@ void hoistLoopChecks(Function &F, CheckOptStats &Stats,
     // full: the nest is rectangular, so their IV ranges may widen hulls
     // (subject to the per-check root/bounds invariance test above). At
     // most one symbolic dimension may exist per hull — the hoisted loop's
-    // own limit wins; otherwise the first symbolic ancestor claims it.
-    IVBox Enclosing;
-    LoopHoister::LoopOfIV EnclosingLoops;
-    const SymbolicCountedLoop *AncestorSym = nullptr;
-    bool SymbolTaken = Shapes[I].Symbolic;
+    // own bounds win; otherwise the first symbolic ancestor claims it.
+    std::vector<size_t> Encl;
     for (size_t E = 0; E < Loops.size(); ++E) {
       if (E == I || !Shapes[E].Usable || !Loops[E].contains(L.Header))
         continue;
       if (!DT.dominates(L.Header, Loops[E].Latch))
         continue;
+      Encl.push_back(E);
+    }
+    const SymbolicCountedLoop *AncestorSym = nullptr;
+    if (!Shapes[I].Symbolic)
+      for (size_t E : Encl)
+        if (Shapes[E].Symbolic) {
+          AncestorSym = &Shapes[E].SCL;
+          break;
+        }
+    const SymbolicCountedLoop *SymSrc =
+        Shapes[I].Symbolic ? &Shapes[I].SCL : AncestorSym;
+    const Value *SymI = SymSrc ? SymSrc->InitV : nullptr;
+    const Value *SymL = SymSrc ? SymSrc->Limit : nullptr;
+
+    IVBox Enclosing;
+    LoopHoister::LoopOfIV EnclosingLoops;
+    for (size_t E : Encl) {
       if (Shapes[E].Constant) {
         const CountedLoop &CE = Shapes[E].CL;
         if (CE.BodyCount <= 0)
           continue;
-        Enclosing[CE.IV] = IVSpan{AffVal{std::min(CE.Init, CE.LastBody), 0},
-                                  AffVal{std::max(CE.Init, CE.LastBody), 0}};
+        // A dimension whose IV *is* one of the symbols is never widened:
+        // the hull would pair the symbol's one live value with other
+        // iterations' span points — addresses the program never computes.
+        // Dropping the dimension makes in-expression uses of the IV
+        // linearize through the symbol leaf instead, which reads exactly
+        // the current iteration's value.
+        if (CE.IV == SymI || CE.IV == SymL)
+          continue;
+        Enclosing[CE.IV] =
+            IVSpan{AffVal{std::min(CE.Init, CE.LastBody), 0, 0},
+                   AffVal{std::max(CE.Init, CE.LastBody), 0, 0}};
         EnclosingLoops[CE.IV] = &Loops[E];
-      } else if (Shapes[E].Symbolic && !SymbolTaken) {
-        const SymbolicCountedLoop &SE = Shapes[E].SCL;
-        Enclosing[SE.IV] =
-            SE.Up ? IVSpan{AffVal{SE.Init, 0}, AffVal{SE.EndAdj, 1}}
-                  : IVSpan{AffVal{SE.EndAdj, 1}, AffVal{SE.Init, 0}};
-        EnclosingLoops[SE.IV] = &Loops[E];
-        AncestorSym = &SE;
-        SymbolTaken = true;
+      } else if (Shapes[E].Symbolic && &Shapes[E].SCL == AncestorSym) {
+        Enclosing[AncestorSym->IV] = symbolicSpan(*AncestorSym);
+        EnclosingLoops[AncestorSym->IV] = &Loops[E];
       }
     }
-    LoopHoister(M, L, Shapes[I], DT, Enclosing, EnclosingLoops, AncestorSym,
-                ArgRanges, ArgRangeDischargeUsed, Stats)
+    LoopHoister(M, L, Shapes[I], DT, BlockPos, Enclosing, EnclosingLoops,
+                AncestorSym, ArgRanges, ArgRangeDischargeUsed, Stats)
         .run();
   }
 }

@@ -29,13 +29,20 @@ std::vector<NaturalLoop> checkopt::findSimpleLoops(Function &F,
 
   // Back edges B -> H where H dominates B; reject headers with several
   // latches (continue statements) — their phi structure is ambiguous.
+  // Headers are visited in RPO, never in pointer order: the emitted hull
+  // IR (and hence the gated dynamic-check counts) must be identical from
+  // run to run.
   std::map<BasicBlock *, std::vector<BasicBlock *>> Latches;
   for (BasicBlock *BB : DT.rpo())
     for (BasicBlock *S : BB->successors())
       if (DT.dominates(S, BB))
         Latches[S].push_back(BB);
 
-  for (auto &[Header, Backs] : Latches) {
+  for (BasicBlock *Header : DT.rpo()) {
+    auto LatchIt = Latches.find(Header);
+    if (LatchIt == Latches.end())
+      continue;
+    const std::vector<BasicBlock *> &Backs = LatchIt->second;
     if (Backs.size() != 1)
       continue;
     NaturalLoop L;
@@ -92,11 +99,12 @@ std::vector<NaturalLoop> checkopt::findSimpleLoops(Function &F,
   }
 
   // Innermost first, so hoisted inner checks can cascade out of enclosing
-  // loops in the same pass.
-  std::sort(Out.begin(), Out.end(),
-            [](const NaturalLoop &A, const NaturalLoop &B) {
-              return A.Blocks.size() < B.Blocks.size();
-            });
+  // loops in the same pass. Stable: same-size loops keep their RPO
+  // discovery order (determinism again).
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const NaturalLoop &A, const NaturalLoop &B) {
+                     return A.Blocks.size() < B.Blocks.size();
+                   });
   return Out;
 }
 
@@ -114,49 +122,41 @@ bool fitsWidth(__int128 V, unsigned Bits) {
   return V >= Min && V <= Max;
 }
 
-/// First header phi of the shape [constant Init from the preheader],
-/// [phi +/- constant from a latch-side binop]. Shared by the constant and
-/// symbolic counted-loop analyzers.
-bool findInductionVar(const NaturalLoop &L, PhiInst *&IV, int64_t &Init,
-                      int64_t &Step) {
-  for (auto &I : *L.Header) {
-    auto *Phi = dyn_cast<PhiInst>(I.get());
-    if (!Phi)
-      break;
-    if (Phi->numIncoming() != 2 || !isa<IntType>(Phi->type()))
-      continue;
-    Value *FromPre = Phi->incomingFor(L.Preheader);
-    Value *FromLatch = Phi->incomingFor(L.Latch);
-    auto *InitC = FromPre ? dyn_cast<ConstantInt>(FromPre) : nullptr;
-    auto *Next = FromLatch ? dyn_cast<BinOpInst>(FromLatch) : nullptr;
-    if (!InitC || !Next || !L.contains(Next->parent()))
-      continue;
-    int64_t S = 0;
-    if (Next->opcode() == BinOpInst::Op::Add) {
-      if (auto *C = dyn_cast<ConstantInt>(Next->rhs());
-          C && Next->lhs() == Phi)
-        S = C->value();
-      else if (auto *C2 = dyn_cast<ConstantInt>(Next->lhs());
-               C2 && Next->rhs() == Phi)
-        S = C2->value();
-      else
-        continue;
-    } else if (Next->opcode() == BinOpInst::Op::Sub) {
-      auto *C = dyn_cast<ConstantInt>(Next->rhs());
-      if (!C || Next->lhs() != Phi)
-        continue;
-      S = -C->value();
-    } else {
-      continue;
-    }
-    if (S == 0)
-      continue;
-    IV = Phi;
-    Init = InitC->value();
-    Step = S;
-    return true;
+/// Matches \p Phi against the [init from the preheader, phi +/- constant
+/// from a latch-side binop] shape, returning the raw preheader incoming
+/// (constant *or* symbolic — the callers decide what they accept).
+bool matchIVStep(const NaturalLoop &L, PhiInst *Phi, Value *&InitVal,
+                 int64_t &Step) {
+  if (Phi->numIncoming() != 2 || !isa<IntType>(Phi->type()))
+    return false;
+  Value *FromPre = Phi->incomingFor(L.Preheader);
+  Value *FromLatch = Phi->incomingFor(L.Latch);
+  auto *Next = FromLatch ? dyn_cast<BinOpInst>(FromLatch) : nullptr;
+  if (!FromPre || !Next || !L.contains(Next->parent()))
+    return false;
+  int64_t S = 0;
+  if (Next->opcode() == BinOpInst::Op::Add) {
+    if (auto *C = dyn_cast<ConstantInt>(Next->rhs()); C && Next->lhs() == Phi)
+      S = C->value();
+    else if (auto *C2 = dyn_cast<ConstantInt>(Next->lhs());
+             C2 && Next->rhs() == Phi)
+      S = C2->value();
+    else
+      return false;
+  } else if (Next->opcode() == BinOpInst::Op::Sub) {
+    auto *C = dyn_cast<ConstantInt>(Next->rhs());
+    // INT64_MIN checked pre-negation: -INT64_MIN is signed-overflow UB.
+    if (!C || Next->lhs() != Phi || C->value() == INT64_MIN)
+      return false;
+    S = -C->value();
+  } else {
+    return false;
   }
-  return false;
+  if (S == 0 || S == INT64_MIN)
+    return false;
+  InitVal = FromPre;
+  Step = S;
+  return true;
 }
 
 /// The exit comparison's predicate oriented so "Pred(IV, limit) true"
@@ -190,25 +190,58 @@ bool orientExitCondition(const NaturalLoop &L, const BrInst *Br, PhiInst *IV,
   return true;
 }
 
+/// First header phi in IV-step shape that the exit comparison actually
+/// tests, together with its oriented stay-predicate and the raw
+/// limit-side operand. Iterating past phis the branch does not test keeps
+/// accumulator phis (`s = s + 1` matches the step shape too) from masking
+/// the real induction variable. Shared by both analyzers.
+bool findOrientedIV(const NaturalLoop &L, const BrInst *Br, PhiInst *&IV,
+                    Value *&InitVal, int64_t &Step, ICmpInst::Pred &Pred,
+                    Value *&LimitSide) {
+  for (auto &I : *L.Header) {
+    auto *Phi = dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    Value *Init = nullptr;
+    int64_t S = 0;
+    if (!matchIVStep(L, Phi, Init, S))
+      continue;
+    ICmpInst::Pred P;
+    Value *LS = nullptr;
+    if (!orientExitCondition(L, Br, Phi, P, LS))
+      continue;
+    IV = Phi;
+    InitVal = Init;
+    Step = S;
+    Pred = P;
+    LimitSide = LS;
+    return true;
+  }
+  return false;
+}
+
 } // namespace
 
 bool checkopt::analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out) {
   // --- Induction variable: header phi = [Init, Preheader], [Next, Latch]
-  // with Next = IV +/- constant.
+  // with Next = IV +/- constant, tested by the header's exit branch.
   auto *Br = dyn_cast<BrInst>(L.Header->terminator());
   if (!Br || !Br->isConditional())
     return false;
 
   PhiInst *IV = nullptr;
-  int64_t Init = 0, Step = 0;
-  if (!findInductionVar(L, IV, Init, Step))
-    return false;
-
-  // --- Exit condition: icmp between the IV and a constant limit.
+  Value *InitVal = nullptr;
+  int64_t Step = 0;
   ICmpInst::Pred Pred;
   Value *LimitSide = nullptr;
-  if (!orientExitCondition(L, Br, IV, Pred, LimitSide))
+  if (!findOrientedIV(L, Br, IV, InitVal, Step, Pred, LimitSide))
     return false;
+  const auto *InitCI = dyn_cast<ConstantInt>(InitVal);
+  if (!InitCI)
+    return false;
+  int64_t Init = InitCI->value();
+
+  // --- Exit condition: icmp between the IV and a constant limit.
   const auto *LimitC = dyn_cast<ConstantInt>(LimitSide);
   if (!LimitC)
     return false;
@@ -299,87 +332,117 @@ bool checkopt::analyzeSymbolicCountedLoop(const NaturalLoop &L,
     return false;
 
   PhiInst *IV = nullptr;
-  int64_t Init = 0, Step = 0;
-  if (!findInductionVar(L, IV, Init, Step))
-    return false;
-  // Only unit steps: for |Step| > 1 the IV can step *past* the limit and
-  // wrap its width before the exit test ever fails, and proving it cannot
-  // would need a divisibility guard the emitted window cannot express.
-  if (Step != 1 && Step != -1)
-    return false;
-
+  Value *InitVal = nullptr;
+  int64_t Step = 0;
   ICmpInst::Pred Pred;
   Value *LimitSide = nullptr;
-  if (!orientExitCondition(L, Br, IV, Pred, LimitSide))
+  if (!findOrientedIV(L, Br, IV, InitVal, Step, Pred, LimitSide))
     return false;
-
-  // The limit: peel value-preserving sign extensions (the peeled value is
-  // canonically equal), then require availability on entry. Constants are
-  // the constant analyzer's territory.
-  Value *Limit = stripSExt(LimitSide);
-  if (isa<ConstantInt>(Limit) || !isa<IntType>(Limit->type()) ||
-      !L.isInvariant(Limit) || Limit == IV)
+  // Steps large enough to threaten the window arithmetic itself are not
+  // worth a guard; EndAdj and the wrap windows below stay exactly
+  // representable under this cap.
+  const int64_t AbsStep = Step > 0 ? Step : -Step;
+  if (AbsStep > (int64_t(1) << 30))
     return false;
 
   unsigned W = cast<IntType>(IV->type())->bits();
   if (W > 64)
     return false;
-  const int64_t WMax =
-      W >= 64 ? INT64_MAX : (int64_t(1) << (W - 1)) - 1;
+  const int64_t WMax = W >= 64 ? INT64_MAX : (int64_t(1) << (W - 1)) - 1;
   const int64_t WMin = W >= 64 ? INT64_MIN : -(int64_t(1) << (W - 1));
-  if (Init < WMin || Init > WMax)
-    return false; // Un-canonical hand-built constant: refuse.
+
+  // The init: a constant (width-checked — an un-canonical hand-built
+  // constant is refused) or the symbolic preheader incoming, which SSA
+  // dominance already makes available on entry and whose canonical value
+  // fits the IV width by construction. Sign extensions are peeled like
+  // the limit's, so a symbol that is a widened copy of another loop's IV
+  // is recognized as that IV (the hoister keys correlation checks on the
+  // symbol's identity).
+  InitVal = stripSExt(InitVal);
+  if (auto *InitCI = dyn_cast<ConstantInt>(InitVal)) {
+    Out.InitV = nullptr;
+    Out.InitC = InitCI->value();
+    if (Out.InitC < WMin || Out.InitC > WMax)
+      return false;
+  } else {
+    if (!isa<IntType>(InitVal->type()))
+      return false;
+    Out.InitV = InitVal;
+    Out.InitC = 0;
+  }
+
+  // The limit: peel value-preserving sign extensions (the peeled value is
+  // canonically equal). A constant limit is allowed only alongside a
+  // symbolic init (both constant is the constant analyzer's territory);
+  // a symbolic one must be available on entry.
+  Value *Limit = stripSExt(LimitSide);
+  if (auto *LimitCI = dyn_cast<ConstantInt>(Limit)) {
+    if (!Out.InitV)
+      return false;
+    Out.Limit = nullptr;
+    Out.LimitC = LimitCI->value();
+  } else {
+    if (!isa<IntType>(Limit->type()) || !L.isInvariant(Limit) || Limit == IV)
+      return false;
+    Out.Limit = Limit;
+    Out.LimitC = 0;
+  }
 
   // Per-predicate shape. The LimitMin/LimitMax window guarantees the IV
-  // reaches the exit value without leaving [WMin, WMax]: with a unit step
-  // the largest value the latch ever computes is the exit value itself
-  // (L for SLT, L+1 for SLE; mirrored downward), so bounding L bounds
-  // every intermediate.
+  // reaches the exit value without leaving [WMin, WMax]: under the
+  // divisibility condition (automatic for |Step| == 1) the sequence is
+  // monotonic from I to the exit value (L for SLT/SGT, L +/- Step for
+  // SLE/SGE), so bounding L bounds every intermediate — I itself is
+  // canonical and needs no window.
   using P = ICmpInst::Pred;
   switch (Pred) {
-  case P::SLT: // Body IVs [Init, L-1]; exit value L.
-    if (Step != 1)
+  case P::SLT: // Body IVs [I, L-Step]; exit value L.
+    if (Step <= 0)
       return false;
     Out.Up = true;
-    Out.EndAdj = -1;
+    Out.EndAdj = -Step;
     Out.LimitMin = INT64_MIN;
     Out.LimitMax = WMax;
     break;
-  case P::SLE: // Body IVs [Init, L]; exit value L+1.
-    if (Step != 1)
+  case P::SLE: // Body IVs [I, L]; exit value L+Step.
+    if (Step <= 0)
       return false;
     Out.Up = true;
     Out.EndAdj = 0;
     Out.LimitMin = INT64_MIN;
-    Out.LimitMax = WMax == INT64_MAX ? INT64_MAX - 1 : WMax - 1;
+    Out.LimitMax = WMax - Step; // WMax >= 0 > -Step: cannot overflow.
     break;
-  case P::SGT: // Body IVs [L+1, Init]; exit value L.
-    if (Step != -1)
+  case P::SGT: // Body IVs [L-Step, I]; exit value L.
+    if (Step >= 0)
       return false;
     Out.Up = false;
-    Out.EndAdj = 1;
+    Out.EndAdj = -Step;
     Out.LimitMin = WMin;
     Out.LimitMax = INT64_MAX;
     break;
-  case P::SGE: // Body IVs [L, Init]; exit value L-1.
-    if (Step != -1)
+  case P::SGE: // Body IVs [L, I]; exit value L+Step.
+    if (Step >= 0)
       return false;
     Out.Up = false;
     Out.EndAdj = 0;
-    Out.LimitMin = WMin == INT64_MIN ? INT64_MIN + 1 : WMin + 1;
+    Out.LimitMin = WMin - Step; // WMin < 0 < -Step: cannot overflow.
     Out.LimitMax = INT64_MAX;
     break;
   default:
     // Unsigned and equality predicates: no sound signed interval form
-    // under an unknown limit (ULT would additionally need L >= 0 and
-    // NE an exact divisibility hit).
+    // under unknown bounds (ULT would additionally need L >= 0 and NE an
+    // exact divisibility hit).
     return false;
   }
+  // A constant limit must sit inside the wrap window statically; there is
+  // no symbol to test it against at run time.
+  if (!Out.Limit && (Out.LimitC < Out.LimitMin || Out.LimitC > Out.LimitMax))
+    return false;
 
   Out.IV = IV;
-  Out.Init = Init;
   Out.Step = Step;
-  Out.Limit = Limit;
+  Out.Pred = Pred;
+  Out.NeedDivis = AbsStep != 1;
   return true;
 }
 

@@ -71,42 +71,62 @@ struct CountedLoop {
 /// wrap its bit width or fail to terminate.
 bool analyzeCountedLoop(const NaturalLoop &L, CountedLoop &Out);
 
-/// A counted loop whose limit is a loop-invariant SSA value rather than a
-/// compile-time constant — the `for (i = 0; i < n; i++)` shape. The IV
-/// starts at the constant Init and steps by exactly +/-1 until the
-/// oriented relational predicate against Limit fails, so the body's IV
-/// set is an interval with one run-time endpoint:
+/// A counted loop with up to two run-time bounds — the generalized
+/// `for (i = lo; i < hi; i += s)` family. The IV starts at the init value
+/// I (a compile-time constant, or the run-time value of the loop-invariant
+/// SSA value InitV) and steps by the constant Step until the oriented
+/// relational predicate against the limit value L (constant, or the
+/// run-time value of the loop-invariant Limit) fails, so the body's IV
+/// set is an interval with up to two run-time endpoints:
 ///
-///   up   (Step = +1): IV in [Init, L + EndAdj]  (EndAdj: SLT -1, SLE 0)
-///   down (Step = -1): IV in [L + EndAdj, Init]  (EndAdj: SGT +1, SGE 0)
+///   up   (Step > 0): IV in [I, L + EndAdj]  (EndAdj: SLT -Step, SLE 0)
+///   down (Step < 0): IV in [L + EndAdj, I]  (EndAdj: SGT -Step, SGE 0)
 ///
-/// where L is the run-time value of Limit. The closed form is valid only
-/// when (a) the loop runs at least one body iteration and (b) L lies in
-/// [LimitMin, LimitMax], the window inside which the IV provably reaches
-/// the exit without wrapping its bit width. Both are run-time conditions
-/// on L; the hoister (LoopHoist.cpp) narrows the window further with its
-/// own arithmetic-fidelity constraints and either proves it from
-/// inter-procedural argument ranges or tests it with an emitted guard.
+/// At least one endpoint is symbolic (both constant is the constant
+/// analyzer's territory). The closed form is valid only when
+///
+///   (a) the loop runs at least one body iteration — exactly the stay
+///       predicate Pred(I, L), testable as one icmp on the live values;
+///   (b) L lies in [LimitMin, LimitMax], the window inside which the IV
+///       provably reaches the exit value without wrapping its bit width
+///       (I needs no window: canonical values already fit the IV width;
+///       when the limit is a compile-time constant the window has been
+///       checked statically by the analyzer); and
+///   (c) when |Step| > 1 (NeedDivis), the span (L - I) is divisible by
+///       |Step| — otherwise the IV steps *past* the limit and the body
+///       endpoint L + EndAdj is not the true last IV.
+///
+/// All three are run-time conditions on (I, L); the hoister
+/// (LoopHoist.cpp) narrows the region further with its own
+/// arithmetic-fidelity constraints and either proves it from
+/// inter-procedural argument ranges (over both symbols) or tests it with
+/// an emitted guard.
 struct SymbolicCountedLoop {
   PhiInst *IV = nullptr;
-  int64_t Init = 0;
-  int64_t Step = 0;       ///< +1 or -1.
-  Value *Limit = nullptr; ///< Loop-invariant integer SSA value.
-  bool Up = false;        ///< True for +1 loops (SLT/SLE).
+  Value *InitV = nullptr; ///< Loop-invariant symbolic init, or null.
+  int64_t InitC = 0;      ///< Constant init value when InitV is null.
+  Value *Limit = nullptr; ///< Loop-invariant symbolic limit, or null.
+  int64_t LimitC = 0;     ///< Constant limit value when Limit is null.
+  int64_t Step = 0;       ///< Nonzero; |Step| may exceed 1.
+  bool Up = false;        ///< True for Step > 0 loops (SLT/SLE).
+  ICmpInst::Pred Pred = ICmpInst::Pred::SLT; ///< Oriented stay-predicate.
   int64_t EndAdj = 0;     ///< Run-time body-IV endpoint = L + EndAdj.
+  bool NeedDivis = false; ///< |Step| > 1: closed form needs (L-I) % |Step| == 0.
   int64_t LimitMin = INT64_MIN; ///< IV-wrap window on L (inclusive).
   int64_t LimitMax = INT64_MAX;
 };
 
-/// Recognizes \p L as a symbolic counted loop: header phi with constant
-/// init from the preheader, `phi +/- 1` from the latch, exit branch
-/// controlled by `icmp IV, Limit` (through the frontend's re-test wrapper
-/// and value-preserving sign extensions on either side) where Limit is
-/// available on entry to the loop. Only the signed relational predicates
-/// are accepted: unsigned and equality forms have no sound interval
-/// closed form under an unknown limit. Loops whose limit is a
-/// compile-time constant are the constant analyzer's job and are
-/// rejected here.
+/// Recognizes \p L as a symbolic counted loop: header phi whose preheader
+/// incoming is a constant or any SSA value (SSA dominance makes it
+/// available on loop entry by construction), `phi +/- constant` from the
+/// latch, exit branch controlled by `icmp IV, limit` (through the
+/// frontend's re-test wrapper and value-preserving sign extensions on
+/// either side) where the limit is a constant or available on entry to
+/// the loop, and at least one of init/limit is symbolic. Only the signed
+/// relational predicates are accepted: unsigned and equality forms have
+/// no sound interval closed form under unknown bounds. |Step| > 1 is
+/// accepted with NeedDivis set (the hoister must guard divisibility);
+/// a constant limit outside the IV-wrap window is rejected outright.
 bool analyzeSymbolicCountedLoop(const NaturalLoop &L, SymbolicCountedLoop &Out);
 
 /// True when no instruction in the loop can let a run finish *normally*

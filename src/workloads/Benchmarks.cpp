@@ -65,14 +65,26 @@ int liberties(int pos) {
   return libs;
 }
 
+int infl[361];
+int gcfg[2];
+
 int main() {
   sb_srand(7);
   for (int i = 0; i < 361; i++) board[i] = (int)(sb_rand() % 3);
+  gcfg[0] = 19 + (int)(sb_rand() % 19);  /* scan window lo */
+  gcfg[1] = 342 - (int)(sb_rand() % 19); /* scan window hi */
+  int lo = gcfg[0];
+  int hi = gcfg[1];
   for (int t = 0; t < 50; t++) {
     int pos = (int)(sb_rand() % 361);
     if (board[pos] == 0) board[pos] = 1 + (t % 2);
     chk += liberties(pos);
+    /* Influence re-scan over the interior window [lo, hi): both bounds
+       are run-time values (the symbolic-init loop shape). */
+    for (int p = lo; p < hi; p++)
+      infl[p] = (infl[p] + board[p] * 3 + t) % 251;
   }
+  for (int p = lo; p < hi; p++) chk += infl[p];
   return (int)(chk % 251);
 }
 )";
@@ -110,12 +122,17 @@ int main() {
 }
 )";
 
-// SPEC hmmer: Viterbi-style dynamic programming over int tables. ~1%.
+// SPEC hmmer: Viterbi-style dynamic programming over int tables, plus
+// the traceback the real Viterbi has: a *decreasing* sweep from a
+// run-time sequence length (`j = m - 1; j >= 0; j--` — the
+// symbolic-init shape runtime-bound hull hoisting targets). ~1%.
 const char *HmmerSrc = R"(
 int dpm[130 * 130];
 int dpi[130 * 130];
 int score[130];
 int seq[130];
+int tpath[130];
+int hcfg[1];
 
 int max2(int a, int b) { if (a > b) return a; return b; }
 
@@ -125,6 +142,8 @@ int main() {
     score[i] = (int)(sb_rand() % 17) - 8;
     seq[i] = (int)(sb_rand() % 4);
   }
+  hcfg[0] = 120 + (int)(sb_rand() % 8); /* run-time model length */
+  int m = hcfg[0];
   for (int r = 0; r < 6; r++) {
     for (int i = 1; i < 128; i++) {
       for (int j = 1; j < 128; j++) {
@@ -132,16 +151,21 @@ int main() {
         /* Odds-ratio scaling in fixed point. */
         int sc = emit * 17 + (emit * emit) % 23 - j % 3;
         sc = sc - sc / 4 + (sc * 3) % 7;
-        int m = dpm[(i - 1) * 130 + (j - 1)] + sc % 16;
+        int m2 = dpm[(i - 1) * 130 + (j - 1)] + sc % 16;
         int ins = dpi[(i - 1) * 130 + j] - 2;
-        int best = max2(m, ins);
+        int best = max2(m2, ins);
         dpm[i * 130 + j] = best;
         dpi[i * 130 + j] = max2(best - 5, dpi[i * 130 + j - 1] - 1);
       }
     }
+    /* Viterbi traceback: walk the last DP row backwards from the
+       run-time model length down to 0. */
+    for (int j = m - 1; j >= 0; j--)
+      tpath[j] = (tpath[j] + dpm[127 * 130 + j] % 31 + r) % 97;
   }
   long chk = 0;
   for (int j = 0; j < 128; j++) chk += dpm[127 * 130 + j];
+  for (int j = 0; j < 130; j++) chk += tpath[j];
   return (int)((chk % 251 + 251) % 251);
 }
 )";
@@ -196,16 +220,25 @@ int main() {
 }
 )";
 
-// SPEC ijpeg: integer 8x8 DCT over an image buffer. ~3%.
+// SPEC ijpeg: integer 8x8 DCT over an image buffer, plus the scan-band
+// conditioning the original's progressive mode has: a row window
+// [lo, hi) only known at run time (symbolic init *and* limit) and a
+// stride-8 block-column sweep — the two-symbol and strided loop shapes
+// runtime-bound hull hoisting targets. ~3%.
 const char *IjpegSrc = R"(
 int image[32 * 32];
 int coef[32 * 32];
 int cosT[64];
+int jcfg[2];
 
 int main() {
   sb_srand(17);
   for (int i = 0; i < 64; i++) cosT[i] = ((i * 29) % 181) - 90;
   for (int i = 0; i < 32 * 32; i++) image[i] = (int)(sb_rand() % 256) - 128;
+  jcfg[0] = 3 + (int)(sb_rand() % 5);   /* scan band lo */
+  jcfg[1] = 24 + (int)(sb_rand() % 8);  /* scan band hi (<= 31) */
+  int lo = jcfg[0];
+  int hi = jcfg[1];
   for (int pass = 0; pass < 8; pass++) {
     for (int by = 0; by < 4; by++) {
       for (int bx = 0; bx < 4; bx++) {
@@ -221,6 +254,15 @@ int main() {
         }
       }
     }
+    /* Progressive scan band: rows [lo, hi) sharpen against the DCT
+       output; both bounds are run-time values. */
+    for (int r = lo; r < hi; r++)
+      for (int c = 0; c < 32; c++)
+        image[r * 32 + c] = (image[r * 32 + c] * 7 + coef[r * 32 + c]) % 256;
+    /* Block-column accumulation: stride-8 sweep under a run-time limit. */
+    int cols = hi * 32;
+    for (int k = 0; k < cols; k = k + 8)
+      coef[k] = (coef[k] + image[k]) % 256;
     for (int i = 0; i < 32 * 32; i++)
       image[i] = (image[i] + coef[i] / 4) % 256;
   }

@@ -736,6 +736,284 @@ TEST(RuntimeHulls, SymbolicNestWithDistinctLimitsStaysSound) {
   EXPECT_EQ(RZ.Counters.Checks, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Two-symbol affine hulls: symbolic init, decreasing, strided shapes
+//===----------------------------------------------------------------------===//
+
+/// The `for (i = lo; i < hi; i++)` shape: both endpoints only known at
+/// run time (main's arguments — externally reachable, so no argument
+/// range can discharge the guard statically).
+const char *TwoSymSweepSrc = "long buf[64];\n"
+                             "int main(int lo, int hi) {\n"
+                             "  long s = 0;\n"
+                             "  for (int i = lo; i < hi; i++) {\n"
+                             "    buf[i] = 7; s = s + buf[i];\n"
+                             "  }\n"
+                             "  return (int)(s % 100);\n"
+                             "}";
+
+TEST(RuntimeHulls, TwoSymbolSweepCollapsesToGuardedHull) {
+  BuildResult Prog = planBuild(TwoSymSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  const CheckOptStats &S = Prog.Pipeline.CheckOpt;
+  EXPECT_GE(S.LoopsCountedRuntime, 1u);
+  EXPECT_GE(S.LoopsCountedSymInit, 1u);
+  EXPECT_EQ(S.RuntimeHullChecks, 2u) << "one guarded hull per endpoint";
+  EXPECT_GE(S.RuntimeGuardedFallbacks, 1u);
+
+  RunOptions RO;
+  RO.Args = {0, 16};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 12);
+  EXPECT_EQ(R.Counters.Checks, 2u) << "O(hi-lo) -> O(1) dynamic checks";
+
+  RO.Args = {5, 13}; // Interior window.
+  R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 56);
+  EXPECT_EQ(R.Counters.Checks, 2u);
+
+  // Without the runtime-limit knob the loop keeps per-iteration checks.
+  CheckOptConfig NoRT;
+  NoRT.RuntimeLimitHulls = false;
+  BuildResult Off = planBuild(TwoSymSweepSrc, {}, NoRT);
+  ASSERT_TRUE(Off.ok());
+  EXPECT_EQ(Off.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
+  RO.Args = {0, 16};
+  RunResult ROff = runProgram(Off, RO);
+  EXPECT_EQ(ROff.ExitCode, 12);
+  EXPECT_GE(ROff.Counters.Checks, 16u);
+}
+
+TEST(RuntimeHulls, TwoSymbolZeroTripPerformsNoCheck) {
+  // lo > hi (and lo == hi): the exact trip test fails, the hull pair is
+  // skipped, and the never-executing fallback performs no check either —
+  // even though both "endpoints" would be wildly out of bounds.
+  BuildResult Prog = planBuild(TwoSymSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  for (auto [Lo, Hi] : {std::pair<int64_t, int64_t>{5, 2},
+                        {9, 9},
+                        {100, -100}}) {
+    RunOptions RO;
+    RO.Args = {Lo, Hi};
+    RunResult R = runProgram(Prog, RO);
+    ASSERT_TRUE(R.ok()) << "lo=" << Lo << " hi=" << Hi << " "
+                        << trapName(R.Trap) << " " << R.Message;
+    EXPECT_EQ(R.ExitCode, 0);
+    EXPECT_EQ(R.Counters.Checks, 0u)
+        << "a zero-trip lo..hi loop must perform no check at all";
+    EXPECT_GE(R.Counters.GuardSkips, 2u);
+  }
+}
+
+TEST(RuntimeHulls, TwoSymbolHullTrapsOnEitherEndpoint) {
+  BuildResult Prog = planBuild(TwoSymSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  RunOptions RO;
+  RO.Args = {0, 64};
+  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "hi == extent is clean";
+  RO.Args = {0, 65}; // Overflow: the high hull corner traps.
+  RunResult RHi = runProgram(Prog, RO);
+  EXPECT_EQ(RHi.Trap, TrapKind::SpatialViolation) << trapName(RHi.Trap);
+  EXPECT_EQ(RHi.Counters.Checks, 2u) << "the hull traps before the loop";
+  RO.Args = {-1, 4}; // Underflow: the low hull corner traps first.
+  RunResult RLo = runProgram(Prog, RO);
+  EXPECT_EQ(RLo.Trap, TrapKind::SpatialViolation) << trapName(RLo.Trap);
+  EXPECT_EQ(RLo.Counters.Checks, 1u);
+}
+
+TEST(RuntimeHulls, DecreasingFromSymbolicInitStillTrapsUnderflow) {
+  // The decreasing shape `i = n - 1; i >= 0; i--`: symbolic *init*
+  // (an SSA subtraction peeled down to the live value), constant limit.
+  const char *Src = "long buf[64];\n"
+                    "int main(int n) {\n"
+                    "  long s = 0;\n"
+                    "  for (int i = n - 1; i >= 0; i--) {\n"
+                    "    buf[i] = 2; s = s + 1;\n"
+                    "  }\n"
+                    "  return (int)s;\n"
+                    "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Pipeline.CheckOpt.LoopsCountedSymInit, 1u);
+  EXPECT_EQ(Prog.Pipeline.CheckOpt.RuntimeHullChecks, 2u);
+
+  RunOptions RO;
+  RO.Args = {64};
+  RunResult R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 64);
+  EXPECT_EQ(R.Counters.Checks, 2u) << "O(n) -> O(1) dynamic checks";
+
+  RO.Args = {0}; // i starts at -1: zero-trip downward, no check.
+  R = runProgram(Prog, RO);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Counters.Checks, 0u);
+
+  RO.Args = {65}; // buf[64] overflows: the high hull corner traps.
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+}
+
+const char *StridedSweepSrc = "long buf[96];\n"
+                              "int main(int n) {\n"
+                              "  long s = 0;\n"
+                              "  for (int i = 0; i < n; i = i + 4) {\n"
+                              "    buf[i] = 1; s = s + 1;\n"
+                              "  }\n"
+                              "  return (int)s;\n"
+                              "}";
+
+TEST(RuntimeHulls, StrideDivisibilityGuardGatesTheHull) {
+  BuildResult Prog = planBuild(StridedSweepSrc);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  const CheckOptStats &S = Prog.Pipeline.CheckOpt;
+  EXPECT_GE(S.LoopsCountedStrided, 1u);
+  EXPECT_GE(S.RuntimeDivisGuards, 1u);
+  EXPECT_EQ(S.RuntimeHullChecks, 2u);
+
+  RunOptions RO;
+  RO.Args = {16}; // Divisible span: hull pair covers the loop.
+  RunResult RIn = runProgram(Prog, RO);
+  ASSERT_TRUE(RIn.ok()) << RIn.Message;
+  EXPECT_EQ(RIn.ExitCode, 4);
+  EXPECT_EQ(RIn.Counters.Checks, 2u) << "divisible: hulls only";
+
+  RO.Args = {14}; // 14 % 4 != 0: the divisibility fallback must fire.
+  RunResult ROut = runProgram(Prog, RO);
+  ASSERT_TRUE(ROut.ok()) << ROut.Message;
+  EXPECT_EQ(ROut.ExitCode, 4);
+  EXPECT_EQ(ROut.Counters.Checks, 4u)
+      << "non-divisible spans keep exact per-iteration checking";
+
+  RO.Args = {100}; // buf[96] overflows; 100 % 4 == 0: the hull traps.
+  RunResult RTrap = runProgram(Prog, RO);
+  EXPECT_EQ(RTrap.Trap, TrapKind::SpatialViolation) << trapName(RTrap.Trap);
+  EXPECT_EQ(RTrap.Counters.Checks, 2u);
+
+  RO.Args = {99}; // Overflow on a non-divisible span: the fallback traps.
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+}
+
+TEST(RuntimeHulls, MutatedBoundVariablesStaySound) {
+  // `hi` is reassigned inside the loop: after mem2reg the limit is a phi
+  // defined in the loop, so symbolic recognition must refuse the loop
+  // outright. `lo` mutated in the body is different: the IV's init
+  // operand is the *pre-loop* SSA value, which a body assignment cannot
+  // change, so recognition is sound either way. Both must match the
+  // unoptimized build exactly.
+  const char *MutHi = "int a[16];\n"
+                      "int main(int n) {\n"
+                      "  int hi = 12;\n"
+                      "  long s = 0;\n"
+                      "  for (int i = 0; i < hi; i++) {\n"
+                      "    a[i] = i; hi = hi - n; s = s + a[i];\n"
+                      "  }\n"
+                      "  return (int)s;\n"
+                      "}";
+  BuildResult Prog = planBuild(MutHi);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_EQ(Prog.Pipeline.CheckOpt.LoopsCountedRuntime, 0u)
+      << "an in-loop-mutated limit must not be recognized";
+  CheckOptConfig Off;
+  Off.Enable = false;
+  for (int64_t N : {int64_t(0), int64_t(1), int64_t(3)}) {
+    RunOptions RO;
+    RO.Args = {N};
+    RunResult R = runProgram(Prog, RO);
+    RunResult ROff = planRun(MutHi, {}, Off, RO);
+    ASSERT_TRUE(R.ok() && ROff.ok()) << "n=" << N;
+    EXPECT_EQ(R.ExitCode, ROff.ExitCode) << "n=" << N;
+  }
+
+  const char *MutLo = "int a[16];\n"
+                      "int main(int n) {\n"
+                      "  int lo = n;\n"
+                      "  long s = 0;\n"
+                      "  for (int i = lo; i < 12; i++) {\n"
+                      "    a[i] = i; lo = lo + 100; s = s + a[i];\n"
+                      "  }\n"
+                      "  return (int)s;\n"
+                      "}";
+  BuildResult Prog2 = planBuild(MutLo);
+  ASSERT_TRUE(Prog2.ok()) << Prog2.errorText();
+  for (int64_t N : {int64_t(0), int64_t(5), int64_t(12)}) {
+    RunOptions RO;
+    RO.Args = {N};
+    RunResult R = runProgram(Prog2, RO);
+    RunResult ROff = planRun(MutLo, {}, Off, RO);
+    ASSERT_TRUE(R.ok() && ROff.ok()) << "n=" << N;
+    EXPECT_EQ(R.ExitCode, ROff.ExitCode) << "n=" << N;
+  }
+}
+
+TEST(RuntimeHulls, TriangularNestWithDerivedSymbolNeverFalselyTraps) {
+  // The inner init `j + 1` is *derived from* the outer IV, so the nest is
+  // triangular, not rectangular: widening the hull over j while the
+  // corners read the live value of j+1 would mix iterations and check
+  // a[16*(n-1)+7] = a[71] — an address the program never computes. The
+  // hoister must refuse the widening (symbol not invariant in the
+  // enclosing loop); max real index at n=5 is 4*16+3 = 67, in bounds.
+  const char *Src = "int a[68];\n"
+                    "int main(int n) {\n"
+                    "  long s = 0;\n"
+                    "  for (int j = 0; j < 8; j++)\n"
+                    "    for (int i = j + 1; i < n; i++)\n"
+                    "      s = s + a[i * 16 + j];\n"
+                    "  return (int)s;\n"
+                    "}";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  CheckOptConfig Off;
+  Off.Enable = false;
+  for (int64_t N : {int64_t(0), int64_t(2), int64_t(5)}) {
+    RunOptions RO;
+    RO.Args = {N};
+    RunResult R = runProgram(Prog, RO);
+    RunResult ROff = planRun(Src, {}, Off, RO);
+    ASSERT_TRUE(ROff.ok()) << "n=" << N;
+    ASSERT_TRUE(R.ok()) << "n=" << N << " " << trapName(R.Trap) << " "
+                        << R.Message << " (clean runs are never affected)";
+    EXPECT_EQ(R.ExitCode, ROff.ExitCode) << "n=" << N;
+  }
+  // And the genuinely violating span still traps.
+  RunOptions RO;
+  RO.Args = {6}; // i reaches 5: a[5*16+7] = a[87] >= 68.
+  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+}
+
+TEST(RuntimeHulls, TwoSymbolInterProcRangesDischargeGuards) {
+  // Both call sites pass literal windows, so the propagated ranges
+  // lo in [2, 10], hi in [30, 50] prove the trip and every region
+  // constraint over *both* symbols: unguarded hulls, no fallback — and
+  // the module must record the whole-program contract the proof used.
+  const char *Src =
+      "long buf[64];\n"
+      "int fill(long* p, int lo, int hi) {\n"
+      "  long s = 0;\n"
+      "  for (int i = lo; i < hi; i++) { p[i] = i; s = s + p[i]; }\n"
+      "  return (int)(s % 100);\n"
+      "}\n"
+      "int main() { return fill(buf, 2, 30) + fill(buf, 10, 50); }";
+  BuildResult Prog = planBuild(Src);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  EXPECT_GE(Prog.Pipeline.CheckOpt.RuntimeGuardsDischarged, 1u);
+  EXPECT_TRUE(Prog.M->hasInterProcContract());
+
+  RunResult R = runProgram(Prog);
+  ASSERT_TRUE(R.ok()) << R.Message;
+  EXPECT_EQ(R.ExitCode, 114);
+  EXPECT_EQ(R.Counters.Checks, 4u) << "two unguarded hulls per call";
+  EXPECT_EQ(R.Counters.CheckGuards, 0u) << "discharged guards emit no test";
+
+  // Entering fill directly would bypass the range proof; refused.
+  RunOptions RO;
+  RO.Entry = "fill";
+  RunResult RBad = runProgram(Prog, RO);
+  EXPECT_FALSE(RBad.ok());
+}
+
 TEST(RuntimeHulls, NestedConstantLoopRehoistsGuardedHulls) {
   // The inner symbolic loop's guarded hulls are invariant in the outer
   // constant loop (guard and address computed from n alone), so the outer

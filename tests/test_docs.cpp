@@ -1,0 +1,167 @@
+//===- tests/test_docs.cpp - documentation drift gate -----------------------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Keeps docs/ from rotting: the pass and knob tables in docs/pipeline.md
+/// (between `<!-- drift:... -->` markers) must name exactly the passes
+/// and knobs the live PassRegistry exposes, in both directions — a pass
+/// or knob added, renamed, or removed without a doc update fails here,
+/// and a documented name that no longer parses fails too. Also pins the
+/// README-defers-to-docs structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/PassManager.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using namespace softbound;
+
+namespace {
+
+#ifndef SB_SOURCE_DIR
+#error "SB_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string readFile(const std::string &Rel) {
+  std::ifstream In(std::string(SB_SOURCE_DIR) + "/" + Rel);
+  EXPECT_TRUE(In.good()) << "cannot open " << Rel;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// The lines between `<!-- drift:Tag -->` and the next `<!-- /drift` line.
+std::vector<std::string> driftRegion(const std::string &Doc,
+                                     const std::string &Tag) {
+  std::string Open = "<!-- drift:" + Tag + " -->";
+  size_t B = Doc.find(Open);
+  if (B == std::string::npos)
+    return {};
+  B += Open.size();
+  size_t E = Doc.find("<!-- /drift", B);
+  if (E == std::string::npos)
+    return {};
+  std::vector<std::string> Lines;
+  std::istringstream SS(Doc.substr(B, E - B));
+  for (std::string Line; std::getline(SS, Line);)
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// First-column backticked identifier of a markdown table row, or "".
+std::string firstCell(const std::string &Line) {
+  size_t Tick = Line.find("| `");
+  if (Tick != 0)
+    return "";
+  size_t B = Line.find('`') + 1;
+  size_t E = Line.find('`', B);
+  if (E == std::string::npos)
+    return "";
+  return Line.substr(B, E - B);
+}
+
+std::set<std::string> firstColumn(const std::vector<std::string> &Region) {
+  std::set<std::string> Names;
+  for (const auto &Line : Region) {
+    std::string N = firstCell(Line);
+    if (!N.empty())
+      Names.insert(N);
+  }
+  return Names;
+}
+
+std::string joined(const std::set<std::string> &S) {
+  std::string Out;
+  for (const auto &N : S)
+    Out += N + " ";
+  return Out;
+}
+
+TEST(DocsDrift, PassTableMatchesRegistry) {
+  std::string Doc = readFile("docs/pipeline.md");
+  std::set<std::string> Documented = firstColumn(driftRegion(Doc, "passes"));
+  ASSERT_FALSE(Documented.empty())
+      << "docs/pipeline.md lost its drift:passes table";
+
+  std::set<std::string> Registered;
+  for (const auto &N : PassRegistry::global().names())
+    Registered.insert(N);
+
+  EXPECT_EQ(Documented, Registered)
+      << "docs/pipeline.md pass table != PassRegistry\n  documented: "
+      << joined(Documented) << "\n  registered: " << joined(Registered);
+}
+
+TEST(DocsDrift, KnobTablesMatchRegistry) {
+  std::string Doc = readFile("docs/pipeline.md");
+  // Every pass that accepts knobs must have a drift-checked knob table,
+  // and each table must name exactly the registry's knob list.
+  for (const auto &Name : PassRegistry::global().names()) {
+    const PassRegistry::Entry *E = PassRegistry::global().lookup(Name);
+    ASSERT_NE(E, nullptr) << Name;
+    std::set<std::string> Documented =
+        firstColumn(driftRegion(Doc, "knobs " + Name));
+    if (E->Knobs.empty()) {
+      EXPECT_TRUE(Documented.empty())
+          << Name << " takes no knobs but has a knob table";
+      continue;
+    }
+    std::set<std::string> Registered(E->Knobs.begin(), E->Knobs.end());
+    EXPECT_EQ(Documented, Registered)
+        << "docs/pipeline.md '" << Name
+        << "' knob table != registry\n  documented: " << joined(Documented)
+        << "\n  registered: " << joined(Registered);
+  }
+}
+
+TEST(DocsDrift, DocumentedCheckOptKnobsActuallyParse) {
+  // The registry's knob *list* is only diagnostics; tie each documented
+  // knob to the real CheckOptConfig parser by constructing a pass with
+  // it. A doc'd knob the parser rejects — or a phantom knob it accepts —
+  // is drift of the worst kind.
+  std::string Doc = readFile("docs/pipeline.md");
+  for (const auto &Knob : firstColumn(driftRegion(Doc, "knobs checkopt"))) {
+    std::string Err;
+    auto P = PassRegistry::global().create("checkopt", {Knob}, Err);
+    EXPECT_NE(P, nullptr) << "documented checkopt knob '" << Knob
+                          << "' no longer parses: " << Err;
+  }
+  std::string Err;
+  EXPECT_EQ(PassRegistry::global().create("checkopt", {"no-such-knob"}, Err),
+            nullptr);
+}
+
+TEST(DocsDrift, ReadmeDefersToDocs) {
+  std::string Readme = readFile("README.md");
+  EXPECT_NE(Readme.find("docs/pipeline.md"), std::string::npos)
+      << "README must point at the pipeline doc";
+  EXPECT_NE(Readme.find("docs/checkopt.md"), std::string::npos)
+      << "README must point at the check-optimization doc";
+  // The README stays a map, not a book.
+  size_t Lines = static_cast<size_t>(
+      std::count(Readme.begin(), Readme.end(), '\n'));
+  EXPECT_LE(Lines, 200u) << "README.md grew past ~200 lines; move the "
+                            "content into docs/ instead";
+
+  // The subsystem book documents every checkopt knob by name.
+  std::string Book = readFile("docs/checkopt.md");
+  const PassRegistry::Entry *E = PassRegistry::global().lookup("checkopt");
+  ASSERT_NE(E, nullptr);
+  for (const auto &Knob : E->Knobs)
+    if (Knob != "none" && Knob != "off")
+      EXPECT_NE(Book.find("`" + Knob + "`"), std::string::npos)
+          << "docs/checkopt.md no longer mentions knob '" << Knob << "'";
+}
+
+} // namespace
