@@ -20,7 +20,8 @@
 /// Flags (the CI bench-regression gate):
 ///   --json <path>            write per-workload check counts, simulated
 ///                            checking costs, check-opt elision stats,
-///                            and per-pass timings as JSON.
+///                            and per-pass timings (a non-gated
+///                            `timings_*` key group) as JSON.
 ///   --baseline <path>        compare this run's dynamic-check counts and
 ///                            simulated costs against a committed
 ///                            baseline; exit 1 when any workload
@@ -31,6 +32,19 @@
 ///   --summary <path>         write a per-workload current-vs-baseline
 ///                            delta table as GitHub-flavoured markdown
 ///                            (appended to the CI job summary).
+///   --profile                per-site hot-site tables for the full-opt
+///                            shadow run (docs/observability.md), added
+///                            to --json and --summary output. The table
+///                            is deterministic: site IDs, names, and
+///                            counts are identical across runs.
+///   --trace <path>           export a Chrome-trace-event timeline of
+///                            pipeline passes (wall-clock) and VM run
+///                            phases (simulated cycles); loads in
+///                            chrome://tracing or Perfetto.
+///   --workload <name>        run only the named workload (repeatable);
+///                            the CI telemetry smoke uses this. Skips
+///                            suite-wide shape checks' denominators as
+///                            needed; do not combine with --baseline.
 ///
 /// The simulated cost is the §5.1 checking-cost component of a run,
 /// separated from the program's own instructions:
@@ -52,6 +66,7 @@
 #include "runtime/HashTableMetadata.h"
 #include "runtime/ShadowSpaceMetadata.h"
 
+#include <algorithm>
 #include <cstring>
 #include <set>
 
@@ -80,6 +95,18 @@ uint64_t simCost(const VMCounters &C, const MetadataFacility &Meta) {
          C.MetaStores * Meta.updateCost() + C.CheckGuards * 1;
 }
 
+/// One row of the --profile hot-site table (full-opt shadow run).
+struct SiteRow {
+  std::string Site;   // "<function>#<ordinal>" (Module::checkSites).
+  const char *Kind;   // "check", "funcptr", "meta.load", "meta.store".
+  bool Guarded = false;
+  uint64_t Executed = 0;
+  uint64_t GuardElided = 0;
+  uint64_t FallbackFired = 0;
+  uint64_t Traps = 0;
+  uint64_t SimCost = 0; // Site share of the §5.1 checking cost.
+};
+
 /// Everything measured for one workload, for the table and the JSON dump.
 struct WorkloadNumbers {
   std::string Name;
@@ -92,11 +119,74 @@ struct WorkloadNumbers {
   uint64_t GuardSkips = 0;            // Full-opt guarded-check skips.
   CheckOptStats CheckOpt;            // Default-pipeline (full, opt) stats.
   std::vector<PassTiming> Timings;   // Default-pipeline per-pass timings.
+  std::vector<SiteRow> HotSites;     // --profile: sim-cost-sorted, capped.
+  size_t SitesTotal = 0;             // --profile: module site-table size.
+  size_t SitesLive = 0;              // --profile: sites with any activity.
 };
+
+/// Rows reported per workload in JSON / markdown under --profile.
+constexpr size_t MaxJsonSites = 50;
+constexpr size_t MaxSummarySites = 10;
+
+/// Builds the deterministic hot-site table from one profiled run: every
+/// site with any activity, sorted by its share of the simulated checking
+/// cost (§5.1 shadow costs), site ID breaking ties.
+void fillHotSites(WorkloadNumbers &Num, const Module &M,
+                  const SiteProfile &Prof) {
+  ShadowSpaceMetadata ShadowCosts;
+  const auto &Sites = M.checkSites();
+  Num.SitesTotal = Sites.size();
+  std::vector<std::pair<size_t, SiteRow>> Rows;
+  for (size_t I = 0; I < Sites.size() && I < Prof.Sites.size(); ++I) {
+    const SiteCounters &SC = Prof.Sites[I];
+    if (!SC.Executed && !SC.GuardElided && !SC.FallbackFired && !SC.Traps)
+      continue;
+    SiteRow Row;
+    Row.Site = Sites[I].Name;
+    Row.Guarded = Sites[I].Guarded;
+    Row.Executed = SC.Executed;
+    Row.GuardElided = SC.GuardElided;
+    Row.FallbackFired = SC.FallbackFired;
+    Row.Traps = SC.Traps;
+    switch (Sites[I].Kind) {
+    case ValueKind::SpatialCheck:
+      Row.Kind = "check";
+      Row.SimCost =
+          SC.Executed * 3 + (SC.GuardElided + SC.FallbackFired) * 1;
+      break;
+    case ValueKind::FuncPtrCheck:
+      Row.Kind = "funcptr";
+      Row.SimCost = SC.Executed * 3;
+      break;
+    case ValueKind::MetaLoad:
+      Row.Kind = "meta.load";
+      Row.SimCost = SC.Executed * ShadowCosts.lookupCost();
+      break;
+    case ValueKind::MetaStore:
+      Row.Kind = "meta.store";
+      Row.SimCost = SC.Executed * ShadowCosts.updateCost();
+      break;
+    default:
+      Row.Kind = "?";
+      break;
+    }
+    Rows.emplace_back(I, std::move(Row));
+  }
+  Num.SitesLive = Rows.size();
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.second.SimCost != B.second.SimCost)
+      return A.second.SimCost > B.second.SimCost;
+    return A.first < B.first;
+  });
+  if (Rows.size() > MaxJsonSites)
+    Rows.resize(MaxJsonSites);
+  for (auto &R : Rows)
+    Num.HotSites.push_back(std::move(R.second));
+}
 
 const char *DefaultSpec = "optimize,softbound,checkopt";
 
-void writeJson(const std::vector<WorkloadNumbers> &All,
+void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
                const std::string &Path) {
   JsonWriter W;
   W.beginObject();
@@ -142,7 +232,13 @@ void writeJson(const std::vector<WorkloadNumbers> &All,
     W.kv("runtime_discharged", N.CheckOpt.RuntimeGuardsDischarged);
     W.kv("runtime_divis_guards", N.CheckOpt.RuntimeDivisGuards);
     W.endObject();
-    W.key("pass_timings_ms");
+    // PipelineStats per-pass timings: the non-gated `timings_*` key
+    // group (wall-clock, machine-dependent; the gate never reads it).
+    double TotalMs = 0;
+    for (const auto &T : N.Timings)
+      TotalMs += T.Millis;
+    W.kv("timings_total_ms", TotalMs);
+    W.key("timings_passes");
     W.beginArray();
     for (const auto &T : N.Timings) {
       W.beginObject();
@@ -151,6 +247,31 @@ void writeJson(const std::vector<WorkloadNumbers> &All,
       W.endObject();
     }
     W.endArray();
+    if (Profile) {
+      // Per-site hot-site table (full-opt shadow run). Deterministic:
+      // identical across runs, so it can be baseline-diffed like the
+      // check counts — but it is not gated.
+      W.key("profile");
+      W.beginObject();
+      W.kv("sites_total", static_cast<uint64_t>(N.SitesTotal));
+      W.kv("sites_live", static_cast<uint64_t>(N.SitesLive));
+      W.key("hot_sites");
+      W.beginArray();
+      for (const auto &S : N.HotSites) {
+        W.beginObject();
+        W.kv("site", S.Site);
+        W.kv("kind", S.Kind);
+        W.kv("guarded", S.Guarded);
+        W.kv("executed", S.Executed);
+        W.kv("guard_elided", S.GuardElided);
+        W.kv("fallback_fired", S.FallbackFired);
+        W.kv("traps", S.Traps);
+        W.kv("sim_cost", S.SimCost);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
     W.endObject();
   }
   W.endObject();
@@ -262,7 +383,7 @@ int compareBaseline(const std::vector<WorkloadNumbers> &All,
 /// Writes the per-workload current-vs-baseline deltas as a GitHub-flavoured
 /// markdown table (for $GITHUB_STEP_SUMMARY). Workloads absent from the
 /// baseline show "—" instead of a delta.
-void writeSummary(const std::vector<WorkloadNumbers> &All,
+void writeSummary(const std::vector<WorkloadNumbers> &All, bool Profile,
                   const std::string &BaselinePath,
                   const std::string &Path) {
   JsonValue Doc;
@@ -300,6 +421,31 @@ void writeSummary(const std::vector<WorkloadNumbers> &All,
   Out += "\nΔ > 0 (bold) regresses the gate; sim_cost = checks×3 + "
          "meta-lookups×lookupCost + meta-stores×updateCost + "
          "hull-guard tests×1.\n";
+  if (Profile) {
+    // --profile: hot-site tables per workload (docs/observability.md).
+    // Site IDs and counts are deterministic, so this section diffs
+    // cleanly between CI runs.
+    Out += "\n### profile: hottest check/metadata sites (full-opt, "
+           "shadow facility)\n";
+    for (const auto &N : All) {
+      Out += "\n**" + N.Name + "** (" + std::to_string(N.SitesLive) +
+             " of " + std::to_string(N.SitesTotal) + " sites live)\n\n";
+      Out += "| site | kind | guarded | executed | guard elided | "
+             "fallback fired | sim cost |\n";
+      Out += "|---|---|---|---:|---:|---:|---:|\n";
+      size_t Shown = 0;
+      for (const auto &S : N.HotSites) {
+        if (Shown++ >= MaxSummarySites)
+          break;
+        Out += "| `" + S.Site + "` | " + S.Kind + " | " +
+               (S.Guarded ? "yes" : "no") + " | " +
+               std::to_string(S.Executed) + " | " +
+               std::to_string(S.GuardElided) + " | " +
+               std::to_string(S.FallbackFired) + " | " +
+               std::to_string(S.SimCost) + " |\n";
+      }
+    }
+  }
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -313,11 +459,14 @@ void writeSummary(const std::vector<WorkloadNumbers> &All,
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string JsonPath, BaselinePath, WriteBaselinePath, SummaryPath;
+  std::string JsonPath, BaselinePath, WriteBaselinePath, SummaryPath,
+      TracePath;
+  bool Profile = false;
+  std::set<std::string> OnlyWorkloads;
   for (int I = 1; I < argc; ++I) {
     auto NeedArg = [&](const char *Flag) -> const char * {
       if (I + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a path argument\n", Flag);
+        std::fprintf(stderr, "%s requires an argument\n", Flag);
         std::exit(2);
       }
       return argv[++I];
@@ -330,14 +479,46 @@ int main(int argc, char **argv) {
       WriteBaselinePath = NeedArg("--write-baseline");
     else if (std::strcmp(argv[I], "--summary") == 0)
       SummaryPath = NeedArg("--summary");
+    else if (std::strcmp(argv[I], "--profile") == 0)
+      Profile = true;
+    else if (std::strcmp(argv[I], "--trace") == 0)
+      TracePath = NeedArg("--trace");
+    else if (std::strcmp(argv[I], "--workload") == 0)
+      OnlyWorkloads.insert(NeedArg("--workload"));
     else {
       std::fprintf(stderr,
                    "unknown flag '%s' (flags: --json <path>, --baseline "
-                   "<path>, --write-baseline <path>, --summary <path>)\n",
+                   "<path>, --write-baseline <path>, --summary <path>, "
+                   "--profile, --trace <path>, --workload <name>)\n",
                    argv[I]);
       return 2;
     }
   }
+  if (!OnlyWorkloads.empty()) {
+    // A filtered run is not the suite the baseline describes; gating (or
+    // refreshing) against it would corrupt the gate's meaning.
+    if (!BaselinePath.empty() || !WriteBaselinePath.empty()) {
+      std::fprintf(stderr, "--workload cannot be combined with --baseline "
+                           "or --write-baseline\n");
+      return 2;
+    }
+    for (const auto &Name : OnlyWorkloads) {
+      bool Known = false;
+      for (const auto &W : benchmarkSuite())
+        Known = Known || W.Name == Name;
+      if (!Known) {
+        std::fprintf(stderr, "--workload %s: not in the benchmark suite\n",
+                     Name.c_str());
+        return 2;
+      }
+    }
+  }
+  // One shared sink: pipeline timings + trace events from the profiled
+  // builds, VM phase events and facility telemetry from the profiled
+  // runs. Null stays null when neither flag is given — the zero-cost
+  // disabled mode (docs/observability.md).
+  Telemetry Telem;
+  const bool DoTelemetry = Profile || !TracePath.empty();
 
   std::printf("=== Figure 2: runtime overhead of SoftBound ===\n");
   std::printf("(percent overhead in simulated cycles vs uninstrumented;\n"
@@ -352,6 +533,8 @@ int main(int argc, char **argv) {
   int N = 0;
 
   for (const auto &W : benchmarkSuite()) {
+    if (!OnlyWorkloads.empty() && !OnlyWorkloads.count(W.Name))
+      continue;
     WorkloadNumbers Num;
     Num.Name = W.Name;
 
@@ -397,6 +580,10 @@ int main(int argc, char **argv) {
     All.push_back(std::move(Num));
   }
 
+  if (N == 0) {
+    std::fprintf(stderr, "no workloads selected\n");
+    return 2;
+  }
   T.addRow({"average", "", TablePrinter::fmt(Sum[0] / N, 1),
             TablePrinter::fmt(Sum[1] / N, 1), TablePrinter::fmt(Sum[2] / N, 1),
             TablePrinter::fmt(Sum[3] / N, 1), ""});
@@ -427,8 +614,22 @@ int main(int argc, char **argv) {
       B.Instrument = true;
       B.SB.Mode = K < 2 ? CheckMode::Full : CheckMode::StoreOnly;
       B.CheckOpt.Enable = K % 2 == 1;
-      BuildResult Prog = mustBuild(W.Source, B);
-      Measurement M = measure(Prog);
+      // K == 1 is the default pipeline (full checking, checkopt on): the
+      // run --profile / --trace observe. Telemetry attaches only there,
+      // and only when requested, so the gated runs keep the null sink.
+      const bool Observed = K == 1 && DoTelemetry;
+      PipelinePlan Plan = planFromBuildOptions(W.Source, B);
+      if (Observed)
+        Plan.telemetry(&Telem, Num.Name + ":");
+      BuildResult Prog = mustBuild(Plan);
+      SiteProfile Prof;
+      RunOptions R;
+      if (Observed) {
+        R.Telem = &Telem;
+        R.ProfileOut = &Prof;
+        R.TraceTag = Num.Name + ":";
+      }
+      Measurement M = measure(Prog, R);
       if (!M.R.ok()) {
         std::fprintf(stderr, "%s checkopt run failed: %s\n", W.Name.c_str(),
                      M.R.Message.c_str());
@@ -444,6 +645,8 @@ int main(int argc, char **argv) {
         Num.Timings = Prog.Pipeline.Passes;
         Num.CheckGuards = M.R.Counters.CheckGuards;
         Num.GuardSkips = M.R.Counters.GuardSkips;
+        if (Observed && Profile)
+          fillHotSites(Num, *Prog.M, Prof);
       }
     }
     double RedFull =
@@ -468,11 +671,13 @@ int main(int argc, char **argv) {
               std::to_string(Num.CheckGuards)});
   }
   C.print();
-  std::printf("\ncheck-optimization shape checks:\n");
-  std::printf("  counted-loop workloads >=30%% fewer checks:  %s "
-              "(avg %.1f%% over %d benchmarks)\n",
-              CountedAllOver30 ? "yes" : "NO", CountedRedSum / CountedN,
-              CountedN);
+  if (CountedN > 0) {
+    std::printf("\ncheck-optimization shape checks:\n");
+    std::printf("  counted-loop workloads >=30%% fewer checks:  %s "
+                "(avg %.1f%% over %d benchmarks)\n",
+                CountedAllOver30 ? "yes" : "NO", CountedRedSum / CountedN,
+                CountedN);
+  }
 
   std::printf("\npaper shape checks:\n");
   std::printf("  hash-full avg > shadow-full avg:          %s (%.1f%% vs "
@@ -487,11 +692,19 @@ int main(int argc, char **argv) {
               N);
 
   if (!JsonPath.empty())
-    writeJson(All, JsonPath);
+    writeJson(All, Profile, JsonPath);
+  if (!TracePath.empty()) {
+    if (!Telem.writeChromeTrace(TracePath)) {
+      std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu events)\n", TracePath.c_str(),
+                Telem.traceEvents().size());
+  }
   if (!WriteBaselinePath.empty())
     writeBaseline(All, WriteBaselinePath);
   if (!SummaryPath.empty())
-    writeSummary(All, BaselinePath, SummaryPath);
+    writeSummary(All, Profile, BaselinePath, SummaryPath);
   if (!BaselinePath.empty() && compareBaseline(All, BaselinePath) > 0)
     return 1;
   return 0;

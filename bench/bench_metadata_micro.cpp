@@ -33,6 +33,7 @@
 #include "runtime/HashTableMetadata.h"
 #include "runtime/ShadowSpaceMetadata.h"
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 
 #include <chrono>
 #include <cstring>
@@ -63,6 +64,27 @@ double nsPerOp(std::chrono::steady_clock::time_point T0, uint64_t Ops) {
              : 0.0;
 }
 
+/// Emits a facility probe-length distribution (docs/observability.md):
+/// summary stats plus the non-empty power-of-two buckets as
+/// {"le": <bucket upper bound>, "count": N} pairs. The shadow space never
+/// probes, so its histogram is legitimately empty.
+void writeProbeHist(benchjson::JsonWriter &W, const TelemetryHistogram &H) {
+  W.kv("probe_count", H.count());
+  W.kv("probe_mean", H.mean());
+  W.kv("probe_max", H.max());
+  W.key("probe_length_hist");
+  W.beginArray();
+  for (unsigned B = 0; B < TelemetryHistogram::NumBuckets; ++B) {
+    if (!H.bucketCount(B))
+      continue;
+    W.beginObject();
+    W.kv("le", TelemetryHistogram::bucketHi(B));
+    W.kv("count", H.bucketCount(B));
+    W.endObject();
+  }
+  W.endArray();
+}
+
 /// One facility's deterministic sweep: update, hit-lookup, miss-lookup,
 /// clear-range — emitted as one JSON object.
 template <typename Facility>
@@ -72,6 +94,9 @@ void jsonSweep(benchjson::JsonWriter &W, const char *Name) {
   W.beginObject();
 
   Facility M;
+  Telemetry Telem;
+  const std::string Prefix = std::string("facility/") + Name;
+  M.attachTelemetry(&Telem, Prefix);
   W.kv("modeled_lookup_cost", M.lookupCost());
   W.kv("modeled_update_cost", M.updateCost());
 
@@ -106,6 +131,9 @@ void jsonSweep(benchjson::JsonWriter &W, const char *Name) {
   uint64_t Cleared = M.clearRange(0x2000'0000, (1 << 22) << 3);
   W.kv("clear_range_entries", Cleared);
   W.kv("clear_range_ns", nsPerOp(T0, 1));
+
+  M.flushTelemetry();
+  writeProbeHist(W, Telem.histogram(Prefix + "/probe_length"));
   W.endObject();
 }
 
@@ -118,6 +146,8 @@ void jsonCollisionSweep(benchjson::JsonWriter &W) {
   W.beginArray();
   for (uint64_t N : {uint64_t(1) << 12, uint64_t(1) << 14, uint64_t(3) << 13}) {
     HashTableMetadata M(16); // 64k entries; no growth below 32k live.
+    Telemetry Telem;
+    M.attachTelemetry(&Telem, "facility/hash");
     RNG R(17);
     std::vector<uint64_t> Addrs;
     for (uint64_t I = 0; I < N; ++I) {
@@ -135,6 +165,9 @@ void jsonCollisionSweep(benchjson::JsonWriter &W) {
     W.kv("collisions_per_kiloop",
          1000.0 * static_cast<double>(M.stats().Collisions) /
              static_cast<double>(2 * N));
+    // The probe-length distribution at this occupancy: the per-operation
+    // view of the same collision behaviour.
+    writeProbeHist(W, Telem.histogram("facility/hash/probe_length"));
     W.endObject();
   }
   W.endArray();

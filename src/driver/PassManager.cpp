@@ -9,6 +9,7 @@
 #include "frontend/Compiler.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <chrono>
@@ -497,6 +498,12 @@ std::string PipelinePlan::spec() const {
   return S;
 }
 
+PipelinePlan &PipelinePlan::telemetry(Telemetry *T, std::string Prefix) {
+  Telem = T;
+  TracePrefix = std::move(Prefix);
+  return *this;
+}
+
 PipelineResult PipelinePlan::build() const {
   PipelineResult Out;
   Out.Errors = PlanErrors;
@@ -520,12 +527,28 @@ PipelineResult PipelinePlan::build() const {
   }
 
   PassContext Ctx;
+  auto BuildStart = std::chrono::steady_clock::now();
   for (const auto &P : Passes) {
     auto T0 = std::chrono::steady_clock::now();
     P->run(*Out.M, Ctx);
     auto T1 = std::chrono::steady_clock::now();
-    Ctx.stats().Passes.push_back(
-        {P->spec(), std::chrono::duration<double, std::milli>(T1 - T0).count()});
+    double Ms = std::chrono::duration<double, std::milli>(T1 - T0).count();
+    Ctx.stats().Passes.push_back({P->spec(), Ms});
+    if (Telem) {
+      // Timings mirror into the shared registry; pipeline-phase trace
+      // events carry wall-clock offsets from the start of this build
+      // (never baseline-gated — see docs/observability.md).
+      Telem->timerMs(TracePrefix + "pass/" + P->spec()) += Ms;
+      Telem->addCompleteEvent(
+          TracePrefix + P->spec(), "pipeline", Telemetry::TidPipeline,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  T0 - BuildStart)
+                  .count()),
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(T1 - T0)
+                  .count()));
+    }
     for (auto &E : verifyModule(*Out.M))
       Ctx.error("after pass '" + std::string(P->name()) + "': " + E);
     if (Ctx.hadErrors())
@@ -537,6 +560,11 @@ PipelineResult PipelinePlan::build() const {
     Out.M.reset();
     return Out;
   }
+
+  // Stable profiling site IDs for every check/metadata instruction the
+  // final module carries; after the pass loop so hoisting-created checks
+  // are named too (docs/observability.md).
+  Out.M->assignCheckSites();
 
   Out.Pipeline = Ctx.stats();
   Out.Instrumented = Out.Pipeline.Instrumented;

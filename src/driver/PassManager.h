@@ -46,6 +46,8 @@
 
 namespace softbound {
 
+class Telemetry;
+
 //===----------------------------------------------------------------------===//
 // Unified statistics
 //===----------------------------------------------------------------------===//
@@ -218,6 +220,13 @@ public:
   /// non-null) receives the diagnostic, and false is returned.
   bool appendSpec(const std::string &Spec, std::string *ErrOut = nullptr);
 
+  /// Routes per-pass timings and pipeline-phase trace events into \p T
+  /// during build() (docs/observability.md); null detaches. \p TracePrefix
+  /// namespaces event and timer names — benches pass "<workload>:" so one
+  /// sink can hold several builds. Telemetry never affects the built
+  /// module or its statistics.
+  PipelinePlan &telemetry(Telemetry *T, std::string TracePrefix = "");
+
   /// Canonical spec of the whole plan (pass specs joined by commas).
   /// Round-trips: appendSpec(spec()) rebuilds an equivalent plan.
   std::string spec() const;
@@ -234,6 +243,8 @@ private:
   bool HaveSource = false;
   std::vector<std::shared_ptr<const ModulePass>> Passes;
   std::vector<std::string> PlanErrors; ///< Deferred to build().
+  Telemetry *Telem = nullptr;
+  std::string TracePrefix;
 };
 
 } // namespace softbound

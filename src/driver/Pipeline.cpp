@@ -52,6 +52,9 @@ RunResult softbound::runProgram(const BuildResult &Prog,
   Cfg.RedzonePad = Opts.RedzonePad;
   Cfg.GlobalPad = Opts.GlobalPad;
   Cfg.CheckCost = Opts.CheckCost;
+  Cfg.Telem = Opts.Telem;
+  Cfg.Profile = Opts.ProfileOut;
+  Cfg.TraceTag = Opts.TraceTag;
 
   if (Prog.Instrumented) {
     if (Opts.Facility == FacilityKind::Shadow)
@@ -75,10 +78,16 @@ RunResult softbound::runProgram(const BuildResult &Prog,
     Cfg.Wrappers = WrapperMode::None;
   }
 
+  if (Meta && Opts.Telem)
+    Meta->attachTelemetry(Opts.Telem,
+                          std::string("facility/") + Meta->name());
+
   VM Machine(*Prog.M, Cfg);
   RunResult R = Machine.run(Opts.Entry, Opts.Args);
   if (Meta && Opts.MetaStatsOut)
     *Opts.MetaStatsOut = Meta->stats();
+  if (Meta && Opts.Telem)
+    Meta->flushTelemetry();
   return R;
 }
 

@@ -83,6 +83,15 @@ struct RunOptions {
   uint64_t CheckCost = 3; ///< Simulated instructions per bounds check.
   /// Out-parameter: facility statistics after the run (optional).
   MetadataStats *MetaStatsOut = nullptr;
+  /// Telemetry sink (optional; null = the zero-cost disabled mode): VM
+  /// phase trace events, facility probe histograms and clear/copy
+  /// volumes, aggregate run counters. Never changes counters or cycles.
+  Telemetry *Telem = nullptr;
+  /// Out-parameter: per-site check/metadata profile (optional). Indexed
+  /// by Instruction::site(); pair with Prog.M->checkSites() for names.
+  SiteProfile *ProfileOut = nullptr;
+  /// Trace-event name prefix (benches set "<workload>:").
+  std::string TraceTag;
 };
 
 /// Runs a built program in a fresh VM. Creates the metadata facility for

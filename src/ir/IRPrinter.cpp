@@ -48,6 +48,13 @@ std::string typedRef(NameMap &NM, const Value *V) {
   return V->type()->str() + " " + NM.ref(V);
 }
 
+/// The ", site N" suffix carried by check/metadata instructions once
+/// Module::assignCheckSites has run (empty before assignment), so textual
+/// IR diffs and profile reports name the same sites.
+std::string siteTag(const Instruction &I) {
+  return I.site() >= 0 ? ", site " + std::to_string(I.site()) : std::string();
+}
+
 std::string renderInst(NameMap &NM, const Instruction &I) {
   std::string S = "  ";
   if (!I.type()->isVoid())
@@ -152,23 +159,24 @@ std::string renderInst(NameMap &NM, const Instruction &I) {
          std::to_string(C.accessSize());
     if (C.guard())
       S += ", if " + NM.ref(C.guard());
+    S += siteTag(I);
     break;
   }
   case ValueKind::FuncPtrCheck: {
     const auto &C = cast<FuncPtrCheckInst>(I);
     S += "funcptr.check " + typedRef(NM, C.pointer()) + ", " +
-         NM.ref(C.bounds());
+         NM.ref(C.bounds()) + siteTag(I);
     break;
   }
   case ValueKind::MetaLoad: {
     const auto &ML = cast<MetaLoadInst>(I);
-    S += "meta.load " + typedRef(NM, ML.address());
+    S += "meta.load " + typedRef(NM, ML.address()) + siteTag(I);
     break;
   }
   case ValueKind::MetaStore: {
     const auto &MS = cast<MetaStoreInst>(I);
     S += "meta.store " + typedRef(NM, MS.address()) + ", " +
-         NM.ref(MS.bounds());
+         NM.ref(MS.bounds()) + siteTag(I);
     break;
   }
   case ValueKind::PackPB: {
@@ -181,7 +189,10 @@ std::string renderInst(NameMap &NM, const Instruction &I) {
          I.type()->str();
     break;
   case ValueKind::ExtractBounds:
-    S += "extract.bounds " + NM.ref(cast<ExtractBoundsInst>(I).pair());
+    // Symmetric with extract.ptr: both component extractions name their
+    // result type.
+    S += "extract.bounds " + NM.ref(cast<ExtractBoundsInst>(I).pair()) +
+         " to " + I.type()->str();
     break;
   default:
     sb_unreachable("non-instruction kind in renderInst");

@@ -56,6 +56,13 @@ public:
            kind() == ValueKind::Unreachable;
   }
 
+  /// Stable profiling site ID (Module::assignCheckSites), or -1 when
+  /// unassigned. Only check and metadata instructions carry one; the VM
+  /// indexes its per-site profile with it and the printer emits it as
+  /// ", site N" so reports map back to textual IR.
+  int site() const { return SiteId; }
+  void setSite(int Id) { SiteId = Id; }
+
   /// True for instructions with no side effects that are removable when the
   /// result is unused.
   bool isPure() const {
@@ -91,6 +98,7 @@ protected:
 private:
   BasicBlock *Parent = nullptr;
   std::vector<Value *> Ops;
+  int SiteId = -1;
 };
 
 /// Stack allocation of one value of allocatedType() in the current frame.

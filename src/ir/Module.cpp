@@ -38,6 +38,42 @@ void Module::recordInterProcContract(
   InterProcUnsafeEntries.insert(Internal.begin(), Internal.end());
 }
 
+unsigned Module::assignCheckSites() {
+  for (const auto &F : Funcs) {
+    if (!F->isDefinition())
+      continue;
+    // Names already claimed in this function by preserved IDs, so a new
+    // site can never collide with one assigned on an earlier walk (a
+    // pass may have deleted the instruction that once held an ordinal).
+    std::set<std::string> Used;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB)
+        if (I->site() >= 0 && static_cast<size_t>(I->site()) < Sites.size())
+          Used.insert(Sites[I->site()].Name);
+    unsigned Ordinal = 0;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB) {
+        if (!isSiteKind(I->kind()))
+          continue;
+        const auto *Chk = dyn_cast<SpatialCheckInst>(I.get());
+        if (I->site() >= 0) {
+          // Preserved entry; only refresh the guard flag (hoisting can
+          // change a check's guardedness without recreating it).
+          if (static_cast<size_t>(I->site()) < Sites.size())
+            Sites[I->site()].Guarded = Chk && Chk->isGuarded();
+          continue;
+        }
+        std::string Name;
+        do
+          Name = F->name() + "#" + std::to_string(Ordinal++);
+        while (Used.count(Name));
+        I->setSite(static_cast<int>(Sites.size()));
+        Sites.push_back({std::move(Name), I->kind(), Chk && Chk->isGuarded()});
+      }
+  }
+  return static_cast<unsigned>(Sites.size());
+}
+
 void Module::renameFunction(Function *F, const std::string &NewName) {
   assert(!FuncMap.count(NewName) && "rename collides with existing function");
   FuncMap.erase(F->name());

@@ -104,6 +104,36 @@ public:
   }
 
   //===--------------------------------------------------------------------===//
+  // Check-site table (telemetry)
+  //===--------------------------------------------------------------------===//
+
+  /// One profiling site: a check or metadata instruction with a stable
+  /// identity (docs/observability.md).
+  struct CheckSite {
+    std::string Name; ///< "<function>#<ordinal>", stable across runs.
+    ValueKind Kind;   ///< SpatialCheck, FuncPtrCheck, MetaLoad or MetaStore.
+    bool Guarded = false; ///< Spatial check carrying a hull-fallback guard.
+  };
+
+  /// True for the instruction kinds that carry profiling site IDs.
+  static bool isSiteKind(ValueKind K) {
+    return K == ValueKind::SpatialCheck || K == ValueKind::FuncPtrCheck ||
+           K == ValueKind::MetaLoad || K == ValueKind::MetaStore;
+  }
+
+  /// Walks functions, blocks, and instructions in their (deterministic)
+  /// order and gives every check/metadata instruction without a site ID
+  /// the next dense one, appending its entry to the site table.
+  /// Idempotent: existing IDs and their table entries are preserved, so
+  /// re-running after a pass only names the new instructions. The
+  /// pipeline calls this once at the end of PipelinePlan::build(), after
+  /// every pass, so hoisting-created checks are named too. Returns the
+  /// table size.
+  unsigned assignCheckSites();
+
+  const std::vector<CheckSite> &checkSites() const { return Sites; }
+
+  //===--------------------------------------------------------------------===//
   // Constants (interned)
   //===--------------------------------------------------------------------===//
 
@@ -127,6 +157,7 @@ private:
   unsigned NextStrId = 0;
   bool InterProcContract = false;
   std::set<const Function *> InterProcUnsafeEntries;
+  std::vector<CheckSite> Sites;
 };
 
 } // namespace softbound

@@ -317,5 +317,33 @@ std::vector<std::string> softbound::verifyModule(const Module &M) {
   std::vector<std::string> Errors;
   for (const auto &F : M.functions())
     verifyFunction(*F, Errors);
+
+  // Profiling-site consistency (Module::assignCheckSites): a site ID may
+  // only appear on a check/metadata instruction, must index the module's
+  // site table with the recorded kind, and must be unique module-wide —
+  // the VM's per-site profile indexes a dense array with it. Modules
+  // that never ran site assignment (every ID -1) pass vacuously.
+  std::set<int> SeenSites;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : *BB) {
+        if (I->site() < 0)
+          continue;
+        std::string Where =
+            "in @" + F->name() + ": site " + std::to_string(I->site());
+        if (!Module::isSiteKind(I->kind()))
+          Errors.push_back(Where + " on a non-check instruction '" +
+                           printInstruction(*I) + "'");
+        else if (static_cast<size_t>(I->site()) >= M.checkSites().size())
+          Errors.push_back(Where + " outside the module site table (" +
+                           std::to_string(M.checkSites().size()) +
+                           " entries)");
+        else if (!SeenSites.insert(I->site()).second)
+          Errors.push_back(Where + " assigned to more than one instruction");
+        else if (M.checkSites()[I->site()].Kind != I->kind())
+          Errors.push_back(Where + " ('" +
+                           M.checkSites()[I->site()].Name +
+                           "') kind disagrees with the site table");
+      }
   return Errors;
 }

@@ -6,12 +6,31 @@
 
 #include "runtime/HashTableMetadata.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 
 using namespace softbound;
 
 HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size) {
   Entries.resize(size_t(1) << InitialLog2Size);
+}
+
+void HashTableMetadata::attachTelemetry(Telemetry *T,
+                                        const std::string &Prefix) {
+  MetadataFacility::attachTelemetry(T, Prefix);
+  ProbeHist = T ? &T->histogram(Prefix + "/probe_length") : nullptr;
+}
+
+void HashTableMetadata::flushTelemetry() {
+  if (!Telem)
+    return;
+  Telem->counter(TelemetryPrefix + "/live_entries") = Live;
+  Telem->counter(TelemetryPrefix + "/table_entries") = Entries.size();
+  Telem->counter(TelemetryPrefix + "/load_factor_permille") =
+      static_cast<uint64_t>(loadFactor() * 1000.0);
+  Telem->counter(TelemetryPrefix + "/memory_bytes") = memoryBytes();
+  Telem->counter(TelemetryPrefix + "/collisions") = Stats.Collisions;
 }
 
 HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
@@ -24,11 +43,15 @@ HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
     if (E.Tag == Addr) {
       if (Probe)
         Stats.Collisions += Probe;
+      if (ProbeHist)
+        ProbeHist->record(Probe + 1);
       return &E;
     }
     if (E.Tag == EmptyTag) {
       if (Probe)
         Stats.Collisions += Probe;
+      if (ProbeHist)
+        ProbeHist->record(Probe + 1);
       if (ForInsert)
         return FirstTombstone ? FirstTombstone : &E;
       return nullptr;
@@ -36,6 +59,8 @@ HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
     if (E.Tag == TombstoneTag && !FirstTombstone)
       FirstTombstone = &E;
   }
+  if (ProbeHist)
+    ProbeHist->record(Entries.size());
   return ForInsert ? FirstTombstone : nullptr;
 }
 
@@ -80,11 +105,17 @@ uint64_t HashTableMetadata::clearRange(uint64_t Addr, uint64_t Size) {
     ++Cleared;
   }
   Stats.Clears += Cleared;
+  if (Telem) {
+    ++Telem->counter(TelemetryPrefix + "/clear_calls");
+    Telem->counter(TelemetryPrefix + "/clear_entries") += Cleared;
+  }
   return Cleared;
 }
 
 uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
                                       uint64_t Size) {
+  if (Telem)
+    ++Telem->counter(TelemetryPrefix + "/copy_calls");
   uint64_t Copied = 0;
   for (uint64_t Off = 0; Off + 8 <= Size + 7; Off += 8) {
     uint64_t SA = (Src & ~7ULL) + Off;
@@ -101,6 +132,8 @@ uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
       clearRange(DA, 8);
     }
   }
+  if (Telem)
+    Telem->counter(TelemetryPrefix + "/copy_entries") += Copied;
   return Copied;
 }
 

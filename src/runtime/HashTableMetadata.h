@@ -40,6 +40,8 @@ public:
   uint64_t updateCost() const override { return 9; }
   uint64_t memoryBytes() const override;
   void reset() override;
+  void attachTelemetry(Telemetry *T, const std::string &Prefix) override;
+  void flushTelemetry() override;
 
   /// Table occupancy in [0, 1] (for the ablation bench).
   double loadFactor() const {
@@ -70,6 +72,9 @@ private:
   std::vector<Entry> Entries;
   size_t Live = 0;
   size_t Used = 0; ///< Live + tombstones.
+  /// Probe-length histogram (slots examined per find), cached from the
+  /// attached telemetry sink; null in the disabled mode.
+  TelemetryHistogram *ProbeHist = nullptr;
 };
 
 } // namespace softbound

@@ -16,8 +16,12 @@
 #define SOFTBOUND_RUNTIME_METADATAFACILITY_H
 
 #include <cstdint>
+#include <string>
 
 namespace softbound {
+
+class Telemetry;
+class TelemetryHistogram;
 
 /// Aggregate statistics one facility gathers over a run.
 struct MetadataStats {
@@ -71,8 +75,24 @@ public:
 
   const MetadataStats &stats() const { return Stats; }
 
+  /// Attaches a telemetry sink; paths are rooted at \p Prefix (the run
+  /// driver uses "facility/<name>"). Null detaches. Recording never
+  /// changes behaviour or the modelled costs; with no sink attached the
+  /// hot paths pay exactly one pointer test (the zero-cost disabled
+  /// mode). Implementations override to cache direct histogram pointers.
+  virtual void attachTelemetry(Telemetry *T, const std::string &Prefix) {
+    Telem = T;
+    TelemetryPrefix = Prefix;
+  }
+
+  /// Pushes end-of-run gauges (occupancy, memory footprint) into the
+  /// attached sink; no-op when none is attached.
+  virtual void flushTelemetry() {}
+
 protected:
   MetadataStats Stats;
+  Telemetry *Telem = nullptr;
+  std::string TelemetryPrefix;
 };
 
 } // namespace softbound

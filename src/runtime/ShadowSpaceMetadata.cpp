@@ -6,7 +6,16 @@
 
 #include "runtime/ShadowSpaceMetadata.h"
 
+#include "support/Telemetry.h"
+
 using namespace softbound;
+
+void ShadowSpaceMetadata::flushTelemetry() {
+  if (!Telem)
+    return;
+  Telem->counter(TelemetryPrefix + "/pages_materialized") = Pages.size();
+  Telem->counter(TelemetryPrefix + "/memory_bytes") = memoryBytes();
+}
 
 ShadowSpaceMetadata::Pair *ShadowSpaceMetadata::slotFor(uint64_t Addr,
                                                         bool Materialize) {
@@ -51,6 +60,10 @@ uint64_t ShadowSpaceMetadata::clearRange(uint64_t Addr, uint64_t Size) {
     ++Cleared;
   }
   Stats.Clears += Cleared;
+  if (Telem) {
+    ++Telem->counter(TelemetryPrefix + "/clear_calls");
+    Telem->counter(TelemetryPrefix + "/clear_entries") += Cleared;
+  }
   return Cleared;
 }
 
@@ -66,6 +79,10 @@ uint64_t ShadowSpaceMetadata::copyRange(uint64_t Dst, uint64_t Src,
     } else if (Pair *DP = slotFor(DA, /*Materialize=*/false)) {
       *DP = Pair();
     }
+  }
+  if (Telem) {
+    ++Telem->counter(TelemetryPrefix + "/copy_calls");
+    Telem->counter(TelemetryPrefix + "/copy_entries") += Copied;
   }
   return Copied;
 }

@@ -38,6 +38,7 @@ public:
   uint64_t updateCost() const override { return 5; }
   uint64_t memoryBytes() const override;
   void reset() override;
+  void flushTelemetry() override;
 
 private:
   /// Slots per shadow page; one page shadows 8 * SlotsPerPage bytes.

@@ -1,0 +1,207 @@
+//===- support/Telemetry.h - counters, histograms, trace export -*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repo-wide telemetry registry (docs/observability.md): hierarchical
+/// counters, power-of-two histograms, wall-clock timers, and a
+/// Chrome-trace-event buffer, shared by the VM, the metadata facilities,
+/// and the pass pipeline.
+///
+/// The disabled mode is the default and costs nothing observable: every
+/// producer holds a `Telemetry *` (or a cached `TelemetryHistogram *`)
+/// that is null unless a bench or test attached a sink, so the hot paths
+/// pay exactly one pointer test and — crucially — never touch the
+/// simulated cycle accounting. Counters and histograms recorded from the
+/// VM or the facilities are deterministic; only the timers and the
+/// pipeline-phase trace timestamps carry wall-clock time, and those are
+/// never baseline-gated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_SUPPORT_TELEMETRY_H
+#define SOFTBOUND_SUPPORT_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// Power-of-two-bucketed histogram: bucket 0 counts the value 0; bucket B
+/// (B >= 1) counts values in [2^(B-1), 2^B - 1]; the last bucket absorbs
+/// everything above its lower bound. Deterministic and mergeable — the
+/// shape the facility probe-length distributions need.
+class TelemetryHistogram {
+public:
+  static constexpr unsigned NumBuckets = 33;
+
+  /// The bucket index \p V falls into.
+  static unsigned bucketFor(uint64_t V) {
+    if (V == 0)
+      return 0;
+    unsigned B = 0;
+    while (V >>= 1)
+      ++B;
+    return B + 1 < NumBuckets ? B + 1 : NumBuckets - 1;
+  }
+
+  /// Smallest value bucket \p B counts.
+  static uint64_t bucketLo(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+
+  /// Largest value bucket \p B counts (the last bucket is open-ended and
+  /// reports UINT64_MAX).
+  static uint64_t bucketHi(unsigned B) {
+    if (B == 0)
+      return 0;
+    if (B >= NumBuckets - 1)
+      return UINT64_MAX;
+    return (uint64_t(1) << B) - 1;
+  }
+
+  void record(uint64_t V) {
+    ++Buckets[bucketFor(V)];
+    ++N;
+    Total += V;
+    if (V > Peak)
+      Peak = V;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  uint64_t max() const { return Peak; }
+  double mean() const {
+    return N ? static_cast<double>(Total) / static_cast<double>(N) : 0.0;
+  }
+  uint64_t bucketCount(unsigned B) const {
+    return B < NumBuckets ? Buckets[B] : 0;
+  }
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t Peak = 0;
+};
+
+/// One complete ("ph":"X") Chrome trace event. Timestamps are
+/// microseconds in the trace format; VM phases use simulated cycles as
+/// the microsecond unit so timelines are deterministic, pipeline phases
+/// use wall-clock offsets from the start of the build.
+struct TraceEvent {
+  std::string Name;
+  std::string Cat; ///< "pipeline" or "vm".
+  int Tid = 0;
+  uint64_t TsMicros = 0;
+  uint64_t DurMicros = 0;
+};
+
+/// The registry. Paths are '/'-separated hierarchical names
+/// ("facility/hashtable/probe_length"); iteration order is the sorted
+/// path order, so reports are stable.
+class Telemetry {
+public:
+  /// Trace thread IDs, one lane per producing layer.
+  static constexpr int TidPipeline = 1;
+  static constexpr int TidVM = 2;
+
+  uint64_t &counter(const std::string &Path) { return Counters[Path]; }
+  TelemetryHistogram &histogram(const std::string &Path) {
+    return Histograms[Path];
+  }
+  double &timerMs(const std::string &Path) { return TimersMs[Path]; }
+
+  const std::map<std::string, uint64_t> &counters() const { return Counters; }
+  const std::map<std::string, TelemetryHistogram> &histograms() const {
+    return Histograms;
+  }
+  const std::map<std::string, double> &timersMs() const { return TimersMs; }
+
+  /// Appends a complete trace event; drops silently past the buffer cap
+  /// (a runaway-recursion backstop, far above any real timeline).
+  void addCompleteEvent(std::string Name, std::string Cat, int Tid,
+                        uint64_t TsMicros, uint64_t DurMicros) {
+    if (Events.size() >= MaxTraceEvents)
+      return;
+    Events.push_back(
+        {std::move(Name), std::move(Cat), Tid, TsMicros, DurMicros});
+  }
+
+  const std::vector<TraceEvent> &traceEvents() const { return Events; }
+
+  /// The trace buffer as Chrome trace-event JSON
+  /// (https://chromium.googlesource.com — loads in chrome://tracing and
+  /// Perfetto): {"traceEvents": [{name, cat, ph:"X", ts, dur, pid, tid}]}.
+  std::string chromeTraceJson() const;
+
+  /// Writes chromeTraceJson() to \p Path; false on I/O failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+  void clear() {
+    Counters.clear();
+    Histograms.clear();
+    TimersMs.clear();
+    Events.clear();
+  }
+
+private:
+  static constexpr size_t MaxTraceEvents = 1 << 16;
+
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, TelemetryHistogram> Histograms;
+  std::map<std::string, double> TimersMs;
+  std::vector<TraceEvent> Events;
+};
+
+/// RAII wall-clock timer accumulating into Telemetry::timerMs. Null sink
+/// makes it a no-op, matching the registry's disabled mode.
+class ScopedTimer {
+public:
+  ScopedTimer(Telemetry *T, std::string Path)
+      : T(T), Path(std::move(Path)),
+        Start(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (T)
+      T->timerMs(Path) += std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - Start)
+                              .count();
+  }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Telemetry *T;
+  std::string Path;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Dynamic counters for one profiling site (one check or metadata
+/// instruction; see Module::assignCheckSites).
+struct SiteCounters {
+  uint64_t Executed = 0;      ///< Check/metadata op actually performed.
+  uint64_t GuardElided = 0;   ///< Guarded check skipped (guard false).
+  uint64_t FallbackFired = 0; ///< Guarded check whose guard was true.
+  uint64_t Traps = 0;         ///< Violations raised at this site.
+};
+
+/// Dense per-site profile, indexed directly by Instruction::site() — no
+/// hashing on the VM hot path. Pair with Module::checkSites() to map
+/// indices back to names and kinds.
+struct SiteProfile {
+  std::vector<SiteCounters> Sites;
+
+  void ensure(size_t N) {
+    if (Sites.size() < N)
+      Sites.resize(N);
+  }
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_SUPPORT_TELEMETRY_H

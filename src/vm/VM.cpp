@@ -143,7 +143,12 @@ namespace softbound {
 class VMExec {
 public:
   VMExec(VM &Owner, Module &M, VMConfig &Cfg, SimMemory &Mem)
-      : Owner(Owner), M(M), Cfg(Cfg), Mem(Mem) {}
+      : Owner(Owner), M(M), Cfg(Cfg), Mem(Mem) {
+    Prof = Cfg.Profile;
+    Telem = Cfg.Telem;
+    if (Prof)
+      Prof->ensure(M.checkSites().size());
+  }
 
   RunResult run(const std::string &EntryName,
                 const std::vector<int64_t> &Args);
@@ -165,6 +170,7 @@ private:
     const CallInst *CallSite = nullptr; ///< Call in the *caller* frame.
     std::vector<VMVal> VarArgs;
     std::vector<std::pair<uint64_t, uint64_t>> Allocas;
+    uint64_t EntryCycle = 0; ///< C.Cycles at frame entry (trace events).
   };
 
   struct JmpRecord {
@@ -226,6 +232,20 @@ private:
       Fr.Regs[I.slot()] = V;
   }
 
+  /// The per-site profile row for \p I, or null in the disabled mode
+  /// (no profile attached, or the instruction never got a site ID). One
+  /// pointer test when profiling is off; never touches C.Cycles.
+  SiteCounters *siteOf(const Instruction &I) {
+    if (!Prof || I.site() < 0 ||
+        static_cast<size_t>(I.site()) >= Prof->Sites.size())
+      return nullptr;
+    return &Prof->Sites[I.site()];
+  }
+
+  std::string traceName(const std::string &What) const {
+    return Cfg.TraceTag + What;
+  }
+
   void emit(const std::string &S) {
     if (Res.Output.size() + S.size() <= Cfg.OutputLimit)
       Res.Output += S;
@@ -282,6 +302,11 @@ private:
   std::vector<JmpRecord> JmpRecords;
   RunResult Res;
   VMCounters &C = Res.Counters;
+  SiteProfile *Prof = nullptr;  ///< From Cfg.Profile; null = disabled.
+  Telemetry *Telem = nullptr;   ///< From Cfg.Telem; null = disabled.
+  /// Frame trace events only for call depths up to this (the full call
+  /// tree of a recursive Olden kernel would be millions of events).
+  static constexpr size_t MaxTraceDepth = 3;
   bool Halted = false;
   uint64_t NextGen = 1;
   uint64_t NextJmpToken = 0x1000;
@@ -433,6 +458,7 @@ bool VMExec::pushFrame(Function *F, const std::vector<VMVal> &Args,
 
   Fr.BB = F->entry();
   Fr.IP = Fr.BB->begin();
+  Fr.EntryCycle = C.Cycles;
   Frames.push_back(std::move(Fr));
   ++C.Calls;
   if (Frames.size() > C.MaxFrameDepth)
@@ -443,6 +469,13 @@ bool VMExec::pushFrame(Function *F, const std::vector<VMVal> &Args,
 void VMExec::popFrame(VMVal RetVal) {
   Frame Fr = std::move(Frames.back());
   Frames.pop_back();
+
+  // Shallow frames become VM-phase trace events: timestamps are
+  // simulated cycles (deterministic), duration is the frame's inclusive
+  // cycle span. Deep recursion is capped by depth and the event buffer.
+  if (Telem && Frames.size() < MaxTraceDepth)
+    Telem->addCompleteEvent(traceName(Fr.F->name()), "vm", Telemetry::TidVM,
+                            Fr.EntryCycle, C.Cycles - Fr.EntryCycle);
 
   if (Cfg.Checker)
     for (auto &[Addr, Size] : Fr.Allocas)
@@ -485,6 +518,21 @@ RunResult VMExec::run(const std::string &EntryName,
   if (Cfg.Meta)
     Res.MetadataMemory = Cfg.Meta->memoryBytes();
   Res.HeapHighWater = Mem.heapHighWater();
+
+  if (Telem) {
+    // One covering event for the whole run (frames live at halt — a trap
+    // or exit() — never reached popFrame, so this is their summary too),
+    // plus the aggregate counters for the report.
+    Telem->addCompleteEvent(traceName("run:" + EntryName), "vm",
+                            Telemetry::TidVM, 0, C.Cycles);
+    Telem->counter("vm/insts") += C.Insts;
+    Telem->counter("vm/checks") += C.Checks;
+    Telem->counter("vm/check_guards") += C.CheckGuards;
+    Telem->counter("vm/guard_skips") += C.GuardSkips;
+    Telem->counter("vm/meta_loads") += C.MetaLoads;
+    Telem->counter("vm/meta_stores") += C.MetaStores;
+    Telem->counter("vm/cycles") += C.Cycles;
+  }
   return Res;
 }
 
@@ -833,6 +881,7 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
   }
   case ValueKind::SpatialCheck: {
     auto &Chk = cast<SpatialCheckInst>(I);
+    SiteCounters *SC = siteOf(I);
     if (Value *G = Chk.guard()) {
       // Guarded check: the guard test costs one simulated instruction on
       // every execution; the check itself only runs (and only counts as a
@@ -843,14 +892,22 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
       C.Cycles += 1;
       if ((eval(Fr, G).A & 1) == 0) {
         ++C.GuardSkips;
+        if (SC)
+          ++SC->GuardElided;
         return;
       }
+      if (SC)
+        ++SC->FallbackFired;
     }
     VMVal P = eval(Fr, Chk.pointer());
     VMVal B = eval(Fr, Chk.bounds());
     ++C.Checks;
     C.Cycles += Cfg.CheckCost;
+    if (SC)
+      ++SC->Executed;
     if (P.A < B.A || P.A + Chk.accessSize() > B.B) {
+      if (SC)
+        ++SC->Traps;
       trap(TrapKind::SpatialViolation,
            std::string("softbound: out-of-bounds ") +
                (Chk.isStoreCheck() ? "store" : "load") + " " + where(I));
@@ -859,11 +916,16 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
   }
   case ValueKind::FuncPtrCheck: {
     auto &Chk = cast<FuncPtrCheckInst>(I);
+    SiteCounters *SC = siteOf(I);
     VMVal P = eval(Fr, Chk.pointer());
     VMVal B = eval(Fr, Chk.bounds());
     ++C.FuncPtrChecks;
     C.Cycles += Cfg.CheckCost;
+    if (SC)
+      ++SC->Executed;
     if (!(B.A == B.B && B.A == P.A && P.A != 0)) {
+      if (SC)
+        ++SC->Traps;
       trap(TrapKind::FuncPtrViolation,
            "softbound: indirect call through non-function pointer " +
                where(I));
@@ -877,6 +939,8 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
     Cfg.Meta->lookup(eval(Fr, ML.address()).A, Base, Bound);
     ++C.MetaLoads;
     C.Cycles += Cfg.Meta->lookupCost();
+    if (SiteCounters *SC = siteOf(I))
+      ++SC->Executed;
     setResult(Fr, I, VMVal{Base, Bound, 0});
     return;
   }
@@ -887,6 +951,8 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
     Cfg.Meta->update(eval(Fr, MS.address()).A, B.A, B.B);
     ++C.MetaStores;
     C.Cycles += Cfg.Meta->updateCost();
+    if (SiteCounters *SC = siteOf(I))
+      ++SC->Executed;
     return;
   }
   case ValueKind::PackPB: {

@@ -19,6 +19,7 @@
 #include "ir/Module.h"
 #include "runtime/MetadataFacility.h"
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 #include "vm/MemoryChecker.h"
 #include "vm/SimMemory.h"
 
@@ -120,6 +121,16 @@ struct VMConfig {
   bool Instrumented = false;   ///< Module carries SoftBound instrumentation.
   size_t OutputLimit = 1u << 20;
   uint64_t MaxFrames = 100'000;
+  /// Optional per-site dynamic profile, indexed by Instruction::site()
+  /// (null = telemetry's zero-cost disabled mode). Recording never
+  /// changes counters or cycle accounting.
+  SiteProfile *Profile = nullptr;
+  /// Optional telemetry sink for VM phase trace events and aggregate
+  /// run counters (null = off). Trace timestamps are simulated cycles,
+  /// so timelines are deterministic.
+  Telemetry *Telem = nullptr;
+  /// Prefix for trace-event names (benches set "<workload>:").
+  std::string TraceTag;
 };
 
 /// One SSA value at runtime: scalars use A; bounds use {A=base, B=bound};

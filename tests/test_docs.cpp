@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/PassManager.h"
+#include "support/Telemetry.h"
 
 #include <fstream>
 #include <map>
@@ -162,6 +163,37 @@ TEST(DocsDrift, ReadmeDefersToDocs) {
     if (Knob != "none" && Knob != "off")
       EXPECT_NE(Book.find("`" + Knob + "`"), std::string::npos)
           << "docs/checkopt.md no longer mentions knob '" << Knob << "'";
+}
+
+TEST(DocsDrift, ObservabilityDocCurrent) {
+  std::string Readme = readFile("README.md");
+  EXPECT_NE(Readme.find("docs/observability.md"), std::string::npos)
+      << "README must point at the observability doc";
+
+  // The telemetry book names the live surface: bench flags, the site-tag
+  // instruction, the probe histogram path.
+  std::string Doc = readFile("docs/observability.md");
+  for (const char *Needle :
+       {"--profile", "--trace", "spatial.check", "probe_length",
+        "assignCheckSites", "writeChromeTrace"})
+    EXPECT_NE(Doc.find(Needle), std::string::npos)
+        << "docs/observability.md no longer mentions '" << Needle << "'";
+
+  // Constants quoted in the doc track the code: the histogram bucket
+  // count and the trace lane IDs.
+  EXPECT_NE(
+      Doc.find(std::to_string(TelemetryHistogram::NumBuckets) + " buckets"),
+      std::string::npos)
+      << "docs/observability.md bucket count drifted from "
+         "TelemetryHistogram::NumBuckets";
+  EXPECT_NE(Doc.find("| " + std::to_string(Telemetry::TidPipeline) +
+                     " | `pipeline` |"),
+            std::string::npos)
+      << "docs/observability.md pipeline lane drifted from "
+         "Telemetry::TidPipeline";
+  EXPECT_NE(Doc.find("| " + std::to_string(Telemetry::TidVM) + " | `vm` |"),
+            std::string::npos)
+      << "docs/observability.md vm lane drifted from Telemetry::TidVM";
 }
 
 } // namespace
