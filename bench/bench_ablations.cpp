@@ -69,11 +69,15 @@ const char *const LoopKernels[] = {"lbm", "hmmer", "ijpeg", "compress"};
 /// and stride-8 phases exercise the symbolic-init/strided shapes.
 const char *const CheckOptKernels[] = {"lbm",       "hmmer", "ijpeg",
                                        "compress",  "perimeter", "bh",
-                                       "go",        "tsp",   "li"};
+                                       "go",        "tsp",   "li",
+                                       "treeadd"};
 
 /// Section 5's configurations (cumulative and isolated sub-pass sets).
-/// "no-rt" is the pre-runtime-limit default — the baseline the
-/// runtime-limit acceptance numbers are measured against.
+/// "no-rt" is the pre-runtime-limit default and "no-partition" the
+/// pre-partition one — the baselines those sub-passes' acceptance
+/// numbers are measured against. "+partition" isolates partitioning:
+/// without the other sub-passes nothing is fully-proven, so any win it
+/// shows is pure boundary reconstruction (null-init store elision).
 struct SpecConfig {
   const char *Name;
   const char *Spec;
@@ -85,8 +89,12 @@ const SpecConfig SpecConfigs[] = {
     {"+hoist", "optimize,softbound,checkopt(hoist)"},
     {"+runtime-limit", "optimize,softbound,checkopt(hoist,runtime-limit)"},
     {"+interproc", "optimize,softbound,checkopt(interproc)"},
+    {"+partition", "optimize,softbound,checkopt(partition)"},
     {"intra", "optimize,softbound,checkopt(redundant,range,hoist)"},
     {"no-rt", "optimize,softbound,checkopt(redundant,range,hoist,interproc)"},
+    {"no-partition",
+     "optimize,softbound,checkopt(redundant,range,hoist,runtime-limit,"
+     "interproc)"},
     {"all", "optimize,softbound,checkopt"},
 };
 
@@ -147,8 +155,8 @@ void runCheckOptAblation(const std::string &JsonPath) {
     const Workload &Wl = mustFindWorkload(Name);
     std::printf("  %s:\n", Name);
     TablePrinter T({"config", "static checks", "elim %", "dyn checks",
-                    "cycles", "hoisted", "rt-hulls", "dom", "range",
-                    "interproc"});
+                    "meta ops", "cycles", "hoisted", "rt-hulls", "dom",
+                    "range", "interproc", "proven"});
     W.key(Name);
     W.beginObject();
     for (const auto &K : SpecConfigs) {
@@ -158,17 +166,21 @@ void runCheckOptAblation(const std::string &JsonPath) {
       T.addRow({K.Name, std::to_string(S.ChecksAfter),
                 TablePrinter::fmt(100.0 * S.eliminationRate(), 1),
                 std::to_string(M.R.Counters.Checks),
+                std::to_string(M.R.Counters.MetaLoads +
+                               M.R.Counters.MetaStores),
                 std::to_string(M.R.Counters.Cycles),
                 std::to_string(S.LoopChecksHoisted),
                 std::to_string(S.RuntimeHullChecks),
                 std::to_string(S.DominatedEliminated),
                 std::to_string(S.RangeEliminated),
-                std::to_string(S.InterProcChecksElided)});
+                std::to_string(S.InterProcChecksElided),
+                std::to_string(S.PartitionProven)});
       W.key(K.Name);
       W.beginObject();
       W.kv("spec", K.Spec);
       W.kv("static_checks", S.ChecksAfter);
       W.kv("dyn_checks", M.R.Counters.Checks);
+      W.kv("meta_ops", M.R.Counters.MetaLoads + M.R.Counters.MetaStores);
       W.kv("cycles", M.R.Counters.Cycles);
       W.kv("hoisted", S.LoopChecksHoisted);
       W.kv("runtime_hulls", S.RuntimeHullChecks);
@@ -182,6 +194,9 @@ void runCheckOptAblation(const std::string &JsonPath) {
       W.kv("interproc_caller", S.InterProcCallerElided);
       W.kv("interproc_range", S.InterProcRangeElided);
       W.kv("interproc_sunk", S.InterProcSunkElided);
+      W.kv("partition_proven", S.PartitionProven);
+      W.kv("partition_meta_removed",
+           S.PartitionMetaLoadsRemoved + S.PartitionMetaStoresRemoved);
       W.kv("build_ms", Prog.Pipeline.totalMillis());
       W.endObject();
     }

@@ -114,6 +114,7 @@ struct WorkloadNumbers {
   double OverheadPct[4] = {0, 0, 0, 0};
   double WallRatio = 0;
   uint64_t Checks[4] = {0, 0, 0, 0}; // full-unopt/full-opt/store-unopt/store-opt
+  uint64_t MetaOps[4] = {0, 0, 0, 0}; // Same runs, meta.load + meta.store.
   uint64_t SimCost[4] = {0, 0, 0, 0}; // Same runs, shadow-facility costs.
   uint64_t CheckGuards = 0;           // Full-opt guard evaluations.
   uint64_t GuardSkips = 0;            // Full-opt guarded-check skips.
@@ -204,6 +205,10 @@ void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
     W.kv("checks_full", N.Checks[1]);
     W.kv("checks_store_unopt", N.Checks[2]);
     W.kv("checks_store", N.Checks[3]);
+    W.kv("meta_ops_full_unopt", N.MetaOps[0]);
+    W.kv("meta_ops_full", N.MetaOps[1]);
+    W.kv("meta_ops_store_unopt", N.MetaOps[2]);
+    W.kv("meta_ops_store", N.MetaOps[3]);
     W.kv("sim_cost_full_unopt", N.SimCost[0]);
     W.kv("sim_cost_full", N.SimCost[1]);
     W.kv("sim_cost_store_unopt", N.SimCost[2]);
@@ -231,6 +236,28 @@ void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
     W.kv("runtime_fallbacks", N.CheckOpt.RuntimeGuardedFallbacks);
     W.kv("runtime_discharged", N.CheckOpt.RuntimeGuardsDischarged);
     W.kv("runtime_divis_guards", N.CheckOpt.RuntimeDivisGuards);
+    W.endObject();
+    // Checked-region partitioning: the per-function checked/unchecked
+    // report (default full-opt pipeline). "checked" functions are fully
+    // proven and run without metadata instructions.
+    W.key("partition");
+    W.beginObject();
+    W.kv("functions", N.CheckOpt.PartitionFunctions);
+    W.kv("fully_proven", N.CheckOpt.PartitionProven);
+    W.kv("meta_loads_removed", N.CheckOpt.PartitionMetaLoadsRemoved);
+    W.kv("meta_stores_removed", N.CheckOpt.PartitionMetaStoresRemoved);
+    W.key("report");
+    W.beginArray();
+    for (const auto &V : N.CheckOpt.Partition) {
+      W.beginObject();
+      W.kv("function", V.Func);
+      W.kv("verdict", V.FullyProven ? "checked" : "unchecked");
+      W.kv("reason", V.Reason);
+      W.kv("meta_loads_removed", V.MetaLoadsRemoved);
+      W.kv("meta_stores_removed", V.MetaStoresRemoved);
+      W.endObject();
+    }
+    W.endArray();
     W.endObject();
     // PipelineStats per-pass timings: the non-gated `timings_*` key
     // group (wall-clock, machine-dependent; the gate never reads it).
@@ -296,6 +323,8 @@ void writeBaseline(const std::vector<WorkloadNumbers> &All,
     W.beginObject();
     W.kv("checks_full", N.Checks[1]);
     W.kv("checks_store", N.Checks[3]);
+    W.kv("meta_ops_full", N.MetaOps[1]);
+    W.kv("meta_ops_store", N.MetaOps[3]);
     W.kv("sim_cost_full", N.SimCost[1]);
     W.kv("sim_cost_store", N.SimCost[3]);
     W.endObject();
@@ -345,6 +374,8 @@ int compareBaseline(const std::vector<WorkloadNumbers> &All,
       uint64_t Now;
     } Rows[] = {{"checks_full", Cur->Checks[1]},
                 {"checks_store", Cur->Checks[3]},
+                {"meta_ops_full", Cur->MetaOps[1]},
+                {"meta_ops_store", Cur->MetaOps[3]},
                 {"sim_cost_full", Cur->SimCost[1]},
                 {"sim_cost_store", Cur->SimCost[3]}};
     for (const auto &Row : Rows) {
@@ -393,10 +424,11 @@ void writeSummary(const std::vector<WorkloadNumbers> &All, bool Profile,
     WL = Doc.get("workloads");
 
   std::string Out;
-  Out += "### bench-regression: dynamic checks and simulated cost\n\n";
-  Out += "| workload | checks_full | baseline | Δ | sim_cost_full | "
-         "baseline | Δ |\n";
-  Out += "|---|---:|---:|---:|---:|---:|---:|\n";
+  Out += "### bench-regression: dynamic checks, metadata ops, and "
+         "simulated cost\n\n";
+  Out += "| workload | checks_full | baseline | Δ | metadata_ops | "
+         "baseline | Δ | sim_cost_full | baseline | Δ |\n";
+  Out += "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
   auto Fmt = [](uint64_t V) { return std::to_string(V); };
   auto Delta = [](uint64_t Now, const JsonValue *Base) -> std::string {
     if (!Base || !Base->isNumber())
@@ -410,15 +442,20 @@ void writeSummary(const std::vector<WorkloadNumbers> &All, bool Profile,
   for (const auto &N : All) {
     const JsonValue *E = WL ? WL->get(N.Name) : nullptr;
     const JsonValue *BC = E ? E->get("checks_full") : nullptr;
+    const JsonValue *BM = E ? E->get("meta_ops_full") : nullptr;
     const JsonValue *BS = E ? E->get("sim_cost_full") : nullptr;
     Out += "| " + N.Name + " | " + Fmt(N.Checks[1]) + " | " +
            (BC && BC->isNumber() ? Fmt(BC->asInt()) : std::string("—")) +
-           " | " + Delta(N.Checks[1], BC) + " | " + Fmt(N.SimCost[1]) +
+           " | " + Delta(N.Checks[1], BC) + " | " + Fmt(N.MetaOps[1]) +
+           " | " +
+           (BM && BM->isNumber() ? Fmt(BM->asInt()) : std::string("—")) +
+           " | " + Delta(N.MetaOps[1], BM) + " | " + Fmt(N.SimCost[1]) +
            " | " +
            (BS && BS->isNumber() ? Fmt(BS->asInt()) : std::string("—")) +
            " | " + Delta(N.SimCost[1], BS) + " |\n";
   }
-  Out += "\nΔ > 0 (bold) regresses the gate; sim_cost = checks×3 + "
+  Out += "\nΔ > 0 (bold) regresses the gate; metadata_ops = meta.loads + "
+         "meta.stores (full-opt run); sim_cost = checks×3 + "
          "meta-lookups×lookupCost + meta-stores×updateCost + "
          "hull-guard tests×1.\n";
   if (Profile) {
@@ -636,6 +673,7 @@ int main(int argc, char **argv) {
         return 1;
       }
       Num.Checks[K] = M.R.Counters.Checks;
+      Num.MetaOps[K] = M.R.Counters.MetaLoads + M.R.Counters.MetaStores;
       // Simulated checking cost of the measured (shadow-facility) run.
       ShadowSpaceMetadata ShadowCosts;
       Num.SimCost[K] = simCost(M.R.Counters, ShadowCosts);

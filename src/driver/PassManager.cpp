@@ -105,6 +105,7 @@ public:
         Cfg.HoistLoopChecks == Default.HoistLoopChecks &&
         Cfg.RuntimeLimitHulls == Default.RuntimeLimitHulls &&
         Cfg.InterProc == Default.InterProc &&
+        Cfg.Partition == Default.Partition &&
         Cfg.ElideSafeChecks == Default.ElideSafeChecks)
       return S;
     std::vector<std::string> Knobs;
@@ -118,6 +119,8 @@ public:
       Knobs.push_back("runtime-limit");
     if (Cfg.InterProc)
       Knobs.push_back("interproc");
+    if (Cfg.Partition)
+      Knobs.push_back("partition");
     if (Cfg.ElideSafeChecks)
       Knobs.push_back("safe");
     if (Knobs.empty())
@@ -146,6 +149,7 @@ public:
     Cfg.HoistLoopChecks = false;
     Cfg.RuntimeLimitHulls = false;
     Cfg.InterProc = false;
+    Cfg.Partition = false;
     Cfg.ElideSafeChecks = true;
     Ctx.stats().CheckOpt += optimizeChecks(M, Cfg);
   }
@@ -193,14 +197,18 @@ bool parseSoftBoundKnobs(const std::vector<std::string> &Knobs,
 }
 
 const std::vector<std::string> CheckOptKnobs = {
-    "redundant", "range",         "hoist", "runtime-limit",
-    "interproc", "safe",          "none",  "off"};
+    "redundant", "range",     "hoist", "runtime-limit",
+    "interproc", "partition", "safe",  "none",
+    "off"};
 
 /// An empty knob list means the default configuration; a non-empty list
 /// enables exactly the named sub-passes ("none" enables nothing, "off"
 /// disables the whole subsystem). "runtime-limit" is a sub-knob of
 /// "hoist" (and implies it): symbolic-limit hull hoisting behind run-time
-/// trip/wrap guards.
+/// trip/wrap guards. Note the A/B convention this implies: "partition" is
+/// on by default but any explicit knob list that omits it runs without
+/// partitioning, so spelling out the rest of the default set is the
+/// no-partition baseline.
 bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
                         CheckOptConfig &Cfg, std::string &Err) {
   if (Knobs.empty())
@@ -210,6 +218,7 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
   Cfg.HoistLoopChecks = false;
   Cfg.RuntimeLimitHulls = false;
   Cfg.InterProc = false;
+  Cfg.Partition = false;
   Cfg.ElideSafeChecks = false;
   for (const auto &K : Knobs) {
     if (K == "redundant")
@@ -222,6 +231,8 @@ bool parseCheckOptKnobs(const std::vector<std::string> &Knobs,
       Cfg.HoistLoopChecks = Cfg.RuntimeLimitHulls = true;
     else if (K == "interproc")
       Cfg.InterProc = true;
+    else if (K == "partition")
+      Cfg.Partition = true;
     else if (K == "safe")
       Cfg.ElideSafeChecks = true;
     else if (K == "none" || K == "off") {
@@ -271,7 +282,8 @@ void registerBuiltins(PassRegistry &R) {
   R.add("checkopt",
         "static check optimization: dominance RCE, range subsumption, "
         "loop-hull hoisting (with runtime-limit hulls), inter-procedural "
-        "bounds propagation, optional CCured-SAFE elision",
+        "bounds propagation, checked-region partitioning, optional "
+        "CCured-SAFE elision",
         CheckOptKnobs,
         [](const std::vector<std::string> &Knobs,
            std::string &Err) -> std::shared_ptr<const ModulePass> {

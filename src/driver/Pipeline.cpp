@@ -29,18 +29,20 @@ BuildResult softbound::buildProgram(const std::string &Source,
 
 RunResult softbound::runProgram(const BuildResult &Prog,
                                 const RunOptions &Opts) {
-  // checkopt(interproc) contract: an internally-called function's checks
-  // were elided on the strength of its analyzed call sites, so entering
-  // it directly with arbitrary arguments would silently bypass those
-  // proofs. The module records the unsafe set; refuse such entries.
+  // Whole-program contract (checkopt interproc + partition): an
+  // internally-called function's checks were elided — or its metadata
+  // propagation stripped — on the strength of its analyzed call sites, so
+  // entering it directly with arbitrary arguments would silently bypass
+  // those proofs. The module records the unsafe set; refuse such entries.
   if (Prog.M && Prog.M->hasInterProcContract()) {
     Function *EntryF = Prog.M->resolveEntry(Opts.Entry);
     if (EntryF && !Prog.M->isSafeEntry(EntryF)) {
       RunResult R;
       R.Trap = TrapKind::Segfault;
       R.Message = "entry function '" + Opts.Entry +
-                  "' was internally called when checkopt(interproc) elided "
-                  "checks; enter at 'main' or rebuild without interproc";
+                  "' was internally called when checkopt(interproc) or "
+                  "checkopt(partition) elided checks or metadata; enter at "
+                  "'main' or rebuild without those sub-passes";
       return R;
     }
   }

@@ -87,6 +87,13 @@ public:
   bool isTransformed() const { return Transformed; }
   void setTransformed() { Transformed = true; }
 
+  /// Checked-region partitioning marker (opt/checks/Partition.cpp): set
+  /// when every access was discharged statically and the function's
+  /// metadata instructions were stripped. The Verifier enforces that an
+  /// uninstrumented function contains no meta.load/meta.store.
+  bool isUninstrumented() const { return Uninstrumented; }
+  void setUninstrumented() { Uninstrumented = true; }
+
   static bool classof(const Value *V) { return V->kind() == ValueKind::Func; }
 
 private:
@@ -94,6 +101,7 @@ private:
   Module *Parent;
   bool Builtin;
   bool Transformed = false;
+  bool Uninstrumented = false;
   std::vector<std::unique_ptr<Argument>> Args;
   BlockList Blocks;
   unsigned NumRegs = 0;

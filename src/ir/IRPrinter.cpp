@@ -219,6 +219,8 @@ std::string softbound::printFunction(const Function &F) {
   if (F.functionType()->isVarArg())
     S += F.numArgs() ? ", ..." : "...";
   S += ")";
+  if (F.isUninstrumented())
+    S += " uninstrumented";
   if (!F.isDefinition())
     return S + "\n";
   S += " {\n";

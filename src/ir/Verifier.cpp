@@ -254,6 +254,10 @@ private:
     case ValueKind::MetaLoad:
       if (!cast<MetaLoadInst>(I).address()->type()->isPointer())
         error(I, "meta.load address is not a pointer");
+      if (!I.type()->isBounds())
+        error(I, "meta.load result is not bounds-typed");
+      if (F.isUninstrumented())
+        error(I, "meta.load inside uninstrumented function");
       break;
     case ValueKind::MetaStore: {
       const auto &MS = cast<MetaStoreInst>(I);
@@ -261,6 +265,8 @@ private:
         error(I, "meta.store address is not a pointer");
       if (!MS.bounds()->type()->isBounds())
         error(I, "meta.store bounds operand is not bounds-typed");
+      if (F.isUninstrumented())
+        error(I, "meta.store inside uninstrumented function");
       break;
     }
     case ValueKind::PackPB: {

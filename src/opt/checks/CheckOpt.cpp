@@ -9,6 +9,7 @@
 #include "opt/Passes.h"
 #include "opt/checks/InterProc.h"
 #include "opt/checks/LoopHoist.h"
+#include "opt/checks/Partition.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -111,5 +112,10 @@ CheckOptStats softbound::optimizeChecks(Module &M, const CheckOptConfig &Cfg) {
     unsigned Deleted = checkopt::propagateInterProcChecks(M, Stats, Ranges);
     Stats.ChecksAfter -= std::min(Deleted, Stats.ChecksAfter);
   }
+  // Partitioning runs last: it can only prove a function once every other
+  // sub-pass has discharged its checks, and it never creates or removes a
+  // check itself — it converts check elision into metadata-op elision.
+  if (Cfg.Enable && Cfg.Partition)
+    checkopt::partitionCheckedRegions(M, Stats);
   return Stats;
 }

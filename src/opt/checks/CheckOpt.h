@@ -40,6 +40,13 @@
 ///      argument-propagated index range stays inside the object. Only
 ///      reachable from the Module-level driver (it needs every call
 ///      site); the per-function overload ignores the knob.
+///   6. Checked-region partitioning (Partition.h, module-level): after
+///      every other sub-pass has run, classify each function fully-proven
+///      (no checks left, no escaping metadata obligations) or
+///      instrumented, and strip metadata propagation from the
+///      fully-proven ones — the CheckedCBox-style checked/unchecked
+///      region split. Module-level only, on by default, left off by
+///      explicit knob lists (the A/B convention).
 ///
 /// Soundness contract: sub-passes 1-3 only ever *strengthen or move
 /// earlier* the set of conditions checked on any path — a program that
@@ -94,10 +101,27 @@ struct CheckOptConfig {
   /// checks as caller facts, and settle global-array checks via
   /// inter-procedural integer ranges. Module-level only.
   bool InterProc = true;
+  /// Checked-region partitioning (opt/checks/Partition.h): classify each
+  /// function as fully-proven or instrumented after the other sub-passes
+  /// have run, and strip metadata propagation (meta.load/meta.store) from
+  /// the fully-proven ones. Module-level only; leans on the closed-module
+  /// contract like InterProc.
+  bool Partition = true;
   /// CCured-SAFE elision (§6.5 modeling knob): delete checks statically
   /// proven inside their *whole* base object. Off by default — it gives up
   /// sub-object protection for constant-offset accesses.
   bool ElideSafeChecks = false;
+};
+
+/// One function's checked-region classification (Partition.cpp). Verdicts
+/// are reported for every defined function the partition pass inspected,
+/// in module order.
+struct PartitionVerdict {
+  std::string Func;           ///< Post-transform (`_sb_`) function name.
+  bool FullyProven = false;   ///< Checked region: instrumentation stripped.
+  std::string Reason;         ///< First blocking reason, or "proven".
+  unsigned MetaLoadsRemoved = 0;  ///< meta.load instructions stripped.
+  unsigned MetaStoresRemoved = 0; ///< meta.store instructions stripped.
 };
 
 /// What the subsystem did (reported by benches and asserted by tests).
@@ -134,6 +158,13 @@ struct CheckOptStats {
   unsigned InterProcRetSummaries = 0;  ///< Functions with return summaries.
   unsigned InterProcFunctionsAnalyzed = 0; ///< Defined functions visited.
 
+  // Checked-region partitioning (opt/checks/Partition.h).
+  unsigned PartitionFunctions = 0; ///< Defined functions classified.
+  unsigned PartitionProven = 0;    ///< Classified fully-proven (stripped).
+  unsigned PartitionMetaLoadsRemoved = 0;  ///< meta.loads stripped.
+  unsigned PartitionMetaStoresRemoved = 0; ///< meta.stores stripped.
+  std::vector<PartitionVerdict> Partition; ///< Per-function verdicts.
+
   /// Fraction of static checks removed, in [0, 1].
   double eliminationRate() const {
     return ChecksBefore
@@ -167,6 +198,11 @@ struct CheckOptStats {
     InterProcArgSummaries += O.InterProcArgSummaries;
     InterProcRetSummaries += O.InterProcRetSummaries;
     InterProcFunctionsAnalyzed += O.InterProcFunctionsAnalyzed;
+    PartitionFunctions += O.PartitionFunctions;
+    PartitionProven += O.PartitionProven;
+    PartitionMetaLoadsRemoved += O.PartitionMetaLoadsRemoved;
+    PartitionMetaStoresRemoved += O.PartitionMetaStoresRemoved;
+    Partition.insert(Partition.end(), O.Partition.begin(), O.Partition.end());
     return *this;
   }
 };

@@ -125,12 +125,17 @@ TEST(PipelineSpec, RoundTripsCanonicalForms) {
       {"optimize,softbound,checkopt", "optimize,softbound,checkopt"},
       {" optimize , softbound( store-only , no-shrink ) ",
        "optimize,softbound(store-only,no-shrink)"},
-      // The default sub-pass set now includes interproc and runtime-limit;
-      // an explicit knob list enables exactly what it names, so the
-      // pre-runtime-limit default spells itself out.
-      {"checkopt(redundant,range,hoist,runtime-limit,interproc)", "checkopt"},
+      // The default sub-pass set now includes interproc, runtime-limit,
+      // and partition; an explicit knob list enables exactly what it
+      // names, so any older default spells itself out — in particular the
+      // pre-partition default, which is the no-partition A/B baseline.
+      {"checkopt(redundant,range,hoist,runtime-limit,interproc,partition)",
+       "checkopt"},
+      {"checkopt(redundant,range,hoist,runtime-limit,interproc)",
+       "checkopt(redundant,range,hoist,runtime-limit,interproc)"},
       {"checkopt(redundant,range,hoist,interproc)",
        "checkopt(redundant,range,hoist,interproc)"},
+      {"checkopt(partition)", "checkopt(partition)"},
       // runtime-limit implies (and canonically spells out) hoist.
       {"checkopt(runtime-limit)", "checkopt(hoist,runtime-limit)"},
       {"checkopt(redundant,range,hoist)", "checkopt(redundant,range,hoist)"},
