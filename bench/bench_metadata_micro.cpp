@@ -38,6 +38,8 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #if SB_HAVE_GBENCH
 #include <benchmark/benchmark.h>
@@ -107,10 +109,9 @@ void jsonSweep(benchjson::JsonWriter &W, const char *Name) {
 
   // Hits: re-look-up the same addresses the fill touched.
   RNG R(7);
-  uint64_t Base = 0, Bound = 0;
   T0 = std::chrono::steady_clock::now();
   for (uint64_t I = 0; I < N; ++I)
-    M.lookup(0x2000'0000 + (R.below(1 << 22) << 3), Base, Bound);
+    M.lookup(0x2000'0000 + (R.below(1 << 22) << 3));
   W.kv("lookup_hit_ops", N);
   W.kv("lookup_hit_ns_per_op", nsPerOp(T0, N));
 
@@ -118,7 +119,7 @@ void jsonSweep(benchjson::JsonWriter &W, const char *Name) {
   RNG RM(13);
   T0 = std::chrono::steady_clock::now();
   for (uint64_t I = 0; I < N; ++I)
-    M.lookup(0x6000'0000 + (RM.below(1 << 20) << 3), Base, Bound);
+    M.lookup(0x6000'0000 + (RM.below(1 << 20) << 3));
   W.kv("lookup_miss_ops", N);
   W.kv("lookup_miss_ns_per_op", nsPerOp(T0, N));
 
@@ -155,9 +156,8 @@ void jsonCollisionSweep(benchjson::JsonWriter &W) {
       M.update(Addr, Addr, Addr + 64);
       Addrs.push_back(Addr);
     }
-    uint64_t Base, Bound;
     for (uint64_t A : Addrs)
-      M.lookup(A, Base, Bound);
+      M.lookup(A);
     W.beginObject();
     W.kv("live_entries", N);
     W.kv("load_factor", M.loadFactor());
@@ -173,6 +173,72 @@ void jsonCollisionSweep(benchjson::JsonWriter &W) {
   W.endArray();
 }
 
+/// Shard-scaling under contention: a fixed 4-thread op mix (7/8 lookup,
+/// 1/8 update; deterministic per-thread address streams) hammers one
+/// HashTableMetadata at increasing shard counts. With one shard every
+/// thread serializes on one lock; with more shards the address stripes
+/// spread the threads out and lock_contended collapses. Wall-clock
+/// ns/op is machine-dependent; op totals and the monotone story in
+/// lock_acquires are the stable part.
+void jsonContendedSweep(benchjson::JsonWriter &W) {
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t OpsPerThread = 1 << 16;
+  W.key("contended_sweep");
+  W.beginArray();
+  for (unsigned S : {1u, 2u, 4u, 8u}) {
+    HashTableMetadata M(16, {ConcurrencyModel::Sharded, S});
+    fill(M, 1 << 14);
+    // Update-heavy phase: exclusive acquisitions serialize on a single
+    // stripe lock, so this is where shard count buys real parallelism
+    // (addresses span ~1024 stripes, far more than any shard count here).
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&M, T] {
+        RNG R(101 + T); // Per-thread stream: deterministic op sequence.
+        for (uint64_t I = 0; I < OpsPerThread; ++I) {
+          uint64_t Addr = 0x2000'0000 + (R.below(1 << 22) << 3);
+          M.update(Addr, Addr, Addr + 64);
+        }
+      });
+    for (auto &T : Threads)
+      T.join();
+    double UpdateNs = nsPerOp(T0, NumThreads * OpsPerThread);
+    // Read-heavy phase: shared acquisitions never exclude each other,
+    // but with one shard every thread still bounces the same lock word;
+    // sharding spreads that coherence traffic.
+    T0 = std::chrono::steady_clock::now();
+    Threads.clear();
+    for (unsigned T = 0; T < NumThreads; ++T)
+      Threads.emplace_back([&M, T] {
+        RNG R(211 + T);
+        for (uint64_t I = 0; I < OpsPerThread; ++I) {
+          Bounds B = M.lookup(0x2000'0000 + (R.below(1 << 22) << 3));
+          (void)B;
+        }
+      });
+    for (auto &T : Threads)
+      T.join();
+    double LookupNs = nsPerOp(T0, NumThreads * OpsPerThread);
+    MetadataStats St = M.stats();
+    W.beginObject();
+    W.kv("shards", uint64_t(M.shards()));
+    W.kv("threads", uint64_t(NumThreads));
+    // On a single-hardware-thread host the OS timeslices the workers, so
+    // neither lock_contended nor ns_per_op can show shard scaling; report
+    // the host width so consumers can tell real serialization from that.
+    W.kv("hw_threads", uint64_t(std::thread::hardware_concurrency()));
+    W.kv("ops", 2 * uint64_t(NumThreads) * OpsPerThread);
+    W.kv("update_ns_per_op", UpdateNs);
+    W.kv("lookup_ns_per_op", LookupNs);
+    W.kv("lock_acquires", St.LockAcquires);
+    W.kv("lock_contended", St.LockContended);
+    W.kv("contention_sim_cost", St.contentionSimCost());
+    W.endObject();
+  }
+  W.endArray();
+}
+
 int runJson(const std::string &Path) {
   benchjson::JsonWriter W;
   W.beginObject();
@@ -183,6 +249,7 @@ int runJson(const std::string &Path) {
   jsonSweep<ShadowSpaceMetadata>(W, "shadow");
   W.endObject();
   jsonCollisionSweep(W);
+  jsonContendedSweep(W);
   W.endObject();
   if (!W.writeTo(Path)) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -221,10 +288,9 @@ void BM_LookupHit(benchmark::State &State) {
     Addrs.push_back(Addr);
   }
   size_t I = 0;
-  uint64_t Base, Bound;
   for (auto _ : State) {
-    M.lookup(Addrs[I++ % Addrs.size()], Base, Bound);
-    benchmark::DoNotOptimize(Base);
+    Bounds B = M.lookup(Addrs[I++ % Addrs.size()]);
+    benchmark::DoNotOptimize(B.Base);
   }
   State.SetItemsProcessed(State.iterations());
   State.counters["modeled_insns_per_op"] =
@@ -236,11 +302,10 @@ void BM_LookupMiss(benchmark::State &State) {
   Facility M;
   fill(M, 1 << 14);
   RNG R(13);
-  uint64_t Base, Bound;
   for (auto _ : State) {
     // Slots in an untouched range: guaranteed misses.
-    M.lookup(0x6000'0000 + (R.below(1 << 20) << 3), Base, Bound);
-    benchmark::DoNotOptimize(Bound);
+    Bounds B = M.lookup(0x6000'0000 + (R.below(1 << 20) << 3));
+    benchmark::DoNotOptimize(B.Bound);
   }
   State.SetItemsProcessed(State.iterations());
 }
@@ -271,9 +336,8 @@ void BM_HashCollisions(benchmark::State &State) {
       Addrs.push_back(Addr);
     }
     State.ResumeTiming();
-    uint64_t Base, Bound;
     for (uint64_t A : Addrs)
-      M.lookup(A, Base, Bound);
+      M.lookup(A);
     State.counters["collisions_per_kiloop"] =
         1000.0 * static_cast<double>(M.stats().Collisions) /
         static_cast<double>(2 * N);

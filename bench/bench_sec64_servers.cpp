@@ -10,15 +10,76 @@
 /// false positives), and the classic unbounded-copy vulnerability is
 /// stopped in store-only (production) mode.
 ///
+/// Flags:
+///   --lanes <N>   run each server as an N-lane VM session — N
+///                 simulated server instances over one shared heap and
+///                 metadata facility (docs/runtime.md). Output-identity
+///                 still holds per lane because lanes are deterministic.
+///   --shards <N>  shard the metadata facility over N address-stripe
+///                 locks (rounded to a power of two).
+///   --json <path> machine-readable results, including the non-gated
+///                 `lanes`, `shards`, and `contention_*` keys.
+///
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchJson.h"
 #include "bench/BenchUtil.h"
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace softbound;
 using namespace softbound::benchutil;
 
-int main() {
-  std::printf("=== §6.4: source-compatibility case studies ===\n\n");
+namespace {
+
+struct CaseResult {
+  std::string Name;
+  bool PlainOk = false;
+  bool FullOk = false;
+  bool Identical = false;
+  bool IdentityGated = true; ///< False for multi-lane runs (racy globals).
+  double FullOverheadPct = 0;
+  double StoreOverheadPct = 0;
+  MetadataStats MetaStats; // Full-checking run's facility stats.
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Lanes = 1, Shards = 1;
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    auto NeedArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (std::strcmp(argv[I], "--lanes") == 0)
+      Lanes = static_cast<unsigned>(std::atoi(NeedArg("--lanes")));
+    else if (std::strcmp(argv[I], "--shards") == 0)
+      Shards = static_cast<unsigned>(std::atoi(NeedArg("--shards")));
+    else if (std::strcmp(argv[I], "--json") == 0)
+      JsonPath = NeedArg("--json");
+    else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (flags: --lanes <N>, --shards <N>, "
+                   "--json <path>)\n",
+                   argv[I]);
+      return 2;
+    }
+  }
+  if (Lanes == 0 || Shards == 0) {
+    std::fprintf(stderr, "--lanes/--shards require a positive count\n");
+    return 2;
+  }
+
+  std::printf("=== §6.4: source-compatibility case studies ===\n");
+  if (Lanes > 1 || Shards > 1)
+    std::printf("(%u lanes, %u facility shards)\n", Lanes, Shards);
+  std::printf("\n");
   TablePrinter T({"server", "sessions", "plain ok", "full ok",
                   "output identical", "full overhead %", "store overhead %"});
 
@@ -31,35 +92,58 @@ int main() {
       {"tinyftp-like", ftpServerSource(), {}},
   };
 
+  std::vector<CaseResult> Results;
   bool AllOk = true;
   for (auto &C : Cases) {
     RunOptions R;
     R.Args = C.Args;
+    R.Lanes = Lanes;
+    R.FacilityShards = Shards;
     BuildResult Plain = mustBuild(C.Src, BuildOptions{});
     Measurement MP = measure(Plain, R);
 
+    CaseResult Res;
+    Res.Name = C.Name;
+
     BuildOptions BF;
     BF.Instrument = true;
-    Measurement MF = measure(mustBuild(C.Src, BF), R);
+    RunOptions RF = R;
+    RF.MetaStatsOut = &Res.MetaStats;
+    Measurement MF = measure(mustBuild(C.Src, BF), RF);
 
     BuildOptions BS;
     BS.Instrument = true;
     BS.SB.Mode = CheckMode::StoreOnly;
     Measurement MS = measure(mustBuild(C.Src, BS), R);
 
-    bool Identical =
-        MF.R.Output == MP.R.Output && MF.R.ExitCode == MP.R.ExitCode;
-    AllOk &= MP.R.ok() && MF.R.ok() && Identical;
+    Res.PlainOk = MP.R.ok();
+    Res.FullOk = MF.R.ok();
+    // Output identity is the §6.4 no-false-positive claim. It is only a
+    // guarantee at one lane: lanes share the global segment like threads
+    // in one process, and both servers keep session state (and their
+    // request counter) in globals, so N-lane interleavings legitimately
+    // perturb output and exit codes. Multi-lane runs report the
+    // comparison for information but gate only on trap-free execution.
+    Res.Identical = MF.R.Output == MP.R.Output &&
+                    (Lanes > 1 || MF.R.ExitCode == MP.R.ExitCode);
+    Res.IdentityGated = Lanes == 1;
+    Res.FullOverheadPct =
+        overheadPct(MF.R.Counters.Cycles, MP.R.Counters.Cycles);
+    Res.StoreOverheadPct =
+        overheadPct(MS.R.Counters.Cycles, MP.R.Counters.Cycles);
+    AllOk &= Res.PlainOk && Res.FullOk && (Res.Identical || !Res.IdentityGated);
     T.addRow({C.Name, C.Name[0] == 'n' ? "20x6 requests" : "15x10 commands",
-              MP.R.ok() ? "yes" : "NO", MF.R.ok() ? "yes" : "NO",
-              Identical ? "yes" : "NO",
-              TablePrinter::fmt(
-                  overheadPct(MF.R.Counters.Cycles, MP.R.Counters.Cycles), 1),
-              TablePrinter::fmt(
-                  overheadPct(MS.R.Counters.Cycles, MP.R.Counters.Cycles),
-                  1)});
+              Res.PlainOk ? "yes" : "NO", Res.FullOk ? "yes" : "NO",
+              Res.Identical ? "yes" : (Res.IdentityGated ? "NO" : "no (racy)"),
+              TablePrinter::fmt(Res.FullOverheadPct, 1),
+              TablePrinter::fmt(Res.StoreOverheadPct, 1)});
+    Results.push_back(std::move(Res));
   }
   T.print();
+  if (Lanes > 1)
+    std::printf("(output identity is informational at %u lanes: the servers "
+                "keep session state in shared globals)\n",
+                Lanes);
 
   // The vulnerability variant of the HTTP server.
   BuildOptions BS;
@@ -67,9 +151,45 @@ int main() {
   BS.SB.Mode = CheckMode::StoreOnly;
   RunOptions RV;
   RV.Args = {1};
+  RV.Lanes = Lanes;
+  RV.FacilityShards = Shards;
   RunResult V = compileAndRun(httpServerSource(), BS, RV);
   std::printf("\nvulnerable query-copy variant under store-only checking: "
               "%s (paper: store-only stops all such attacks)\n",
               V.violationDetected() ? "stopped" : "MISSED");
+
+  if (!JsonPath.empty()) {
+    benchjson::JsonWriter W;
+    W.beginObject();
+    W.kv("schema", "softbound-bench-sec64-v1");
+    // Session shape. Non-gated, as are the contention_* keys below:
+    // lock contention is scheduling-dependent for Lanes > 1.
+    W.kv("lanes", static_cast<uint64_t>(Lanes));
+    W.kv("shards", static_cast<uint64_t>(Shards));
+    W.key("servers");
+    W.beginObject();
+    for (const auto &Res : Results) {
+      W.key(Res.Name);
+      W.beginObject();
+      W.kv("plain_ok", Res.PlainOk);
+      W.kv("full_ok", Res.FullOk);
+      W.kv("output_identical", Res.Identical);
+      W.kv("output_identity_gated", Res.IdentityGated);
+      W.kv("full_overhead_pct", Res.FullOverheadPct);
+      W.kv("store_overhead_pct", Res.StoreOverheadPct);
+      W.kv("contention_lock_acquires", Res.MetaStats.LockAcquires);
+      W.kv("contention_lock_contended", Res.MetaStats.LockContended);
+      W.kv("contention_sim_cost", Res.MetaStats.contentionSimCost());
+      W.endObject();
+    }
+    W.endObject();
+    W.kv("vulnerable_variant_stopped", V.violationDetected());
+    W.endObject();
+    if (!W.writeTo(JsonPath)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
   return AllOk && V.violationDetected() ? 0 : 1;
 }

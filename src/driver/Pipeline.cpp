@@ -27,42 +27,60 @@ BuildResult softbound::buildProgram(const std::string &Source,
   return planFromBuildOptions(Source, Opts).build();
 }
 
-RunResult softbound::runProgram(const BuildResult &Prog,
-                                const RunOptions &Opts) {
+namespace {
+
+/// A SessionResult whose Combined run refused to start.
+SessionResult refuse(std::string Message) {
+  SessionResult S;
+  S.Combined.Trap = TrapKind::Segfault;
+  S.Combined.Message = std::move(Message);
+  return S;
+}
+
+} // namespace
+
+SessionResult softbound::runSession(const BuildResult &Prog,
+                                    const RunRequest &Req) {
   // Whole-program contract (checkopt interproc + partition): an
   // internally-called function's checks were elided — or its metadata
   // propagation stripped — on the strength of its analyzed call sites, so
   // entering it directly with arbitrary arguments would silently bypass
   // those proofs. The module records the unsafe set; refuse such entries.
   if (Prog.M && Prog.M->hasInterProcContract()) {
-    Function *EntryF = Prog.M->resolveEntry(Opts.Entry);
-    if (EntryF && !Prog.M->isSafeEntry(EntryF)) {
-      RunResult R;
-      R.Trap = TrapKind::Segfault;
-      R.Message = "entry function '" + Opts.Entry +
-                  "' was internally called when checkopt(interproc) or "
-                  "checkopt(partition) elided checks or metadata; enter at "
-                  "'main' or rebuild without those sub-passes";
-      return R;
-    }
+    Function *EntryF = Prog.M->resolveEntry(Req.Entry);
+    if (EntryF && !Prog.M->isSafeEntry(EntryF))
+      return refuse("entry function '" + Req.Entry +
+                    "' was internally called when checkopt(interproc) or "
+                    "checkopt(partition) elided checks or metadata; enter at "
+                    "'main' or rebuild without those sub-passes");
   }
+
+  unsigned Lanes = Req.Lanes ? Req.Lanes : 1;
+  if (Lanes > 1 && Req.Checker)
+    return refuse("multi-lane sessions cannot use a baseline checker: "
+                  "checker object tables are single-threaded; run with "
+                  "Lanes = 1 or drop the Checker");
 
   std::unique_ptr<MetadataFacility> Meta;
   VMConfig Cfg;
-  Cfg.StepLimit = Opts.StepLimit;
-  Cfg.Checker = Opts.Checker;
-  Cfg.RedzonePad = Opts.RedzonePad;
-  Cfg.GlobalPad = Opts.GlobalPad;
-  Cfg.CheckCost = Opts.CheckCost;
-  Cfg.Telem = Opts.Telem;
-  Cfg.Profile = Opts.ProfileOut;
-  Cfg.TraceTag = Opts.TraceTag;
+  Cfg.StepLimit = Req.StepLimit;
+  Cfg.Checker = Req.Checker;
+  Cfg.RedzonePad = Req.RedzonePad;
+  Cfg.GlobalPad = Req.GlobalPad;
+  Cfg.CheckCost = Req.CheckCost;
 
   if (Prog.Instrumented) {
-    if (Opts.Facility == FacilityKind::Shadow)
-      Meta = std::make_unique<ShadowSpaceMetadata>();
+    // Lanes == 1 with one shard keeps the lock-free SingleThread
+    // facility — the configuration every gated baseline was recorded
+    // under. Anything else stripes the facility behind per-shard locks.
+    FacilityOptions FO;
+    FO.Shards = Req.FacilityShards ? Req.FacilityShards : 1;
+    FO.Model = (Lanes > 1 || FO.Shards > 1) ? ConcurrencyModel::Sharded
+                                            : ConcurrencyModel::SingleThread;
+    if (Req.Facility == FacilityKind::Shadow)
+      Meta = std::make_unique<ShadowSpaceMetadata>(FO);
     else
-      Meta = std::make_unique<HashTableMetadata>();
+      Meta = std::make_unique<HashTableMetadata>(/*InitialLog2Size=*/16, FO);
     Cfg.Meta = Meta.get();
     Cfg.Instrumented = true;
     switch (Prog.Mode) {
@@ -80,33 +98,94 @@ RunResult softbound::runProgram(const BuildResult &Prog,
     Cfg.Wrappers = WrapperMode::None;
   }
 
-  if (Meta && Opts.Telem)
-    Meta->attachTelemetry(Opts.Telem,
-                          std::string("facility/") + Meta->name());
+  // The facility records probe histograms through thread-safe paths and
+  // publishes its aggregates only at flushTelemetry (post-join), so the
+  // caller's sink is safe to attach even for multi-lane sessions.
+  if (Meta && Req.Telem)
+    Meta->attachTelemetry(Req.Telem, std::string("facility/") + Meta->name());
 
-  VM Machine(*Prog.M, Cfg);
-  RunResult R = Machine.run(Opts.Entry, Opts.Args);
-  if (Meta && Opts.MetaStatsOut)
-    *Opts.MetaStatsOut = Meta->stats();
-  if (Meta && Opts.Telem)
-    Meta->flushTelemetry();
-  return R;
+  SessionResult S;
+  if (Lanes == 1) {
+    // Exactly the classic single-threaded sequence: the VM reads the
+    // caller's sinks straight from its config and runs inline.
+    Cfg.Telem = Req.Telem;
+    Cfg.Profile = Req.ProfileOut;
+    Cfg.TraceTag = Req.TraceTag;
+    VM Machine(*Prog.M, Cfg);
+    S.Combined = Machine.run(Req.Entry, Req.Args);
+    S.PerLane.push_back(S.Combined);
+  } else {
+    // Per-lane private sinks, merged in lane-index order after the
+    // join, keep the combined registry deterministic even though lane
+    // scheduling is not.
+    std::vector<Telemetry> LaneTelems(Req.Telem ? Lanes : 0);
+    std::vector<SiteProfile> LaneProfiles(Req.ProfileOut ? Lanes : 0);
+    std::vector<LaneSpec> Specs(Lanes);
+    for (unsigned I = 0; I < Lanes; ++I) {
+      Specs[I].Entry = Req.Entry;
+      Specs[I].Args = Req.Args;
+      Specs[I].Profile = Req.ProfileOut ? &LaneProfiles[I] : nullptr;
+      Specs[I].Telem = Req.Telem ? &LaneTelems[I] : nullptr;
+      Specs[I].TraceTag = Req.TraceTag + "lane" + std::to_string(I) + ":";
+    }
+
+    VM Machine(*Prog.M, Cfg);
+    S.PerLane = Machine.runLanes(Specs);
+
+    for (const RunResult &L : S.PerLane) {
+      S.Combined.Counters.accumulate(L.Counters);
+      S.Combined.Output += L.Output;
+      if (S.Combined.Trap == TrapKind::None && L.Trap != TrapKind::None) {
+        S.Combined.Trap = L.Trap;
+        S.Combined.Message = L.Message;
+        S.Combined.HijackTarget = L.HijackTarget;
+        S.Combined.ExitCode = L.ExitCode;
+      }
+    }
+    if (S.Combined.Trap == TrapKind::None && !S.PerLane.empty())
+      S.Combined.ExitCode = S.PerLane.front().ExitCode;
+    if (Meta)
+      S.Combined.MetadataMemory = Meta->memoryBytes();
+    S.Combined.HeapHighWater = Machine.memory().heapHighWater();
+
+    for (unsigned I = 0; I < Lanes; ++I) {
+      if (Req.Telem)
+        Req.Telem->mergeFrom(LaneTelems[I]);
+      if (Req.ProfileOut)
+        Req.ProfileOut->mergeFrom(LaneProfiles[I]);
+    }
+  }
+
+  if (Meta) {
+    S.Meta = Meta->stats();
+    if (Req.MetaStatsOut)
+      *Req.MetaStatsOut = S.Meta;
+    if (Req.Telem)
+      Meta->flushTelemetry();
+  }
+  return S;
+}
+
+SessionResult softbound::runSession(const PipelinePlan &Plan,
+                                    const RunRequest &Req) {
+  BuildResult Prog = Plan.build();
+  if (!Prog.ok())
+    return refuse("build failed: " + Prog.errorText());
+  return runSession(Prog, Req);
+}
+
+RunResult softbound::runProgram(const BuildResult &Prog,
+                                const RunOptions &Opts) {
+  return runSession(Prog, Opts).Combined;
 }
 
 RunResult softbound::runPipeline(const PipelinePlan &Plan,
                                  const RunOptions &Opts) {
-  BuildResult Prog = Plan.build();
-  if (!Prog.ok()) {
-    RunResult R;
-    R.Trap = TrapKind::Segfault;
-    R.Message = "build failed: " + Prog.errorText();
-    return R;
-  }
-  return runProgram(Prog, Opts);
+  return runSession(Plan, Opts).Combined;
 }
 
 RunResult softbound::compileAndRun(const std::string &Source,
                                    const BuildOptions &BOpts,
                                    const RunOptions &ROpts) {
-  return runPipeline(planFromBuildOptions(Source, BOpts), ROpts);
+  return runSession(planFromBuildOptions(Source, BOpts), ROpts).Combined;
 }

@@ -18,6 +18,12 @@
 /// sites but gain no new knobs (see README "Pipeline API" for the
 /// deprecation policy).
 ///
+/// The run side follows the same shape (docs/runtime.md): runSession
+/// takes a RunRequest — facility kind, shard count, lane count, sinks —
+/// and returns a SessionResult with the lane-merged Combined view plus
+/// per-lane results. runProgram / runPipeline / compileAndRun are frozen
+/// wrappers over it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_DRIVER_PIPELINE_H
@@ -61,12 +67,33 @@ PipelinePlan planFromBuildOptions(const std::string &Source,
 /// \deprecated Thin wrapper: planFromBuildOptions(Source, Opts).build().
 BuildResult buildProgram(const std::string &Source, const BuildOptions &Opts);
 
-/// Run-time options.
-struct RunOptions {
+/// One run request: everything the session layer needs to execute a
+/// built program — facility choice and concurrency shape, entry point
+/// and arguments, cost knobs, observation sinks. This is the single
+/// options struct behind runSession (and, via thin wrappers, the
+/// deprecated runProgram / runPipeline / compileAndRun trio; RunOptions
+/// is a frozen alias for it).
+struct RunRequest {
   FacilityKind Facility = FacilityKind::Shadow;
   MemoryChecker *Checker = nullptr; ///< Baseline checker (uninstrumented).
   uint64_t RedzonePad = 0;          ///< Heap red-zone padding.
   uint64_t GlobalPad = 0;           ///< Global guard padding.
+  /// Number of interpreter lanes. 1 (the default) runs exactly the
+  /// classic single-threaded sequence — byte-identical counters and
+  /// cycles to every release before the session API. N > 1 runs N
+  /// lanes concurrently over one shared SimMemory and one shared
+  /// metadata facility (forced to ConcurrencyModel::Sharded); each lane
+  /// executes Entry(Args) on a private 1/N slice of the stack segment.
+  /// Refused (explanatory Message, Segfault trap) when combined with a
+  /// baseline Checker — checkers keep single-threaded object tables.
+  unsigned Lanes = 1;
+  /// Shard count for the metadata facility (rounded up to a power of
+  /// two). The default 1 with Lanes == 1 keeps the facility in
+  /// SingleThread mode — no locks, the gated-baseline fast path. Any
+  /// other combination stripes the facility's address space over
+  /// power-of-two locks (ConcurrencyModel::Sharded), which adds
+  /// contention accounting but never changes lookup/update results.
+  unsigned FacilityShards = 1;
   /// Entry function name ("_sb_"-renamed form resolved automatically).
   /// Must be "main" (or a function with no direct call sites) when the
   /// module was built with checkopt(interproc): the whole-program
@@ -90,20 +117,58 @@ struct RunOptions {
   /// Out-parameter: per-site check/metadata profile (optional). Indexed
   /// by Instruction::site(); pair with Prog.M->checkSites() for names.
   SiteProfile *ProfileOut = nullptr;
-  /// Trace-event name prefix (benches set "<workload>:").
+  /// Trace-event name prefix (benches set "<workload>:"). Multi-lane
+  /// sessions append "lane<K>:" per lane so trace events stay
+  /// attributable after the deterministic merge.
   std::string TraceTag;
 };
 
+/// Frozen alias for RunRequest: the name every pre-session call site
+/// used. \deprecated New code should say RunRequest.
+using RunOptions = RunRequest;
+
+/// Everything one session produced. Combined is the lane-merged view
+/// (counters summed, MaxFrameDepth maxed, trap taken from the first
+/// trapping lane, outputs concatenated in lane order); PerLane keeps
+/// each lane's untouched RunResult. Single-lane sessions have exactly
+/// one PerLane entry equal to Combined.
+struct SessionResult {
+  RunResult Combined;
+  std::vector<RunResult> PerLane;
+  /// Facility statistics at session end (zeros for uninstrumented
+  /// runs), including the lock acquire/contention counts behind the
+  /// contention sim-cost model.
+  MetadataStats Meta;
+
+  bool ok() const { return Combined.ok(); }
+};
+
+/// Runs a built program in a fresh VM session: creates the metadata
+/// facility for instrumented programs (sharded per \p Req), runs
+/// Req.Lanes interpreter lanes, and merges per-lane profiles and
+/// telemetry deterministically (lane-index order) into Req's sinks.
+/// This is the primary run entry point; runProgram / runPipeline /
+/// compileAndRun are thin wrappers returning .Combined.
+SessionResult runSession(const BuildResult &Prog, const RunRequest &Req = {});
+
+/// Builds \p Plan and runs the result as a session. Build errors are
+/// reported as a Combined RunResult with a Segfault trap and the error
+/// text as Message.
+SessionResult runSession(const PipelinePlan &Plan, const RunRequest &Req = {});
+
 /// Runs a built program in a fresh VM. Creates the metadata facility for
 /// instrumented programs.
+/// \deprecated Thin wrapper: runSession(Prog, Opts).Combined.
 RunResult runProgram(const BuildResult &Prog, const RunOptions &Opts = {});
 
 /// Builds \p Plan and runs the result. Build errors are reported as a
 /// RunResult with a Segfault trap and the error text as Message.
+/// \deprecated Thin wrapper: runSession(Plan, Opts).Combined.
 RunResult runPipeline(const PipelinePlan &Plan, const RunOptions &Opts = {});
 
 /// Convenience: build + run in one call.
-/// \deprecated Thin wrapper: runPipeline(planFromBuildOptions(...), ROpts).
+/// \deprecated Thin wrapper: runSession(planFromBuildOptions(...),
+/// ROpts).Combined.
 RunResult compileAndRun(const std::string &Source, const BuildOptions &BOpts,
                         const RunOptions &ROpts = {});
 

@@ -8,50 +8,92 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace softbound;
 
-HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size) {
-  Entries.resize(size_t(1) << InitialLog2Size);
+HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size,
+                                     FacilityOptions Options)
+    : Opts(Options) {
+  Opts.Shards = normalizeShards(Opts.Shards);
+  Shards.reserve(Opts.Shards);
+  for (unsigned K = 0; K < Opts.Shards; ++K) {
+    Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->Entries.resize(size_t(1) << InitialLog2Size);
+  }
 }
 
 void HashTableMetadata::attachTelemetry(Telemetry *T,
                                         const std::string &Prefix) {
   MetadataFacility::attachTelemetry(T, Prefix);
-  ProbeHist = T ? &T->histogram(Prefix + "/probe_length") : nullptr;
+  for (size_t K = 0; K < Shards.size(); ++K) {
+    std::string ShardPrefix =
+        Shards.size() == 1 ? Prefix : Prefix + "/shard" + std::to_string(K);
+    Shards[K]->ProbeHist =
+        T ? &T->histogram(ShardPrefix + "/probe_length") : nullptr;
+  }
 }
 
 void HashTableMetadata::flushTelemetry() {
   if (!Telem)
     return;
+  uint64_t Live = 0, TableEntries = 0, Collisions = 0;
+  uint64_t Acquires = 0, Contended = 0;
+  for (const auto &S : Shards) {
+    Live += S->Live;
+    TableEntries += S->Entries.size();
+    Collisions += S->Collisions.load(std::memory_order_relaxed);
+    Acquires += S->Lock.Acquires.load(std::memory_order_relaxed);
+    Contended += S->Lock.Contended.load(std::memory_order_relaxed);
+  }
   Telem->counter(TelemetryPrefix + "/live_entries") = Live;
-  Telem->counter(TelemetryPrefix + "/table_entries") = Entries.size();
+  Telem->counter(TelemetryPrefix + "/table_entries") = TableEntries;
   Telem->counter(TelemetryPrefix + "/load_factor_permille") =
       static_cast<uint64_t>(loadFactor() * 1000.0);
   Telem->counter(TelemetryPrefix + "/memory_bytes") = memoryBytes();
-  Telem->counter(TelemetryPrefix + "/collisions") = Stats.Collisions;
+  Telem->counter(TelemetryPrefix + "/collisions") = Collisions;
+  Telem->counter(TelemetryPrefix + "/clear_calls") =
+      ClearCalls.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/clear_entries") =
+      ClearEntries.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/copy_calls") =
+      CopyCalls.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/copy_entries") =
+      CopyEntries.load(std::memory_order_relaxed);
+  if (Opts.Model == ConcurrencyModel::Sharded) {
+    Telem->counter(TelemetryPrefix + "/lock_acquires") = Acquires;
+    Telem->counter(TelemetryPrefix + "/lock_contended") = Contended;
+    for (size_t K = 0; K < Shards.size(); ++K) {
+      std::string P = TelemetryPrefix + "/shard" + std::to_string(K);
+      Telem->counter(P + "/live_entries") = Shards[K]->Live;
+      Telem->counter(P + "/lock_acquires") =
+          Shards[K]->Lock.Acquires.load(std::memory_order_relaxed);
+      Telem->counter(P + "/lock_contended") =
+          Shards[K]->Lock.Contended.load(std::memory_order_relaxed);
+    }
+  }
 }
 
-HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
+HashTableMetadata::Entry *HashTableMetadata::find(Shard &S, uint64_t Addr,
                                                   bool ForInsert) {
   // Tag is the slot address itself; addresses 0 and 1 never hold pointers.
-  size_t Idx = hash(Addr);
+  size_t Idx = hash(Addr, S.Entries.size());
   Entry *FirstTombstone = nullptr;
-  for (size_t Probe = 0; Probe < Entries.size(); ++Probe) {
-    Entry &E = Entries[(Idx + Probe) & (Entries.size() - 1)];
+  for (size_t Probe = 0; Probe < S.Entries.size(); ++Probe) {
+    Entry &E = S.Entries[(Idx + Probe) & (S.Entries.size() - 1)];
     if (E.Tag == Addr) {
       if (Probe)
-        Stats.Collisions += Probe;
-      if (ProbeHist)
-        ProbeHist->record(Probe + 1);
+        S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
+      if (S.ProbeHist)
+        S.ProbeHist->record(Probe + 1);
       return &E;
     }
     if (E.Tag == EmptyTag) {
       if (Probe)
-        Stats.Collisions += Probe;
-      if (ProbeHist)
-        ProbeHist->record(Probe + 1);
+        S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
+      if (S.ProbeHist)
+        S.ProbeHist->record(Probe + 1);
       if (ForInsert)
         return FirstTombstone ? FirstTombstone : &E;
       return nullptr;
@@ -59,55 +101,106 @@ HashTableMetadata::Entry *HashTableMetadata::find(uint64_t Addr,
     if (E.Tag == TombstoneTag && !FirstTombstone)
       FirstTombstone = &E;
   }
-  if (ProbeHist)
-    ProbeHist->record(Entries.size());
+  if (S.ProbeHist)
+    S.ProbeHist->record(S.Entries.size());
   return ForInsert ? FirstTombstone : nullptr;
 }
 
-void HashTableMetadata::lookup(uint64_t Addr, uint64_t &Base,
-                               uint64_t &Bound) {
-  ++Stats.Lookups;
-  if (Entry *E = find(Addr, /*ForInsert=*/false)) {
-    Base = E->Base;
-    Bound = E->Bound;
-    return;
-  }
-  Base = 0;
-  Bound = 0;
+Bounds HashTableMetadata::lookup(uint64_t Addr) {
+  Shard &S = *Shards[shardOf(Addr)];
+  ShardSharedGuard Guard(lockOf(S));
+  S.Lookups.fetch_add(1, std::memory_order_relaxed);
+  if (Entry *E = find(S, Addr, /*ForInsert=*/false))
+    return Bounds{E->Base, E->Bound};
+  return Bounds{};
 }
 
-void HashTableMetadata::update(uint64_t Addr, uint64_t Base, uint64_t Bound) {
-  ++Stats.Updates;
-  if (Used * 2 >= Entries.size())
-    grow();
-  Entry *E = find(Addr, /*ForInsert=*/true);
+void HashTableMetadata::lookupN(const uint64_t *Addrs, Bounds *Out, size_t N) {
+  // One shared acquisition per run of same-shard addresses, not per slot.
+  size_t I = 0;
+  while (I < N) {
+    Shard &S = *Shards[shardOf(Addrs[I])];
+    ShardSharedGuard Guard(lockOf(S));
+    do {
+      S.Lookups.fetch_add(1, std::memory_order_relaxed);
+      Entry *E = find(S, Addrs[I], /*ForInsert=*/false);
+      Out[I] = E ? Bounds{E->Base, E->Bound} : Bounds{};
+      ++I;
+    } while (I < N && Shards[shardOf(Addrs[I])].get() == &S);
+  }
+}
+
+void HashTableMetadata::updateLocked(Shard &S, uint64_t Addr, Bounds B) {
+  S.Updates.fetch_add(1, std::memory_order_relaxed);
+  if (S.Used * 2 >= S.Entries.size())
+    grow(S);
+  Entry *E = find(S, Addr, /*ForInsert=*/true);
   assert(E && "hash table full despite growth policy");
   if (E->Tag != Addr) {
     if (E->Tag == EmptyTag)
-      ++Used;
+      ++S.Used;
     E->Tag = Addr;
-    ++Live;
+    ++S.Live;
   }
-  E->Base = Base;
-  E->Bound = Bound;
+  E->Base = B.Base;
+  E->Bound = B.Bound;
 }
 
-uint64_t HashTableMetadata::clearRange(uint64_t Addr, uint64_t Size) {
+void HashTableMetadata::update(uint64_t Addr, Bounds B) {
+  Shard &S = *Shards[shardOf(Addr)];
+  ShardExclusiveGuard Guard(lockOf(S));
+  updateLocked(S, Addr, B);
+}
+
+void HashTableMetadata::updateN(const uint64_t *Addrs, const Bounds *In,
+                                size_t N) {
+  size_t I = 0;
+  while (I < N) {
+    Shard &S = *Shards[shardOf(Addrs[I])];
+    ShardExclusiveGuard Guard(lockOf(S));
+    do {
+      updateLocked(S, Addrs[I], In[I]);
+      ++I;
+    } while (I < N && Shards[shardOf(Addrs[I])].get() == &S);
+  }
+}
+
+uint64_t HashTableMetadata::clearChunkLocked(Shard &S, uint64_t Addr,
+                                             uint64_t Size) {
   uint64_t Cleared = 0;
-  uint64_t First = Addr & ~7ULL;
-  for (uint64_t A = First; A < Addr + Size; A += 8) {
-    Entry *E = find(A, /*ForInsert=*/false);
+  for (uint64_t A = Addr; A < Addr + Size; A += 8) {
+    Entry *E = find(S, A, /*ForInsert=*/false);
     if (!E)
       continue;
     E->Tag = TombstoneTag;
     E->Base = E->Bound = 0;
-    --Live;
+    --S.Live;
     ++Cleared;
   }
-  Stats.Clears += Cleared;
+  S.Clears.fetch_add(Cleared, std::memory_order_relaxed);
+  return Cleared;
+}
+
+uint64_t HashTableMetadata::clearRange(uint64_t Addr, uint64_t Size) {
+  uint64_t Cleared = 0;
+  uint64_t A = Addr & ~7ULL;
+  uint64_t End = Addr + Size;
+  while (A < End) {
+    // [A, ChunkEnd) stays inside one stripe, so one exclusive acquisition
+    // covers the whole chunk.
+    uint64_t StripeEnd = ((A >> ShardStripeLog2) + 1) << ShardStripeLog2;
+    uint64_t ChunkEnd = std::min(End, StripeEnd);
+    Shard &S = *Shards[shardOf(A)];
+    {
+      ShardExclusiveGuard Guard(lockOf(S));
+      Cleared += clearChunkLocked(S, A, ChunkEnd - A);
+    }
+    // Advance to the first 8-aligned slot at or past the chunk end.
+    A += ((ChunkEnd - A) + 7) & ~7ULL;
+  }
   if (Telem) {
-    ++Telem->counter(TelemetryPrefix + "/clear_calls");
-    Telem->counter(TelemetryPrefix + "/clear_entries") += Cleared;
+    ClearCalls.fetch_add(1, std::memory_order_relaxed);
+    ClearEntries.fetch_add(Cleared, std::memory_order_relaxed);
   }
   return Cleared;
 }
@@ -115,16 +208,25 @@ uint64_t HashTableMetadata::clearRange(uint64_t Addr, uint64_t Size) {
 uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
                                       uint64_t Size) {
   if (Telem)
-    ++Telem->counter(TelemetryPrefix + "/copy_calls");
+    CopyCalls.fetch_add(1, std::memory_order_relaxed);
   uint64_t Copied = 0;
   for (uint64_t Off = 0; Off + 8 <= Size + 7; Off += 8) {
     uint64_t SA = (Src & ~7ULL) + Off;
     if (SA >= Src + Size)
       break;
-    Entry *E = find(SA, /*ForInsert=*/false);
     uint64_t DA = Dst + (SA - Src);
-    if (E) {
-      update(DA, E->Base, E->Bound);
+    bool Have = false;
+    Bounds B;
+    {
+      Shard &S = *Shards[shardOf(SA)];
+      ShardSharedGuard Guard(lockOf(S));
+      if (Entry *E = find(S, SA, /*ForInsert=*/false)) {
+        B = Bounds{E->Base, E->Bound};
+        Have = true;
+      }
+    }
+    if (Have) {
+      update(DA, B);
       ++Copied;
     } else {
       // Destination slots whose source had no metadata must be cleared, or
@@ -133,34 +235,76 @@ uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
     }
   }
   if (Telem)
-    Telem->counter(TelemetryPrefix + "/copy_entries") += Copied;
+    CopyEntries.fetch_add(Copied, std::memory_order_relaxed);
   return Copied;
 }
 
 uint64_t HashTableMetadata::memoryBytes() const {
-  return Entries.size() * sizeof(Entry);
+  uint64_t Bytes = 0;
+  for (const auto &S : Shards) {
+    ShardSharedGuard Guard(lockOf(*S));
+    Bytes += S->Entries.size() * sizeof(Entry);
+  }
+  return Bytes;
+}
+
+double HashTableMetadata::loadFactor() const {
+  uint64_t Live = 0, TableEntries = 0;
+  for (const auto &S : Shards) {
+    ShardSharedGuard Guard(lockOf(*S));
+    Live += S->Live;
+    TableEntries += S->Entries.size();
+  }
+  return TableEntries ? static_cast<double>(Live) /
+                            static_cast<double>(TableEntries)
+                      : 0.0;
+}
+
+MetadataStats HashTableMetadata::stats() const {
+  MetadataStats Out;
+  for (const auto &S : Shards) {
+    Out.Lookups += S->Lookups.load(std::memory_order_relaxed);
+    Out.Updates += S->Updates.load(std::memory_order_relaxed);
+    Out.Clears += S->Clears.load(std::memory_order_relaxed);
+    Out.Collisions += S->Collisions.load(std::memory_order_relaxed);
+    Out.LockAcquires += S->Lock.Acquires.load(std::memory_order_relaxed);
+    Out.LockContended += S->Lock.Contended.load(std::memory_order_relaxed);
+  }
+  return Out;
 }
 
 void HashTableMetadata::reset() {
-  for (auto &E : Entries)
-    E = Entry();
-  Live = Used = 0;
-  Stats = MetadataStats();
+  for (auto &S : Shards) {
+    ShardExclusiveGuard Guard(lockOf(*S));
+    for (auto &E : S->Entries)
+      E = Entry();
+    S->Live = S->Used = 0;
+    S->Lookups.store(0, std::memory_order_relaxed);
+    S->Updates.store(0, std::memory_order_relaxed);
+    S->Clears.store(0, std::memory_order_relaxed);
+    S->Collisions.store(0, std::memory_order_relaxed);
+    S->Lock.Acquires.store(0, std::memory_order_relaxed);
+    S->Lock.Contended.store(0, std::memory_order_relaxed);
+  }
+  ClearCalls.store(0, std::memory_order_relaxed);
+  ClearEntries.store(0, std::memory_order_relaxed);
+  CopyCalls.store(0, std::memory_order_relaxed);
+  CopyEntries.store(0, std::memory_order_relaxed);
 }
 
-void HashTableMetadata::grow() {
+void HashTableMetadata::grow(Shard &S) {
   std::vector<Entry> Old;
-  Old.swap(Entries);
-  Entries.resize(Old.size() * 2);
-  Live = Used = 0;
+  Old.swap(S.Entries);
+  S.Entries.resize(Old.size() * 2);
+  S.Live = S.Used = 0;
   for (const auto &E : Old) {
     if (E.Tag == EmptyTag || E.Tag == TombstoneTag)
       continue;
-    Entry *N = find(E.Tag, /*ForInsert=*/true);
+    Entry *N = find(S, E.Tag, /*ForInsert=*/true);
     N->Tag = E.Tag;
     N->Base = E.Base;
     N->Bound = E.Bound;
-    ++Live;
-    ++Used;
+    ++S.Live;
+    ++S.Used;
   }
 }

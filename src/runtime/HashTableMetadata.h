@@ -11,6 +11,13 @@
 /// no-collision case a lookup models ~9 x86 instructions: shift, mask,
 /// multiply, add, three loads, compare, branch.
 ///
+/// Sharding (facility API v2): each power-of-two address stripe
+/// (MetadataFacility.h ShardStripeLog2) owns an independent sub-table with
+/// its own striped reader-writer lock, statistics, and probe histogram.
+/// With one shard and ConcurrencyModel::SingleThread (the default) the
+/// probe sequences, collision counts and growth points are identical to
+/// the unsharded pre-v2 table.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_HASHTABLEMETADATA_H
@@ -18,7 +25,7 @@
 
 #include "runtime/MetadataFacility.h"
 
-#include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace softbound {
@@ -26,27 +33,36 @@ namespace softbound {
 /// Open-addressing hash table keyed by pointer-slot address.
 class HashTableMetadata : public MetadataFacility {
 public:
-  /// \p InitialLog2Size is the log2 of the initial entry count. The paper
-  /// sizes the table "large enough to keep average utilization low"; we grow
-  /// at 50% occupancy.
-  explicit HashTableMetadata(unsigned InitialLog2Size = 16);
+  /// \p InitialLog2Size is the log2 of the initial entry count *per shard*.
+  /// The paper sizes the table "large enough to keep average utilization
+  /// low"; we grow at 50% occupancy.
+  explicit HashTableMetadata(unsigned InitialLog2Size = 16,
+                             FacilityOptions Options = {});
+
+  using MetadataFacility::update;
 
   const char *name() const override { return "hashtable"; }
-  void lookup(uint64_t Addr, uint64_t &Base, uint64_t &Bound) override;
-  void update(uint64_t Addr, uint64_t Base, uint64_t Bound) override;
+  Bounds lookup(uint64_t Addr) override;
+  void update(uint64_t Addr, Bounds B) override;
+  void lookupN(const uint64_t *Addrs, Bounds *Out, size_t N) override;
+  void updateN(const uint64_t *Addrs, const Bounds *In, size_t N) override;
   uint64_t clearRange(uint64_t Addr, uint64_t Size) override;
   uint64_t copyRange(uint64_t Dst, uint64_t Src, uint64_t Size) override;
   uint64_t lookupCost() const override { return 9; }
   uint64_t updateCost() const override { return 9; }
   uint64_t memoryBytes() const override;
   void reset() override;
+  MetadataStats stats() const override;
+  unsigned shards() const override {
+    return static_cast<unsigned>(Shards.size());
+  }
+  ConcurrencyModel concurrency() const override { return Opts.Model; }
   void attachTelemetry(Telemetry *T, const std::string &Prefix) override;
   void flushTelemetry() override;
 
-  /// Table occupancy in [0, 1] (for the ablation bench).
-  double loadFactor() const {
-    return static_cast<double>(Live) / static_cast<double>(Entries.size());
-  }
+  /// Table occupancy in [0, 1], aggregated over shards (for the ablation
+  /// bench).
+  double loadFactor() const;
 
 private:
   struct Entry {
@@ -57,24 +73,59 @@ private:
   static constexpr uint64_t EmptyTag = 0;
   static constexpr uint64_t TombstoneTag = 1;
 
-  size_t hash(uint64_t Addr) const {
+  /// One address-range stripe: an independent open-addressing table plus
+  /// its lock and statistics. Stats are relaxed atomics because lookups
+  /// (shared acquisitions) bump them concurrently.
+  struct Shard {
+    std::vector<Entry> Entries;
+    size_t Live = 0;
+    size_t Used = 0; ///< Live + tombstones.
+    ShardLock Lock;
+    std::atomic<uint64_t> Lookups{0};
+    std::atomic<uint64_t> Updates{0};
+    std::atomic<uint64_t> Clears{0};
+    std::atomic<uint64_t> Collisions{0};
+    /// Probe-length histogram (slots examined per find), cached from the
+    /// attached telemetry sink; null in the disabled mode.
+    TelemetryHistogram *ProbeHist = nullptr;
+  };
+
+  static size_t hash(uint64_t Addr, size_t TableSize) {
     // Double-word address modulo table size: shift and mask (§5.1), with a
     // multiplicative mix so adjacent slots spread.
     uint64_t H = (Addr >> 3) * 0x9e3779b97f4a7c15ULL;
-    return static_cast<size_t>(H & (Entries.size() - 1));
+    return static_cast<size_t>(H & (TableSize - 1));
   }
 
-  /// Finds the entry for Addr, or the insertion slot; counts collisions.
-  Entry *find(uint64_t Addr, bool ForInsert);
+  size_t shardOf(uint64_t Addr) const {
+    return static_cast<size_t>((Addr >> ShardStripeLog2) &
+                               (Shards.size() - 1));
+  }
 
-  void grow();
+  /// The stripe lock to guard with, or null in SingleThread mode.
+  const ShardLock *lockOf(const Shard &S) const {
+    return Opts.Model == ConcurrencyModel::Sharded ? &S.Lock : nullptr;
+  }
 
-  std::vector<Entry> Entries;
-  size_t Live = 0;
-  size_t Used = 0; ///< Live + tombstones.
-  /// Probe-length histogram (slots examined per find), cached from the
-  /// attached telemetry sink; null in the disabled mode.
-  TelemetryHistogram *ProbeHist = nullptr;
+  /// Finds the entry for Addr in \p S, or the insertion slot; counts
+  /// collisions. Caller holds the shard's lock (or runs SingleThread).
+  Entry *find(Shard &S, uint64_t Addr, bool ForInsert);
+
+  /// update() body minus locking; caller holds the shard exclusively.
+  void updateLocked(Shard &S, uint64_t Addr, Bounds B);
+
+  /// Clears the slots of [Addr, Addr+Size) that fall inside one stripe;
+  /// caller holds the shard exclusively. Returns entries dropped.
+  uint64_t clearChunkLocked(Shard &S, uint64_t Addr, uint64_t Size);
+
+  void grow(Shard &S);
+
+  FacilityOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> ClearCalls{0};
+  std::atomic<uint64_t> ClearEntries{0};
+  std::atomic<uint64_t> CopyCalls{0};
+  std::atomic<uint64_t> CopyEntries{0};
 };
 
 } // namespace softbound

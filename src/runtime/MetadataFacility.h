@@ -10,12 +10,24 @@
 /// there. Two implementations, matching the paper: an open hash table
 /// (~9 x86 instructions per lookup) and a tag-less shadow space (~5).
 ///
+/// Facility API v2 (docs/runtime.md): value-returning `Bounds lookup`,
+/// batch `lookupN`/`updateN` entry points, and an optional sharded
+/// concurrency mode — the address space is divided into power-of-two
+/// stripes, each stripe owned by one shard with its own striped
+/// reader-writer lock, so N VM lanes can share one facility. The
+/// default (`ConcurrencyModel::SingleThread`, one shard) takes no locks
+/// at all and is bit-for-bit identical to the pre-v2 behaviour the
+/// bench gate's baselines were recorded against.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_METADATAFACILITY_H
 #define SOFTBOUND_RUNTIME_METADATAFACILITY_H
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 
 namespace softbound {
@@ -23,19 +35,147 @@ namespace softbound {
 class Telemetry;
 class TelemetryHistogram;
 
-/// Aggregate statistics one facility gathers over a run.
+/// The {base, bound} pair recorded for one pointer slot. (0, 0) is the
+/// "null bounds" value that fails every dereference check; it doubles as
+/// the miss result, so a lookup never needs an out-param or a found flag.
+struct Bounds {
+  uint64_t Base = 0;
+  uint64_t Bound = 0;
+
+  /// True for the never-recorded / cleared state.
+  bool null() const { return Base == 0 && Bound == 0; }
+
+  bool operator==(const Bounds &O) const {
+    return Base == O.Base && Bound == O.Bound;
+  }
+  bool operator!=(const Bounds &O) const { return !(*this == O); }
+};
+
+/// How a facility instance synchronizes concurrent callers.
+enum class ConcurrencyModel {
+  /// No locking anywhere; callers guarantee single-threaded access. This
+  /// is the default and the mode every gated baseline runs under.
+  SingleThread,
+  /// Striped reader-writer locks, one per shard: lookups take a shared
+  /// (never mutually excluding) acquisition, updates and range ops an
+  /// exclusive one. Required whenever more than one VM lane shares the
+  /// facility.
+  Sharded,
+};
+
+/// log2 of the address-range stripe that maps to one shard: 32 KB, one
+/// shadow page (ShadowSpaceMetadata::SlotsPerPage slots of 8 bytes), so
+/// a stripe never splits a shadow page across shards.
+inline constexpr unsigned ShardStripeLog2 = 15;
+
+/// Simulated-cost prices for facility lock traffic (docs/runtime.md):
+/// an uncontended striped-lock acquisition models one atomic op; a
+/// contended one models the coherence miss plus re-acquisition. The
+/// bench gate prices serialization as
+///   uncontended * UncontendedLockCost + contended * ContendedLockCost
+/// in the non-gated `contention_*` key group. SingleThread runs take no
+/// locks, so this component is exactly zero on every gated baseline.
+inline constexpr uint64_t UncontendedLockCost = 1;
+inline constexpr uint64_t ContendedLockCost = 40;
+
+/// Constructor-time facility configuration.
+struct FacilityOptions {
+  ConcurrencyModel Model = ConcurrencyModel::SingleThread;
+  /// Shard count; rounded up to a power of two, minimum 1. Shard choice
+  /// is `(Addr >> ShardStripeLog2) & (Shards - 1)`.
+  unsigned Shards = 1;
+};
+
+/// Aggregate statistics one facility gathers over a run. In the Sharded
+/// model these are summed over shards at read time.
 struct MetadataStats {
   uint64_t Lookups = 0;
   uint64_t Updates = 0;
   uint64_t Clears = 0;
-  uint64_t Collisions = 0; ///< Extra probes (hash table only).
+  uint64_t Collisions = 0;    ///< Extra probes (hash table only).
+  uint64_t LockAcquires = 0;  ///< Striped-lock acquisitions (Sharded only).
+  uint64_t LockContended = 0; ///< Acquisitions that found the lock held.
+
+  /// The contention component of the simulated cost model (priced with
+  /// UncontendedLockCost / ContendedLockCost; zero when SingleThread).
+  uint64_t contentionSimCost() const {
+    return (LockAcquires - LockContended) * UncontendedLockCost +
+           LockContended * ContendedLockCost;
+  }
+};
+
+/// One shard's striped lock plus its contention tallies. A null pointer
+/// passed to the guards below means "SingleThread mode": the guard
+/// degenerates to a single branch, preserving the lock-free fast path
+/// the gated baselines were measured on.
+struct ShardLock {
+  mutable std::shared_mutex Mu;
+  mutable std::atomic<uint64_t> Acquires{0};
+  mutable std::atomic<uint64_t> Contended{0};
+};
+
+/// Reader-side guard: shared acquisition, so concurrent lookups never
+/// serialize against each other. Counts the acquisition and whether it
+/// found the stripe exclusively held.
+class ShardSharedGuard {
+public:
+  explicit ShardSharedGuard(const ShardLock *L) : L(L) {
+    if (!L)
+      return;
+    L->Acquires.fetch_add(1, std::memory_order_relaxed);
+    if (!L->Mu.try_lock_shared()) {
+      L->Contended.fetch_add(1, std::memory_order_relaxed);
+      L->Mu.lock_shared();
+    }
+  }
+  ~ShardSharedGuard() {
+    if (L)
+      L->Mu.unlock_shared();
+  }
+  ShardSharedGuard(const ShardSharedGuard &) = delete;
+  ShardSharedGuard &operator=(const ShardSharedGuard &) = delete;
+
+private:
+  const ShardLock *L;
+};
+
+/// Writer-side guard: exclusive acquisition for updates and range ops.
+class ShardExclusiveGuard {
+public:
+  explicit ShardExclusiveGuard(const ShardLock *L) : L(L) {
+    if (!L)
+      return;
+    L->Acquires.fetch_add(1, std::memory_order_relaxed);
+    if (!L->Mu.try_lock()) {
+      L->Contended.fetch_add(1, std::memory_order_relaxed);
+      L->Mu.lock();
+    }
+  }
+  ~ShardExclusiveGuard() {
+    if (L)
+      L->Mu.unlock();
+  }
+  ShardExclusiveGuard(const ShardExclusiveGuard &) = delete;
+  ShardExclusiveGuard &operator=(const ShardExclusiveGuard &) = delete;
+
+private:
+  const ShardLock *L;
 };
 
 /// Abstract interface of the disjoint metadata space.
 ///
-/// The mapping is keyed by the location being loaded or stored, not by the
-/// value of the pointer (§5.1). Addresses are simulated-VM addresses;
-/// pointer slots are 8-byte aligned in all workloads.
+/// Contract:
+///  - The mapping is keyed by the location being loaded or stored, not by
+///    the value of the pointer (§5.1). Addresses are simulated-VM
+///    addresses; pointer slots are 8-byte aligned in all workloads.
+///  - `lookup` returns the recorded Bounds by value; the null bounds
+///    (0, 0) on a miss. There is no out-param form.
+///  - In the Sharded model every single-slot operation is atomic with
+///    respect to other callers; range operations (`clearRange`,
+///    `copyRange`) are atomic per stripe but not across stripes — a
+///    concurrent reader may observe a partially cleared/copied range,
+///    which matches what a real multithreaded memcpy/free exposes.
+///  - Statistics and telemetry never change behaviour or modelled costs.
 class MetadataFacility {
 public:
   virtual ~MetadataFacility() = default;
@@ -43,12 +183,35 @@ public:
   virtual const char *name() const = 0;
 
   /// Returns the bounds recorded for the pointer stored at \p Addr;
-  /// (0, 0) — the "null bounds" that fail every dereference check — when no
-  /// metadata was ever recorded.
-  virtual void lookup(uint64_t Addr, uint64_t &Base, uint64_t &Bound) = 0;
+  /// the null bounds — which fail every dereference check — when no
+  /// metadata was ever recorded. Sharded model: shared (reader)
+  /// acquisition only, so lookups scale across lanes.
+  virtual Bounds lookup(uint64_t Addr) = 0;
 
   /// Records bounds for the pointer stored at \p Addr.
-  virtual void update(uint64_t Addr, uint64_t Base, uint64_t Bound) = 0;
+  virtual void update(uint64_t Addr, Bounds B) = 0;
+
+  /// Convenience spelling of update() for call sites that carry the pair
+  /// as two scalars (the VM's reloc loader, tests).
+  void update(uint64_t Addr, uint64_t Base, uint64_t Bound) {
+    update(Addr, Bounds{Base, Bound});
+  }
+
+  /// Batch lookup: Out[i] = lookup(Addrs[i]). The default loops;
+  /// sharded implementations hold each stripe's lock across runs of
+  /// same-shard addresses so a batch pays one acquisition per run, not
+  /// one per slot.
+  virtual void lookupN(const uint64_t *Addrs, Bounds *Out, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      Out[I] = lookup(Addrs[I]);
+  }
+
+  /// Batch update: update(Addrs[i], In[i]) for each i. Same batching
+  /// contract as lookupN.
+  virtual void updateN(const uint64_t *Addrs, const Bounds *In, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      update(Addrs[I], In[I]);
+  }
 
   /// Clears metadata for every pointer slot in [Addr, Addr+Size) — used when
   /// memory is freed or a stack frame is deallocated (§5.2 "memory reuse and
@@ -57,7 +220,10 @@ public:
 
   /// Copies metadata for every pointer slot from [Src, Src+Size) to
   /// [Dst, Dst+Size) — the metadata half of an instrumented memcpy (§5.2).
-  /// Returns the number of entries copied.
+  /// Destination slots whose source slot carries no metadata are cleared
+  /// (counted in MetadataStats::Clears, not in the return value), so stale
+  /// bounds cannot leak into the copied region. Returns the number of
+  /// entries copied.
   virtual uint64_t copyRange(uint64_t Dst, uint64_t Src, uint64_t Size) = 0;
 
   /// Simulated instruction cost of one lookup (paper §5.1: hash ≈ 9, shadow
@@ -73,24 +239,43 @@ public:
   /// Drops all metadata and statistics.
   virtual void reset() = 0;
 
-  const MetadataStats &stats() const { return Stats; }
+  /// Aggregate statistics, summed over shards.
+  virtual MetadataStats stats() const = 0;
+
+  /// Number of address-range shards (1 in the default configuration).
+  virtual unsigned shards() const { return 1; }
+
+  /// The concurrency model this instance was constructed with.
+  virtual ConcurrencyModel concurrency() const {
+    return ConcurrencyModel::SingleThread;
+  }
 
   /// Attaches a telemetry sink; paths are rooted at \p Prefix (the run
   /// driver uses "facility/<name>"). Null detaches. Recording never
   /// changes behaviour or the modelled costs; with no sink attached the
   /// hot paths pay exactly one pointer test (the zero-cost disabled
-  /// mode). Implementations override to cache direct histogram pointers.
+  /// mode). With more than one shard, per-shard series (probe
+  /// histograms, contention counters) live under "<Prefix>/shard<K>".
+  /// Implementations override to cache direct histogram pointers.
   virtual void attachTelemetry(Telemetry *T, const std::string &Prefix) {
     Telem = T;
     TelemetryPrefix = Prefix;
   }
 
-  /// Pushes end-of-run gauges (occupancy, memory footprint) into the
-  /// attached sink; no-op when none is attached.
+  /// Pushes end-of-run gauges (occupancy, memory footprint, contention)
+  /// into the attached sink; no-op when none is attached. Must be called
+  /// from one thread, after all lanes joined.
   virtual void flushTelemetry() {}
 
 protected:
-  MetadataStats Stats;
+  /// Normalized shard count: power of two, at least 1, capped at 1 << 16.
+  static unsigned normalizeShards(unsigned Requested) {
+    unsigned N = 1;
+    while (N < Requested && N < (1u << 16))
+      N <<= 1;
+    return N;
+  }
+
   Telemetry *Telem = nullptr;
   std::string TelemetryPrefix;
 };

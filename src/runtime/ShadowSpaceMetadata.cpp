@@ -8,61 +8,109 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
+
 using namespace softbound;
+
+ShadowSpaceMetadata::ShadowSpaceMetadata(FacilityOptions Options)
+    : Opts(Options) {
+  Opts.Shards = normalizeShards(Opts.Shards);
+  Shards.reserve(Opts.Shards);
+  for (unsigned K = 0; K < Opts.Shards; ++K)
+    Shards.push_back(std::make_unique<Shard>());
+}
 
 void ShadowSpaceMetadata::flushTelemetry() {
   if (!Telem)
     return;
-  Telem->counter(TelemetryPrefix + "/pages_materialized") = Pages.size();
+  uint64_t Pages = 0, Acquires = 0, Contended = 0;
+  for (const auto &S : Shards) {
+    Pages += S->Pages.size();
+    Acquires += S->Lock.Acquires.load(std::memory_order_relaxed);
+    Contended += S->Lock.Contended.load(std::memory_order_relaxed);
+  }
+  Telem->counter(TelemetryPrefix + "/pages_materialized") = Pages;
   Telem->counter(TelemetryPrefix + "/memory_bytes") = memoryBytes();
+  Telem->counter(TelemetryPrefix + "/clear_calls") =
+      ClearCalls.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/clear_entries") =
+      ClearEntries.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/copy_calls") =
+      CopyCalls.load(std::memory_order_relaxed);
+  Telem->counter(TelemetryPrefix + "/copy_entries") =
+      CopyEntries.load(std::memory_order_relaxed);
+  if (Opts.Model == ConcurrencyModel::Sharded) {
+    Telem->counter(TelemetryPrefix + "/lock_acquires") = Acquires;
+    Telem->counter(TelemetryPrefix + "/lock_contended") = Contended;
+    for (size_t K = 0; K < Shards.size(); ++K) {
+      std::string P = TelemetryPrefix + "/shard" + std::to_string(K);
+      Telem->counter(P + "/pages_materialized") = Shards[K]->Pages.size();
+      Telem->counter(P + "/lock_acquires") =
+          Shards[K]->Lock.Acquires.load(std::memory_order_relaxed);
+      Telem->counter(P + "/lock_contended") =
+          Shards[K]->Lock.Contended.load(std::memory_order_relaxed);
+    }
+  }
 }
 
-ShadowSpaceMetadata::Pair *ShadowSpaceMetadata::slotFor(uint64_t Addr,
-                                                        bool Materialize) {
+ShadowSpaceMetadata::Pair *
+ShadowSpaceMetadata::slotFor(Shard &S, uint64_t Addr, bool Materialize) {
   uint64_t Slot = Addr >> 3;
   uint64_t PageId = Slot / SlotsPerPage;
-  auto It = Pages.find(PageId);
-  if (It == Pages.end()) {
+  auto It = S.Pages.find(PageId);
+  if (It == S.Pages.end()) {
     if (!Materialize)
       return nullptr;
-    It = Pages.emplace(PageId, std::make_unique<Pair[]>(SlotsPerPage)).first;
+    It = S.Pages.emplace(PageId, std::make_unique<Pair[]>(SlotsPerPage)).first;
   }
   return &It->second[Slot % SlotsPerPage];
 }
 
-void ShadowSpaceMetadata::lookup(uint64_t Addr, uint64_t &Base,
-                                 uint64_t &Bound) {
-  ++Stats.Lookups;
-  if (Pair *P = slotFor(Addr, /*Materialize=*/false)) {
-    Base = P->Base;
-    Bound = P->Bound;
-    return;
-  }
-  Base = 0;
-  Bound = 0;
+Bounds ShadowSpaceMetadata::lookup(uint64_t Addr) {
+  Shard &S = *Shards[shardOf(Addr)];
+  ShardSharedGuard Guard(lockOf(S));
+  S.Lookups.fetch_add(1, std::memory_order_relaxed);
+  if (Pair *P = slotFor(S, Addr, /*Materialize=*/false))
+    return Bounds{P->Base, P->Bound};
+  return Bounds{};
 }
 
-void ShadowSpaceMetadata::update(uint64_t Addr, uint64_t Base,
-                                 uint64_t Bound) {
-  ++Stats.Updates;
-  Pair *P = slotFor(Addr, /*Materialize=*/true);
-  P->Base = Base;
-  P->Bound = Bound;
+void ShadowSpaceMetadata::update(uint64_t Addr, Bounds B) {
+  Shard &S = *Shards[shardOf(Addr)];
+  ShardExclusiveGuard Guard(lockOf(S));
+  S.Updates.fetch_add(1, std::memory_order_relaxed);
+  Pair *P = slotFor(S, Addr, /*Materialize=*/true);
+  P->Base = B.Base;
+  P->Bound = B.Bound;
 }
 
 uint64_t ShadowSpaceMetadata::clearRange(uint64_t Addr, uint64_t Size) {
   uint64_t Cleared = 0;
-  for (uint64_t A = Addr & ~7ULL; A < Addr + Size; A += 8) {
-    Pair *P = slotFor(A, /*Materialize=*/false);
-    if (!P || (P->Base == 0 && P->Bound == 0))
-      continue;
-    *P = Pair();
-    ++Cleared;
+  uint64_t A = Addr & ~7ULL;
+  uint64_t End = Addr + Size;
+  while (A < End) {
+    // One exclusive acquisition per stripe-sized chunk.
+    uint64_t StripeEnd = ((A >> ShardStripeLog2) + 1) << ShardStripeLog2;
+    uint64_t ChunkEnd = std::min(End, StripeEnd);
+    Shard &S = *Shards[shardOf(A)];
+    {
+      ShardExclusiveGuard Guard(lockOf(S));
+      uint64_t ChunkCleared = 0;
+      for (uint64_t A2 = A; A2 < ChunkEnd; A2 += 8) {
+        Pair *P = slotFor(S, A2, /*Materialize=*/false);
+        if (!P || (P->Base == 0 && P->Bound == 0))
+          continue;
+        *P = Pair();
+        ++ChunkCleared;
+      }
+      S.Clears.fetch_add(ChunkCleared, std::memory_order_relaxed);
+      Cleared += ChunkCleared;
+    }
+    A += ((ChunkEnd - A) + 7) & ~7ULL;
   }
-  Stats.Clears += Cleared;
   if (Telem) {
-    ++Telem->counter(TelemetryPrefix + "/clear_calls");
-    Telem->counter(TelemetryPrefix + "/clear_entries") += Cleared;
+    ClearCalls.fetch_add(1, std::memory_order_relaxed);
+    ClearEntries.fetch_add(Cleared, std::memory_order_relaxed);
   }
   return Cleared;
 }
@@ -71,27 +119,68 @@ uint64_t ShadowSpaceMetadata::copyRange(uint64_t Dst, uint64_t Src,
                                         uint64_t Size) {
   uint64_t Copied = 0;
   for (uint64_t A = Src & ~7ULL; A < Src + Size; A += 8) {
-    Pair *SP = slotFor(A, /*Materialize=*/false);
     uint64_t DA = Dst + (A - Src);
-    if (SP && (SP->Base || SP->Bound)) {
-      update(DA, SP->Base, SP->Bound);
+    bool Have = false;
+    Bounds B;
+    {
+      Shard &S = *Shards[shardOf(A)];
+      ShardSharedGuard Guard(lockOf(S));
+      Pair *SP = slotFor(S, A, /*Materialize=*/false);
+      if (SP && (SP->Base || SP->Bound)) {
+        B = Bounds{SP->Base, SP->Bound};
+        Have = true;
+      }
+    }
+    if (Have) {
+      update(DA, B);
       ++Copied;
-    } else if (Pair *DP = slotFor(DA, /*Materialize=*/false)) {
-      *DP = Pair();
+    } else {
+      Shard &DS = *Shards[shardOf(DA)];
+      ShardExclusiveGuard Guard(lockOf(DS));
+      if (Pair *DP = slotFor(DS, DA, /*Materialize=*/false))
+        *DP = Pair();
     }
   }
   if (Telem) {
-    ++Telem->counter(TelemetryPrefix + "/copy_calls");
-    Telem->counter(TelemetryPrefix + "/copy_entries") += Copied;
+    CopyCalls.fetch_add(1, std::memory_order_relaxed);
+    CopyEntries.fetch_add(Copied, std::memory_order_relaxed);
   }
   return Copied;
 }
 
 uint64_t ShadowSpaceMetadata::memoryBytes() const {
-  return Pages.size() * SlotsPerPage * sizeof(Pair);
+  uint64_t Bytes = 0;
+  for (const auto &S : Shards) {
+    ShardSharedGuard Guard(lockOf(*S));
+    Bytes += S->Pages.size() * SlotsPerPage * sizeof(Pair);
+  }
+  return Bytes;
+}
+
+MetadataStats ShadowSpaceMetadata::stats() const {
+  MetadataStats Out;
+  for (const auto &S : Shards) {
+    Out.Lookups += S->Lookups.load(std::memory_order_relaxed);
+    Out.Updates += S->Updates.load(std::memory_order_relaxed);
+    Out.Clears += S->Clears.load(std::memory_order_relaxed);
+    Out.LockAcquires += S->Lock.Acquires.load(std::memory_order_relaxed);
+    Out.LockContended += S->Lock.Contended.load(std::memory_order_relaxed);
+  }
+  return Out;
 }
 
 void ShadowSpaceMetadata::reset() {
-  Pages.clear();
-  Stats = MetadataStats();
+  for (auto &S : Shards) {
+    ShardExclusiveGuard Guard(lockOf(*S));
+    S->Pages.clear();
+    S->Lookups.store(0, std::memory_order_relaxed);
+    S->Updates.store(0, std::memory_order_relaxed);
+    S->Clears.store(0, std::memory_order_relaxed);
+    S->Lock.Acquires.store(0, std::memory_order_relaxed);
+    S->Lock.Contended.store(0, std::memory_order_relaxed);
+  }
+  ClearCalls.store(0, std::memory_order_relaxed);
+  ClearEntries.store(0, std::memory_order_relaxed);
+  CopyCalls.store(0, std::memory_order_relaxed);
+  CopyEntries.store(0, std::memory_order_relaxed);
 }

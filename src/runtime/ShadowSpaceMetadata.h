@@ -11,6 +11,11 @@
 /// lookup models ~5 x86 instructions (shift, mask, add, two loads). Pages
 /// are materialized on demand, modelling mmap's zero-fill-on-demand.
 ///
+/// Sharding (facility API v2): shadow pages span exactly one address
+/// stripe (2^ShardStripeLog2 bytes), so each shard owns whole pages and
+/// a page never splits across stripe locks. The default single-shard,
+/// SingleThread configuration behaves exactly like the pre-v2 space.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_SHADOWSPACEMETADATA_H
@@ -20,6 +25,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace softbound {
 
@@ -27,22 +33,33 @@ namespace softbound {
 /// {base, bound} pair per 8-byte pointer slot.
 class ShadowSpaceMetadata : public MetadataFacility {
 public:
-  ShadowSpaceMetadata() = default;
+  explicit ShadowSpaceMetadata(FacilityOptions Options = {});
+
+  using MetadataFacility::update;
 
   const char *name() const override { return "shadowspace"; }
-  void lookup(uint64_t Addr, uint64_t &Base, uint64_t &Bound) override;
-  void update(uint64_t Addr, uint64_t Base, uint64_t Bound) override;
+  Bounds lookup(uint64_t Addr) override;
+  void update(uint64_t Addr, Bounds B) override;
   uint64_t clearRange(uint64_t Addr, uint64_t Size) override;
   uint64_t copyRange(uint64_t Dst, uint64_t Src, uint64_t Size) override;
   uint64_t lookupCost() const override { return 5; }
   uint64_t updateCost() const override { return 5; }
   uint64_t memoryBytes() const override;
   void reset() override;
+  MetadataStats stats() const override;
+  unsigned shards() const override {
+    return static_cast<unsigned>(Shards.size());
+  }
+  ConcurrencyModel concurrency() const override { return Opts.Model; }
   void flushTelemetry() override;
 
 private:
-  /// Slots per shadow page; one page shadows 8 * SlotsPerPage bytes.
+  /// Slots per shadow page; one page shadows 8 * SlotsPerPage bytes —
+  /// exactly one address stripe (static_assert below), so pages never
+  /// straddle shards.
   static constexpr uint64_t SlotsPerPage = 4096;
+  static_assert(SlotsPerPage * 8 == (uint64_t(1) << ShardStripeLog2),
+                "a shadow page must span exactly one shard stripe");
 
   struct Pair {
     uint64_t Base = 0;
@@ -50,9 +67,33 @@ private:
   };
   using Page = std::unique_ptr<Pair[]>;
 
-  Pair *slotFor(uint64_t Addr, bool Materialize);
+  /// One address-range stripe: its demand-paged shadow plus lock/stats.
+  struct Shard {
+    std::unordered_map<uint64_t, Page> Pages;
+    ShardLock Lock;
+    std::atomic<uint64_t> Lookups{0};
+    std::atomic<uint64_t> Updates{0};
+    std::atomic<uint64_t> Clears{0};
+  };
 
-  std::unordered_map<uint64_t, Page> Pages;
+  size_t shardOf(uint64_t Addr) const {
+    return static_cast<size_t>((Addr >> ShardStripeLog2) &
+                               (Shards.size() - 1));
+  }
+
+  const ShardLock *lockOf(const Shard &S) const {
+    return Opts.Model == ConcurrencyModel::Sharded ? &S.Lock : nullptr;
+  }
+
+  /// Caller holds the shard's lock (or runs SingleThread).
+  Pair *slotFor(Shard &S, uint64_t Addr, bool Materialize);
+
+  FacilityOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::atomic<uint64_t> ClearCalls{0};
+  std::atomic<uint64_t> ClearEntries{0};
+  std::atomic<uint64_t> CopyCalls{0};
+  std::atomic<uint64_t> CopyEntries{0};
 };
 
 } // namespace softbound

@@ -24,6 +24,7 @@
 #ifndef SOFTBOUND_SUPPORT_TELEMETRY_H
 #define SOFTBOUND_SUPPORT_TELEMETRY_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -36,9 +37,27 @@ namespace softbound {
 /// (B >= 1) counts values in [2^(B-1), 2^B - 1]; the last bucket absorbs
 /// everything above its lower bound. Deterministic and mergeable — the
 /// shape the facility probe-length distributions need.
+///
+/// record() is thread-safe (relaxed atomics): sharded metadata
+/// facilities record probe lengths from concurrent VM lanes into one
+/// shared histogram. Readers see exact totals once the writers joined.
 class TelemetryHistogram {
 public:
   static constexpr unsigned NumBuckets = 33;
+
+  TelemetryHistogram() = default;
+  TelemetryHistogram(const TelemetryHistogram &O) { *this = O; }
+  TelemetryHistogram &operator=(const TelemetryHistogram &O) {
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Buckets[B].store(O.Buckets[B].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    N.store(O.N.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    Total.store(O.Total.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Peak.store(O.Peak.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
 
   /// The bucket index \p V falls into.
   static unsigned bucketFor(uint64_t V) {
@@ -66,28 +85,47 @@ public:
   }
 
   void record(uint64_t V) {
-    ++Buckets[bucketFor(V)];
-    ++N;
-    Total += V;
-    if (V > Peak)
-      Peak = V;
+    Buckets[bucketFor(V)].fetch_add(1, std::memory_order_relaxed);
+    N.fetch_add(1, std::memory_order_relaxed);
+    Total.fetch_add(V, std::memory_order_relaxed);
+    uint64_t P = Peak.load(std::memory_order_relaxed);
+    while (V > P && !Peak.compare_exchange_weak(P, V,
+                                                std::memory_order_relaxed)) {
+    }
   }
 
-  uint64_t count() const { return N; }
-  uint64_t sum() const { return Total; }
-  uint64_t max() const { return Peak; }
+  /// Adds \p O's samples into this histogram (deterministic lane joins).
+  void merge(const TelemetryHistogram &O) {
+    for (unsigned B = 0; B < NumBuckets; ++B)
+      Buckets[B].fetch_add(O.Buckets[B].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    N.fetch_add(O.N.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    Total.fetch_add(O.Total.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    uint64_t V = O.Peak.load(std::memory_order_relaxed);
+    uint64_t P = Peak.load(std::memory_order_relaxed);
+    while (V > P && !Peak.compare_exchange_weak(P, V,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Total.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Peak.load(std::memory_order_relaxed); }
   double mean() const {
-    return N ? static_cast<double>(Total) / static_cast<double>(N) : 0.0;
+    uint64_t C = count();
+    return C ? static_cast<double>(sum()) / static_cast<double>(C) : 0.0;
   }
   uint64_t bucketCount(unsigned B) const {
-    return B < NumBuckets ? Buckets[B] : 0;
+    return B < NumBuckets ? Buckets[B].load(std::memory_order_relaxed) : 0;
   }
 
 private:
-  uint64_t Buckets[NumBuckets] = {};
-  uint64_t N = 0;
-  uint64_t Total = 0;
-  uint64_t Peak = 0;
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Total{0};
+  std::atomic<uint64_t> Peak{0};
 };
 
 /// One complete ("ph":"X") Chrome trace event. Timestamps are
@@ -142,6 +180,25 @@ public:
 
   /// Writes chromeTraceJson() to \p Path; false on I/O failure.
   bool writeChromeTrace(const std::string &Path) const;
+
+  /// Folds \p O into this registry: counters and timers add, histograms
+  /// merge sample-wise, trace events append in \p O's order (up to the
+  /// buffer cap). Multi-lane sessions give every lane a private sink and
+  /// merge them in lane-index order at join, so the combined registry is
+  /// deterministic whenever each lane's recording is.
+  void mergeFrom(const Telemetry &O) {
+    for (const auto &[Path, V] : O.Counters)
+      Counters[Path] += V;
+    for (const auto &[Path, H] : O.Histograms)
+      Histograms[Path].merge(H);
+    for (const auto &[Path, Ms] : O.TimersMs)
+      TimersMs[Path] += Ms;
+    for (const auto &E : O.Events) {
+      if (Events.size() >= MaxTraceEvents)
+        break;
+      Events.push_back(E);
+    }
+  }
 
   void clear() {
     Counters.clear();
@@ -199,6 +256,18 @@ struct SiteProfile {
   void ensure(size_t N) {
     if (Sites.size() < N)
       Sites.resize(N);
+  }
+
+  /// Adds \p O's per-site counts into this profile (deterministic
+  /// multi-lane joins: lanes merge in lane-index order).
+  void mergeFrom(const SiteProfile &O) {
+    ensure(O.Sites.size());
+    for (size_t I = 0; I < O.Sites.size(); ++I) {
+      Sites[I].Executed += O.Sites[I].Executed;
+      Sites[I].GuardElided += O.Sites[I].GuardElided;
+      Sites[I].FallbackFired += O.Sites[I].FallbackFired;
+      Sites[I].Traps += O.Sites[I].Traps;
+    }
   }
 };
 

@@ -20,6 +20,22 @@ SimMemory::SimMemory(uint64_t GlobalSize, uint64_t HeapSize,
   StackTopAddr = StackBase + StackSize;
 }
 
+namespace {
+/// Relaxed per-byte copies for concurrent mode. Lanes racing on the same
+/// simulated bytes is the workload's race, not the host's: routing every
+/// byte through __atomic builtins keeps the host behavior defined (and
+/// ThreadSanitizer quiet) at the cost of a per-byte loop instead of
+/// memcpy. Only multi-lane sessions pay it.
+void atomicCopyOut(uint8_t *Dst, const uint8_t *Src, uint64_t N) {
+  for (uint64_t I = 0; I < N; ++I)
+    Dst[I] = __atomic_load_n(Src + I, __ATOMIC_RELAXED);
+}
+void atomicCopyIn(uint8_t *Dst, const uint8_t *Src, uint64_t N) {
+  for (uint64_t I = 0; I < N; ++I)
+    __atomic_store_n(Dst + I, Src[I], __ATOMIC_RELAXED);
+}
+} // namespace
+
 const uint8_t *SimMemory::resolve(uint64_t Addr, uint64_t N) const {
   if (Addr >= GlobalBase && Addr + N <= GlobalBase + Globals.size() &&
       Addr + N >= Addr)
@@ -37,7 +53,10 @@ bool SimMemory::read(uint64_t Addr, unsigned Size, uint64_t &Out) const {
   if (!P)
     return false;
   Out = 0;
-  std::memcpy(&Out, P, Size); // Little-endian host assumed (x86-64).
+  if (Concurrent)
+    atomicCopyOut(reinterpret_cast<uint8_t *>(&Out), P, Size);
+  else
+    std::memcpy(&Out, P, Size); // Little-endian host assumed (x86-64).
   return true;
 }
 
@@ -45,7 +64,10 @@ bool SimMemory::write(uint64_t Addr, unsigned Size, uint64_t Val) {
   uint8_t *P = resolve(Addr, Size);
   if (!P)
     return false;
-  std::memcpy(P, &Val, Size);
+  if (Concurrent)
+    atomicCopyIn(P, reinterpret_cast<const uint8_t *>(&Val), Size);
+  else
+    std::memcpy(P, &Val, Size);
   return true;
 }
 
@@ -53,7 +75,10 @@ bool SimMemory::readBytes(uint64_t Addr, uint64_t N, uint8_t *Out) const {
   const uint8_t *P = resolve(Addr, N);
   if (!P)
     return false;
-  std::memcpy(Out, P, N);
+  if (Concurrent)
+    atomicCopyOut(Out, P, N);
+  else
+    std::memcpy(Out, P, N);
   return true;
 }
 
@@ -61,7 +86,10 @@ bool SimMemory::writeBytes(uint64_t Addr, uint64_t N, const uint8_t *In) {
   uint8_t *P = resolve(Addr, N);
   if (!P)
     return false;
-  std::memcpy(P, In, N);
+  if (Concurrent)
+    atomicCopyIn(P, In, N);
+  else
+    std::memcpy(P, In, N);
   return true;
 }
 
@@ -70,6 +98,7 @@ bool SimMemory::accessible(uint64_t Addr, uint64_t N) const {
 }
 
 uint64_t SimMemory::allocateGlobal(uint64_t Size, uint64_t Align) {
+  std::lock_guard<std::mutex> L(HeapMu);
   uint64_t Start = (GlobalUsed + Align - 1) / Align * Align;
   if (Start + Size > Globals.size())
     return 0;
@@ -78,6 +107,7 @@ uint64_t SimMemory::allocateGlobal(uint64_t Size, uint64_t Align) {
 }
 
 uint64_t SimMemory::heapAlloc(uint64_t Size, uint64_t RedzonePad) {
+  std::lock_guard<std::mutex> L(HeapMu);
   if (Size == 0)
     Size = 1;
   uint64_t Need = (Size + RedzonePad + 15) & ~15ULL;
@@ -109,6 +139,7 @@ uint64_t SimMemory::heapAlloc(uint64_t Size, uint64_t RedzonePad) {
 }
 
 uint64_t SimMemory::heapFree(uint64_t Addr) {
+  std::lock_guard<std::mutex> L(HeapMu);
   auto It = Allocs.find(Addr);
   if (It == Allocs.end())
     return UINT64_MAX;
@@ -121,12 +152,14 @@ uint64_t SimMemory::heapFree(uint64_t Addr) {
 }
 
 uint64_t SimMemory::heapBlockSize(uint64_t Addr) const {
+  std::lock_guard<std::mutex> L(HeapMu);
   auto It = Allocs.find(Addr);
   return It == Allocs.end() ? 0 : It->second;
 }
 
 std::pair<uint64_t, uint64_t>
 SimMemory::heapBlockContaining(uint64_t Addr) const {
+  std::lock_guard<std::mutex> L(HeapMu);
   auto It = Allocs.upper_bound(Addr);
   if (It == Allocs.begin())
     return {0, 0};
@@ -137,6 +170,13 @@ SimMemory::heapBlockContaining(uint64_t Addr) const {
 }
 
 void SimMemory::zeroRange(uint64_t Addr, uint64_t Size) {
-  if (uint8_t *P = resolve(Addr, Size))
+  uint8_t *P = resolve(Addr, Size);
+  if (!P)
+    return;
+  if (Concurrent) {
+    for (uint64_t I = 0; I < Size; ++I)
+      __atomic_store_n(P + I, uint8_t(0), __ATOMIC_RELAXED);
+  } else {
     std::memset(P, 0, Size);
+  }
 }

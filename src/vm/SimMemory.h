@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace softbound {
@@ -84,8 +85,14 @@ public:
   /// {0, 0} when the address is not inside any live block.
   std::pair<uint64_t, uint64_t> heapBlockContaining(uint64_t Addr) const;
 
-  uint64_t heapBytesLive() const { return HeapLive; }
-  uint64_t heapHighWater() const { return HeapHigh; }
+  uint64_t heapBytesLive() const {
+    std::lock_guard<std::mutex> L(HeapMu);
+    return HeapLive;
+  }
+  uint64_t heapHighWater() const {
+    std::lock_guard<std::mutex> L(HeapMu);
+    return HeapHigh;
+  }
 
   //===--------------------------------------------------------------------===//
   // Stack
@@ -96,6 +103,19 @@ public:
 
   /// Zeroes a byte range (used when reusing stack memory).
   void zeroRange(uint64_t Addr, uint64_t Size);
+
+  //===--------------------------------------------------------------------===//
+  // Concurrency (multi-lane VM sessions)
+  //===--------------------------------------------------------------------===//
+
+  /// Multi-lane mode: byte accesses go through relaxed host atomics so
+  /// that racing simulated accesses from concurrent lanes have defined
+  /// host behavior (a race stays the simulated program's bug, but never
+  /// becomes host UB or a TSan report against the VM). The heap
+  /// allocator always serializes behind a mutex regardless of this flag.
+  /// Single-lane runs leave this off and keep the plain memcpy path.
+  void setConcurrent(bool On) { Concurrent = On; }
+  bool concurrent() const { return Concurrent; }
 
 private:
   const uint8_t *resolve(uint64_t Addr, uint64_t N) const;
@@ -116,6 +136,9 @@ private:
   uint64_t HeapBump = simlayout::HeapBase;
   uint64_t HeapLive = 0;
   uint64_t HeapHigh = 0;
+
+  bool Concurrent = false;
+  mutable std::mutex HeapMu; ///< Guards the allocator maps and counters.
 };
 
 } // namespace softbound

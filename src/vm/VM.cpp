@@ -10,6 +10,7 @@
 
 #include <cstring>
 #include <deque>
+#include <thread>
 
 using namespace softbound;
 using namespace softbound::simlayout;
@@ -139,15 +140,20 @@ constexpr uint64_t JmpMagic = 0x4A4D'5042'5546'4D41ULL;
 
 namespace softbound {
 
-/// All per-run execution state. One VMExec per VM::run call.
+/// All per-run execution state. One VMExec per lane of a VM::run /
+/// VM::runLanes call. The lane's stack slice and observation sinks are
+/// constructor parameters (not read from VMConfig) so concurrent lanes
+/// never share mutable state through the shared config.
 class VMExec {
 public:
-  VMExec(VM &Owner, Module &M, VMConfig &Cfg, SimMemory &Mem)
-      : Owner(Owner), M(M), Cfg(Cfg), Mem(Mem) {
-    Prof = Cfg.Profile;
-    Telem = Cfg.Telem;
-    if (Prof)
-      Prof->ensure(M.checkSites().size());
+  VMExec(VM &Owner, Module &M, VMConfig &Cfg, SimMemory &Mem,
+         uint64_t StackTop, uint64_t StackLimit, SiteProfile *Prof,
+         Telemetry *Telem, std::string TraceTag)
+      : Owner(Owner), M(M), Cfg(Cfg), Mem(Mem), StackTop(StackTop),
+        StackLimit(StackLimit), Prof(Prof), Telem(Telem),
+        TraceTag(std::move(TraceTag)) {
+    if (this->Prof)
+      this->Prof->ensure(M.checkSites().size());
   }
 
   RunResult run(const std::string &EntryName,
@@ -243,7 +249,7 @@ private:
   }
 
   std::string traceName(const std::string &What) const {
-    return Cfg.TraceTag + What;
+    return TraceTag + What;
   }
 
   void emit(const std::string &S) {
@@ -297,13 +303,16 @@ private:
   Module &M;
   VMConfig &Cfg;
   SimMemory &Mem;
+  uint64_t StackTop;    ///< Exclusive top of this lane's stack slice.
+  uint64_t StackLimit;  ///< Inclusive floor of this lane's stack slice.
+  SiteProfile *Prof;    ///< This lane's profile; null = disabled.
+  Telemetry *Telem;     ///< This lane's telemetry sink; null = disabled.
+  std::string TraceTag; ///< Trace-event name prefix for this lane.
 
   std::deque<Frame> Frames;
   std::vector<JmpRecord> JmpRecords;
   RunResult Res;
   VMCounters &C = Res.Counters;
-  SiteProfile *Prof = nullptr;  ///< From Cfg.Profile; null = disabled.
-  Telemetry *Telem = nullptr;   ///< From Cfg.Telem; null = disabled.
   /// Frame trace events only for call depths up to this (the full call
   /// tree of a recursive Olden kernel would be millions of events).
   static constexpr size_t MaxTraceDepth = 3;
@@ -387,8 +396,47 @@ void VM::loadImage() {
 
 RunResult VM::run(const std::string &EntryName,
                   const std::vector<int64_t> &Args) {
-  VMExec Exec(*this, M, Cfg, Mem);
+  VMExec Exec(*this, M, Cfg, Mem, Mem.stackTop(), Mem.stackLimit(),
+              Cfg.Profile, Cfg.Telem, Cfg.TraceTag);
   return Exec.run(EntryName, Args);
+}
+
+std::vector<RunResult> VM::runLanes(const std::vector<LaneSpec> &Lanes) {
+  std::vector<RunResult> Results(Lanes.size());
+  if (Lanes.empty())
+    return Results;
+
+  if (Lanes.size() == 1) {
+    // One lane runs inline with the full stack segment: byte-identical
+    // to run(), no concurrent mode, no host threads.
+    const LaneSpec &L = Lanes[0];
+    VMExec Exec(*this, M, Cfg, Mem, Mem.stackTop(), Mem.stackLimit(), L.Profile,
+                L.Telem, L.TraceTag);
+    Results[0] = Exec.run(L.Entry, L.Args);
+    return Results;
+  }
+
+  // Partition the stack segment into 16-aligned per-lane slices, top
+  // lane first (lane 0 gets the highest addresses, like a single-lane
+  // run would).
+  uint64_t Top = Mem.stackTop();
+  uint64_t Span = ((Top - Mem.stackLimit()) / Lanes.size()) & ~15ULL;
+
+  Mem.setConcurrent(true);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Lanes.size());
+  for (size_t I = 0; I < Lanes.size(); ++I)
+    Threads.emplace_back([this, &Lanes, &Results, Top, Span, I] {
+      const LaneSpec &L = Lanes[I];
+      uint64_t LaneTop = Top - I * Span;
+      VMExec Exec(*this, M, Cfg, Mem, LaneTop, LaneTop - Span, L.Profile,
+                  L.Telem, L.TraceTag);
+      Results[I] = Exec.run(L.Entry, L.Args);
+    });
+  for (auto &T : Threads)
+    T.join();
+  Mem.setConcurrent(false);
+  return Results;
 }
 
 //===----------------------------------------------------------------------===//
@@ -407,7 +455,7 @@ bool VMExec::pushFrame(Function *F, const std::vector<VMVal> &Args,
   Fr.F = F;
   Fr.Gen = NextGen++;
   Fr.CallSite = CallSite;
-  Fr.FrameTop = Frames.empty() ? Mem.stackTop() : Frames.back().FrameLow;
+  Fr.FrameTop = Frames.empty() ? StackTop : Frames.back().FrameLow;
   Fr.RetSlot = Fr.FrameTop - 8;
   Fr.FPSlot = Fr.FrameTop - 16;
   Fr.RetToken = RetTokenTag | Fr.Gen;
@@ -431,7 +479,7 @@ bool VMExec::pushFrame(Function *F, const std::vector<VMVal> &Args,
       AllocaAddrs.emplace_back(AI, Cur);
     }
   Fr.FrameLow = Cur & ~15ULL;
-  if (Fr.FrameLow < Mem.stackLimit() + 64) {
+  if (Fr.FrameLow < StackLimit + 64) {
     trap(TrapKind::StackOverflow, "stack exhausted in @" + F->name());
     return false;
   }
@@ -935,13 +983,12 @@ void VMExec::execute(Instruction &I, Frame &Fr) {
   case ValueKind::MetaLoad: {
     auto &ML = cast<MetaLoadInst>(I);
     assert(Cfg.Meta && "meta.load without a metadata facility");
-    uint64_t Base = 0, Bound = 0;
-    Cfg.Meta->lookup(eval(Fr, ML.address()).A, Base, Bound);
+    Bounds B = Cfg.Meta->lookup(eval(Fr, ML.address()).A);
     ++C.MetaLoads;
     C.Cycles += Cfg.Meta->lookupCost();
     if (SiteCounters *SC = siteOf(I))
       ++SC->Executed;
-    setResult(Fr, I, VMVal{Base, Bound, 0});
+    setResult(Fr, I, VMVal{B.Base, B.Bound, 0});
     return;
   }
   case ValueKind::MetaStore: {

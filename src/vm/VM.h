@@ -74,6 +74,26 @@ struct VMCounters {
     uint64_t M = memOps();
     return M ? static_cast<double>(PtrLoads + PtrStores) / M : 0.0;
   }
+
+  /// Folds \p O into this counter set (multi-lane joins): every count
+  /// adds except MaxFrameDepth, which takes the max across lanes.
+  void accumulate(const VMCounters &O) {
+    Insts += O.Insts;
+    Loads += O.Loads;
+    Stores += O.Stores;
+    PtrLoads += O.PtrLoads;
+    PtrStores += O.PtrStores;
+    Checks += O.Checks;
+    CheckGuards += O.CheckGuards;
+    GuardSkips += O.GuardSkips;
+    FuncPtrChecks += O.FuncPtrChecks;
+    MetaLoads += O.MetaLoads;
+    MetaStores += O.MetaStores;
+    Calls += O.Calls;
+    Cycles += O.Cycles;
+    if (O.MaxFrameDepth > MaxFrameDepth)
+      MaxFrameDepth = O.MaxFrameDepth;
+  }
 };
 
 /// Result of one VM run.
@@ -133,6 +153,19 @@ struct VMConfig {
   std::string TraceTag;
 };
 
+/// One interpreter lane of a multi-lane run: entry point, arguments, and
+/// per-lane observation sinks. Lanes share the module image, the global
+/// and heap segments, and the metadata facility; each lane gets a
+/// private slice of the stack segment. Sinks must not be shared between
+/// lanes — the session layer merges them deterministically at join.
+struct LaneSpec {
+  std::string Entry = "main";
+  std::vector<int64_t> Args;
+  SiteProfile *Profile = nullptr; ///< Per-lane profile (null = off).
+  Telemetry *Telem = nullptr;     ///< Per-lane telemetry sink (null = off).
+  std::string TraceTag;           ///< Trace-event name prefix for this lane.
+};
+
 /// One SSA value at runtime: scalars use A; bounds use {A=base, B=bound};
 /// ptrpair uses {A=ptr, B=base, C=bound}.
 struct VMVal {
@@ -152,6 +185,17 @@ public:
   /// integer arguments to the leading integer parameters.
   RunResult run(const std::string &EntryName = "main",
                 const std::vector<int64_t> &Args = {});
+
+  /// Runs N interpreter lanes over this VM's shared image, heap, and
+  /// metadata facility; returns one RunResult per lane, in lane order.
+  /// One lane runs inline on the caller's thread with the full stack
+  /// segment (byte-identical to run()); N > 1 lanes each get a
+  /// 16-aligned 1/N slice of the stack and run on their own host
+  /// threads with SimMemory in concurrent mode. Multi-lane callers must
+  /// use a Sharded metadata facility and no baseline Checker (checkers
+  /// keep single-threaded object tables) — the session layer enforces
+  /// this.
+  std::vector<RunResult> runLanes(const std::vector<LaneSpec> &Lanes);
 
   uint64_t functionAddress(const Function *F) const;
   uint64_t globalAddress(const GlobalVariable *G) const;

@@ -1,0 +1,308 @@
+//===- tests/test_concurrency.cpp - sharded facilities, multi-lane VM ------===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Facility API v2 concurrency coverage (docs/runtime.md):
+///
+///  - range operations on a Sharded facility agree with a SingleThread
+///    oracle even when the range spans several 2^ShardStripeLog2-byte
+///    stripes (clearRange / copyRange chunk per stripe);
+///  - a multi-threaded update/lookup hammer loses no slots and the
+///    per-shard statistics add up, including lock-acquire counts;
+///  - a 4-lane runSession over the full Table 3 attack suite and the
+///    Table 4 BugBench kernels misses nothing in any lane;
+///  - a 1-lane session is counter-identical to the classic runProgram
+///    path the gated baselines were recorded against;
+///  - multi-lane sessions surface contention accounting and merge lane
+///    outputs deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "runtime/HashTableMetadata.h"
+#include "runtime/ShadowSpaceMetadata.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace softbound;
+
+namespace {
+
+constexpr uint64_t Stripe = 1ULL << ShardStripeLog2;
+
+//===----------------------------------------------------------------------===//
+// Stripe-spanning range operations vs a single-threaded oracle
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedRangeOps, ClearRangeSpanningStripesMatchesOracle) {
+  ShadowSpaceMetadata Sharded(FacilityOptions{ConcurrencyModel::Sharded, 4});
+  ShadowSpaceMetadata Oracle;
+  ASSERT_EQ(Sharded.shards(), 4u);
+  ASSERT_EQ(Sharded.concurrency(), ConcurrencyModel::Sharded);
+  ASSERT_EQ(Oracle.concurrency(), ConcurrencyModel::SingleThread);
+
+  // Populate five stripes' worth of slots, every other slot, so the
+  // clear path sees hits and misses alike.
+  const uint64_t Lo = 0x4000'0000;
+  const uint64_t Hi = Lo + 5 * Stripe;
+  for (uint64_t A = Lo; A < Hi; A += 16) {
+    Sharded.update(A, A, A + 64);
+    Oracle.update(A, A, A + 64);
+  }
+
+  // Clear a window that starts and ends mid-stripe and crosses three
+  // stripe boundaries (so it is chunked over four shard locks).
+  const uint64_t From = Lo + Stripe / 2 + 8;
+  const uint64_t Size = 3 * Stripe + 24;
+  EXPECT_EQ(Sharded.clearRange(From, Size), Oracle.clearRange(From, Size));
+
+  for (uint64_t A = Lo; A < Hi; A += 8)
+    ASSERT_EQ(Sharded.lookup(A), Oracle.lookup(A)) << "slot " << A;
+
+  MetadataStats St = Sharded.stats();
+  EXPECT_EQ(St.Clears, Oracle.stats().Clears);
+  EXPECT_GT(St.LockAcquires, 0u);
+  EXPECT_EQ(Oracle.stats().LockAcquires, 0u);
+}
+
+TEST(ShardedRangeOps, CopyRangeSpanningStripesMatchesOracle) {
+  HashTableMetadata Sharded(16, FacilityOptions{ConcurrencyModel::Sharded, 8});
+  HashTableMetadata Oracle;
+  ASSERT_EQ(Sharded.shards(), 8u);
+
+  // Source carries metadata on a sparse grid; the destination starts
+  // with stale bounds that the copy must overwrite or clear.
+  const uint64_t Src = 0x5000'0000;
+  const uint64_t Dst = 0x7000'0800; // Different phase within its stripe.
+  const uint64_t Size = 2 * Stripe + 512;
+  for (uint64_t Off = 0; Off < Size; Off += 24) {
+    Sharded.update(Src + Off, Src + Off, Src + Off + 128);
+    Oracle.update(Src + Off, Src + Off, Src + Off + 128);
+  }
+  for (uint64_t Off = 0; Off < Size; Off += 40) {
+    Sharded.update(Dst + Off, 0xdead, 0xbeef);
+    Oracle.update(Dst + Off, 0xdead, 0xbeef);
+  }
+
+  EXPECT_EQ(Sharded.copyRange(Dst, Src, Size), Oracle.copyRange(Dst, Src, Size));
+
+  for (uint64_t Off = 0; Off < Size; Off += 8) {
+    ASSERT_EQ(Sharded.lookup(Dst + Off), Oracle.lookup(Dst + Off))
+        << "dst slot +" << Off;
+    ASSERT_EQ(Sharded.lookup(Src + Off), Oracle.lookup(Src + Off))
+        << "src slot +" << Off;
+  }
+}
+
+TEST(ShardedRangeOps, BatchOpsCrossStripesLikeScalars) {
+  ShadowSpaceMetadata Sharded(FacilityOptions{ConcurrencyModel::Sharded, 4});
+  ShadowSpaceMetadata Oracle;
+
+  // One batch whose addresses hop stripes (and wrap shard indices) on
+  // purpose: runs of same-shard addresses interleaved with jumps.
+  std::vector<uint64_t> Addrs;
+  std::vector<Bounds> In;
+  for (uint64_t I = 0; I < 64; ++I) {
+    uint64_t A = 0x2000'0000 + (I % 5) * Stripe + I * 8;
+    Addrs.push_back(A);
+    In.push_back(Bounds{A + 1, A + 256});
+  }
+  Sharded.updateN(Addrs.data(), In.data(), Addrs.size());
+  Oracle.updateN(Addrs.data(), In.data(), Addrs.size());
+
+  std::vector<Bounds> OutSharded(Addrs.size()), OutOracle(Addrs.size());
+  Sharded.lookupN(Addrs.data(), OutSharded.data(), Addrs.size());
+  Oracle.lookupN(Addrs.data(), OutOracle.data(), Addrs.size());
+  for (size_t I = 0; I < Addrs.size(); ++I) {
+    EXPECT_EQ(OutSharded[I], In[I]) << I;
+    EXPECT_EQ(OutSharded[I], OutOracle[I]) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent hammer: slots survive, statistics add up
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedConcurrency, ParallelHammerLosesNoSlotsAndCountsLocks) {
+  HashTableMetadata M(16, FacilityOptions{ConcurrencyModel::Sharded, 8});
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t SlotsPerThread = 4096;
+  constexpr uint64_t Base = 0x6000'0000;
+
+  // Threads interleave slot-by-slot within the same stripes, so every
+  // shard sees traffic from all eight threads at once.
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&M, T] {
+      for (uint64_t I = 0; I < SlotsPerThread; ++I) {
+        uint64_t A = Base + T * 8 + I * (Threads * 8);
+        M.update(A, A + 1, A + 128);
+      }
+      for (uint64_t I = 0; I < SlotsPerThread; ++I) {
+        uint64_t A = Base + T * 8 + I * (Threads * 8);
+        Bounds B = M.lookup(A);
+        (void)B; // Verified from the main thread below.
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+
+  MetadataStats St = M.stats();
+  EXPECT_EQ(St.Updates, uint64_t(Threads) * SlotsPerThread);
+  EXPECT_EQ(St.Lookups, uint64_t(Threads) * SlotsPerThread);
+  // Every single-slot operation takes exactly one striped-lock
+  // acquisition in the Sharded model.
+  EXPECT_EQ(St.LockAcquires, 2 * uint64_t(Threads) * SlotsPerThread);
+  EXPECT_GE(St.contentionSimCost(), St.LockAcquires);
+
+  for (unsigned T = 0; T < Threads; ++T)
+    for (uint64_t I = 0; I < SlotsPerThread; ++I) {
+      uint64_t A = Base + T * 8 + I * (Threads * 8);
+      ASSERT_EQ(M.lookup(A), (Bounds{A + 1, A + 128})) << "T" << T << " I" << I;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-lane sessions: the full detection matrix still holds per lane
+//===----------------------------------------------------------------------===//
+
+TEST(MultiLaneSessions, FourLaneAttackSweepMissesNothing) {
+  for (const AttackCase &A : attackSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = CheckMode::Full;
+    BuildResult Prog = buildProgram(A.Source, B);
+    ASSERT_TRUE(Prog.ok()) << A.Name << ": " << Prog.errorText();
+
+    RunRequest Req;
+    Req.Lanes = 4;
+    Req.FacilityShards = 4;
+    SessionResult S = runSession(Prog, Req);
+    ASSERT_EQ(S.PerLane.size(), 4u) << A.Name;
+    for (size_t L = 0; L < S.PerLane.size(); ++L) {
+      const RunResult &R = S.PerLane[L];
+      EXPECT_TRUE(R.violationDetected())
+          << A.Name << " lane " << L << ": trap=" << trapName(R.Trap)
+          << " exit=" << R.ExitCode << " msg=" << R.Message;
+      EXPECT_FALSE(R.attackLanded()) << A.Name << " lane " << L;
+    }
+    EXPECT_TRUE(S.Combined.violationDetected()) << A.Name;
+  }
+}
+
+TEST(MultiLaneSessions, FourLaneBugBenchSweepMissesNothing) {
+  // Every Table 4 kernel is detected under full checking (the matrix in
+  // test_bugbench.cpp); four concurrent lanes must not change that.
+  for (const BugCase &Bug : bugbenchSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = CheckMode::Full;
+    BuildResult Prog = buildProgram(Bug.Source, B);
+    ASSERT_TRUE(Prog.ok()) << Bug.Name << ": " << Prog.errorText();
+
+    RunRequest Req;
+    Req.Lanes = 4;
+    Req.FacilityShards = 4;
+    SessionResult S = runSession(Prog, Req);
+    ASSERT_EQ(S.PerLane.size(), 4u) << Bug.Name;
+    for (size_t L = 0; L < S.PerLane.size(); ++L)
+      EXPECT_TRUE(S.PerLane[L].violationDetected())
+          << Bug.Name << " lane " << L << ": trap="
+          << trapName(S.PerLane[L].Trap);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Single-lane sessions reproduce the classic (gated) execution exactly
+//===----------------------------------------------------------------------===//
+
+TEST(SessionDeterminism, SingleLaneMatchesLegacyRunProgram) {
+  for (const Workload &W : benchmarkSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = CheckMode::Full;
+    BuildResult Prog = buildProgram(W.Source, B);
+    ASSERT_TRUE(Prog.ok()) << W.Name << ": " << Prog.errorText();
+
+    RunResult Legacy = runProgram(Prog);
+    SessionResult S = runSession(Prog);
+    ASSERT_EQ(S.PerLane.size(), 1u) << W.Name;
+
+    EXPECT_EQ(S.Combined.Counters.Checks, Legacy.Counters.Checks) << W.Name;
+    EXPECT_EQ(S.Combined.Counters.MetaLoads, Legacy.Counters.MetaLoads)
+        << W.Name;
+    EXPECT_EQ(S.Combined.Counters.MetaStores, Legacy.Counters.MetaStores)
+        << W.Name;
+    EXPECT_EQ(S.Combined.Counters.Cycles, Legacy.Counters.Cycles) << W.Name;
+    EXPECT_EQ(S.Combined.Output, Legacy.Output) << W.Name;
+    EXPECT_EQ(S.Combined.ExitCode, Legacy.ExitCode) << W.Name;
+    // Default request: SingleThread facility, so zero lock traffic.
+    EXPECT_EQ(S.Meta.LockAcquires, 0u) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-lane contention accounting and deterministic output merge
+//===----------------------------------------------------------------------===//
+
+TEST(MultiLaneSessions, ContentionCountersAndDeterministicMerge) {
+  // treeadd is address-independent: its control flow, output and exit
+  // code do not depend on where the shared allocator places its blocks,
+  // so every lane must reproduce the single-lane run exactly. (Pointer-
+  // chasing workloads like bh or mst fold heap addresses into their
+  // results and legitimately diverge per lane over a shared heap.)
+  const Workload *Chosen = nullptr;
+  for (const Workload &W : benchmarkSuite())
+    if (W.Name == "treeadd")
+      Chosen = &W;
+  ASSERT_NE(Chosen, nullptr);
+
+  BuildOptions B;
+  B.Instrument = true;
+  B.SB.Mode = CheckMode::Full;
+  BuildResult Prog = buildProgram(Chosen->Source, B);
+  ASSERT_TRUE(Prog.ok()) << Prog.errorText();
+  RunResult Single = runProgram(Prog);
+  ASSERT_TRUE(Single.ok()) << Single.Message;
+  ASSERT_GT(Single.Counters.MetaLoads + Single.Counters.MetaStores, 0u);
+
+  RunRequest Req;
+  Req.Lanes = 4;
+  Req.FacilityShards = 4;
+  SessionResult S = runSession(Prog, Req);
+  ASSERT_EQ(S.PerLane.size(), 4u);
+
+  std::string Concatenated;
+  for (size_t L = 0; L < S.PerLane.size(); ++L) {
+    const RunResult &R = S.PerLane[L];
+    EXPECT_TRUE(R.ok()) << "lane " << L << ": " << R.Message;
+    EXPECT_EQ(R.Output, Single.Output) << "lane " << L;
+    EXPECT_EQ(R.ExitCode, Single.ExitCode) << "lane " << L;
+    EXPECT_EQ(R.Counters.Checks, Single.Counters.Checks) << "lane " << L;
+    EXPECT_EQ(R.Counters.MetaLoads, Single.Counters.MetaLoads)
+        << "lane " << L;
+    EXPECT_EQ(R.Counters.MetaStores, Single.Counters.MetaStores)
+        << "lane " << L;
+    Concatenated += R.Output;
+  }
+  EXPECT_EQ(S.Combined.Output, Concatenated);
+  EXPECT_EQ(S.Combined.Counters.Checks, 4 * Single.Counters.Checks);
+  EXPECT_EQ(S.Combined.Counters.MetaLoads, 4 * Single.Counters.MetaLoads);
+  EXPECT_EQ(S.Combined.Counters.MetaStores, 4 * Single.Counters.MetaStores);
+  EXPECT_EQ(S.Combined.ExitCode, Single.ExitCode);
+
+  // Sharded model: every metadata operation takes a striped lock, so
+  // the session-level facility stats must show lock traffic.
+  EXPECT_GT(S.Meta.LockAcquires, 0u);
+  EXPECT_GT(S.Meta.contentionSimCost(), 0u);
+}
+
+} // namespace

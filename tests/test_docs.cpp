@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/PassManager.h"
+#include "runtime/MetadataFacility.h"
 #include "support/Telemetry.h"
 
 #include <fstream>
@@ -163,6 +164,44 @@ TEST(DocsDrift, ReadmeDefersToDocs) {
     if (Knob != "none" && Knob != "off")
       EXPECT_NE(Book.find("`" + Knob + "`"), std::string::npos)
           << "docs/checkopt.md no longer mentions knob '" << Knob << "'";
+}
+
+TEST(DocsDrift, RuntimeDocCurrent) {
+  std::string Readme = readFile("README.md");
+  EXPECT_NE(Readme.find("docs/runtime.md"), std::string::npos)
+      << "README must point at the runtime doc";
+
+  // The runtime book names the live surface: the session API, the batch
+  // facility entry points, and the bench flags.
+  std::string Doc = readFile("docs/runtime.md");
+  for (const char *Needle :
+       {"runSession", "RunRequest", "SessionResult", "FacilityOptions",
+        "lookupN", "updateN", "clearRange", "copyRange", "--lanes",
+        "--shards", "MetaStatsOut", "test_concurrency.cpp"})
+    EXPECT_NE(Doc.find(Needle), std::string::npos)
+        << "docs/runtime.md no longer mentions '" << Needle << "'";
+
+  // Constants quoted in the doc track the code: the stripe size (whose
+  // equality with one shadow page ShadowSpaceMetadata static_asserts)
+  // and the lock prices in the drift-marked cost table.
+  EXPECT_NE(Doc.find("2^" + std::to_string(ShardStripeLog2) + "-byte"),
+            std::string::npos)
+      << "docs/runtime.md stripe size drifted from ShardStripeLog2";
+  std::vector<std::string> Costs = driftRegion(Doc, "lock-costs");
+  ASSERT_FALSE(Costs.empty())
+      << "docs/runtime.md lost its drift:lock-costs table";
+  auto RowHas = [&Costs](const std::string &Row, uint64_t Price) {
+    for (const auto &Line : Costs)
+      if (Line.find("| " + Row + " |") != std::string::npos &&
+          Line.find("| " + std::to_string(Price) + " |") != std::string::npos)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(RowHas("uncontended", UncontendedLockCost))
+      << "docs/runtime.md uncontended price drifted from "
+         "UncontendedLockCost";
+  EXPECT_TRUE(RowHas("contended", ContendedLockCost))
+      << "docs/runtime.md contended price drifted from ContendedLockCost";
 }
 
 TEST(DocsDrift, ObservabilityDocCurrent) {

@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 using namespace softbound;
 
 namespace {
@@ -31,30 +33,27 @@ using Facilities = ::testing::Types<HashTableMetadata, ShadowSpaceMetadata>;
 TYPED_TEST_SUITE(FacilityTest, Facilities);
 
 TYPED_TEST(FacilityTest, MissingLookupYieldsNullBounds) {
-  uint64_t Base = 99, Bound = 99;
-  this->Facility.lookup(0x2000'0000, Base, Bound);
-  EXPECT_EQ(Base, 0u);
-  EXPECT_EQ(Bound, 0u);
+  Bounds B = this->Facility.lookup(0x2000'0000);
+  EXPECT_EQ(B.Base, 0u);
+  EXPECT_EQ(B.Bound, 0u);
+  EXPECT_TRUE(B.null());
 }
 
 TYPED_TEST(FacilityTest, UpdateThenLookup) {
   this->Facility.update(0x2000'0008, 0x1000, 0x1040);
-  uint64_t Base = 0, Bound = 0;
-  this->Facility.lookup(0x2000'0008, Base, Bound);
-  EXPECT_EQ(Base, 0x1000u);
-  EXPECT_EQ(Bound, 0x1040u);
+  Bounds B = this->Facility.lookup(0x2000'0008);
+  EXPECT_EQ(B.Base, 0x1000u);
+  EXPECT_EQ(B.Bound, 0x1040u);
   // A different slot is unaffected.
-  this->Facility.lookup(0x2000'0010, Base, Bound);
-  EXPECT_EQ(Base, 0u);
+  EXPECT_EQ(this->Facility.lookup(0x2000'0010).Base, 0u);
 }
 
 TYPED_TEST(FacilityTest, OverwriteReplacesBounds) {
   this->Facility.update(0x3000'0000, 1, 2);
   this->Facility.update(0x3000'0000, 10, 20);
-  uint64_t Base, Bound;
-  this->Facility.lookup(0x3000'0000, Base, Bound);
-  EXPECT_EQ(Base, 10u);
-  EXPECT_EQ(Bound, 20u);
+  Bounds B = this->Facility.lookup(0x3000'0000);
+  EXPECT_EQ(B.Base, 10u);
+  EXPECT_EQ(B.Bound, 20u);
 }
 
 TYPED_TEST(FacilityTest, ClearRangeDropsCoveredSlots) {
@@ -62,13 +61,12 @@ TYPED_TEST(FacilityTest, ClearRangeDropsCoveredSlots) {
     this->Facility.update(A, A, A + 8);
   uint64_t Cleared = this->Facility.clearRange(0x4000'0010, 0x18);
   EXPECT_EQ(Cleared, 3u);
-  uint64_t Base, Bound;
-  this->Facility.lookup(0x4000'0008, Base, Bound);
-  EXPECT_NE(Base, 0u); // Below the range: intact.
-  this->Facility.lookup(0x4000'0010, Base, Bound);
-  EXPECT_EQ(Base, 0u); // In range: gone.
-  this->Facility.lookup(0x4000'0028, Base, Bound);
-  EXPECT_NE(Base, 0u); // Above the range: intact.
+  EXPECT_NE(this->Facility.lookup(0x4000'0008).Base, 0u)
+      << "below the range: intact";
+  EXPECT_EQ(this->Facility.lookup(0x4000'0010).Base, 0u)
+      << "in range: gone";
+  EXPECT_NE(this->Facility.lookup(0x4000'0028).Base, 0u)
+      << "above the range: intact";
 }
 
 TYPED_TEST(FacilityTest, CopyRangeMirrorsMetadata) {
@@ -77,25 +75,22 @@ TYPED_TEST(FacilityTest, CopyRangeMirrorsMetadata) {
   // Destination has a stale entry that the copy must overwrite/clear.
   this->Facility.update(0x6000'0008, 5, 50);
   this->Facility.copyRange(0x6000'0000, 0x5000'0000, 0x18);
-  uint64_t Base, Bound;
-  this->Facility.lookup(0x6000'0000, Base, Bound);
-  EXPECT_EQ(Base, 7u);
-  this->Facility.lookup(0x6000'0008, Base, Bound);
-  EXPECT_EQ(Base, 0u) << "stale destination metadata must not survive";
-  this->Facility.lookup(0x6000'0010, Base, Bound);
-  EXPECT_EQ(Base, 9u);
-  EXPECT_EQ(Bound, 90u);
+  EXPECT_EQ(this->Facility.lookup(0x6000'0000).Base, 7u);
+  EXPECT_EQ(this->Facility.lookup(0x6000'0008).Base, 0u)
+      << "stale destination metadata must not survive";
+  Bounds B = this->Facility.lookup(0x6000'0010);
+  EXPECT_EQ(B.Base, 9u);
+  EXPECT_EQ(B.Bound, 90u);
 }
 
 TYPED_TEST(FacilityTest, ZeroLengthRangesAreNoOps) {
   this->Facility.update(0xC000'0000, 7, 70);
   EXPECT_EQ(this->Facility.clearRange(0xC000'0000, 0), 0u);
   EXPECT_EQ(this->Facility.copyRange(0xC000'1000, 0xC000'0000, 0), 0u);
-  uint64_t Base, Bound;
-  this->Facility.lookup(0xC000'0000, Base, Bound);
-  EXPECT_EQ(Base, 7u) << "zero-length clear must not touch the slot";
-  this->Facility.lookup(0xC000'1000, Base, Bound);
-  EXPECT_EQ(Base, 0u) << "zero-length copy must not materialize metadata";
+  EXPECT_EQ(this->Facility.lookup(0xC000'0000).Base, 7u)
+      << "zero-length clear must not touch the slot";
+  EXPECT_EQ(this->Facility.lookup(0xC000'1000).Base, 0u)
+      << "zero-length copy must not materialize metadata";
 }
 
 TYPED_TEST(FacilityTest, UnalignedClearCoversEveryTouchedSlot) {
@@ -106,21 +101,17 @@ TYPED_TEST(FacilityTest, UnalignedClearCoversEveryTouchedSlot) {
   this->Facility.update(0xB000'0008, 6, 60);
   EXPECT_EQ(this->Facility.clearRange(0xB000'0004, 8), 2u)
       << "range [4, 12) touches both slot 0 and slot 8";
-  uint64_t Base, Bound;
-  this->Facility.lookup(0xB000'0000, Base, Bound);
-  EXPECT_EQ(Base, 0u);
-  this->Facility.lookup(0xB000'0008, Base, Bound);
-  EXPECT_EQ(Base, 0u);
+  EXPECT_EQ(this->Facility.lookup(0xB000'0000).Base, 0u);
+  EXPECT_EQ(this->Facility.lookup(0xB000'0008).Base, 0u);
 }
 
 TYPED_TEST(FacilityTest, UnalignedSizeCopyCoversPartialSlot) {
   this->Facility.update(0xD000'0000, 8, 80);
   EXPECT_EQ(this->Facility.copyRange(0xD000'1000, 0xD000'0000, 5), 1u)
       << "a 5-byte copy still moves the metadata of the slot it touches";
-  uint64_t Base, Bound;
-  this->Facility.lookup(0xD000'1000, Base, Bound);
-  EXPECT_EQ(Base, 8u);
-  EXPECT_EQ(Bound, 80u);
+  Bounds B = this->Facility.lookup(0xD000'1000);
+  EXPECT_EQ(B.Base, 8u);
+  EXPECT_EQ(B.Bound, 80u);
 }
 
 TYPED_TEST(FacilityTest, OverlappingCopyDstBelowSrcIsMoveLike) {
@@ -129,11 +120,8 @@ TYPED_TEST(FacilityTest, OverlappingCopyDstBelowSrcIsMoveLike) {
   this->Facility.update(0xA000'0008, 2, 20);
   this->Facility.update(0xA000'0010, 3, 30);
   EXPECT_EQ(this->Facility.copyRange(0xA000'0000, 0xA000'0008, 0x10), 2u);
-  uint64_t Base, Bound;
-  this->Facility.lookup(0xA000'0000, Base, Bound);
-  EXPECT_EQ(Base, 2u);
-  this->Facility.lookup(0xA000'0008, Base, Bound);
-  EXPECT_EQ(Base, 3u);
+  EXPECT_EQ(this->Facility.lookup(0xA000'0000).Base, 2u);
+  EXPECT_EQ(this->Facility.lookup(0xA000'0008).Base, 3u);
 }
 
 TYPED_TEST(FacilityTest, OverlappingCopyDstAboveSrcPropagatesForward) {
@@ -145,21 +133,51 @@ TYPED_TEST(FacilityTest, OverlappingCopyDstAboveSrcPropagatesForward) {
   this->Facility.update(0x9000'0008, 2, 20);
   this->Facility.update(0x9000'0010, 3, 30);
   EXPECT_EQ(this->Facility.copyRange(0x9000'0008, 0x9000'0000, 0x18), 3u);
-  uint64_t Base, Bound;
   for (uint64_t A = 0x9000'0000; A <= 0x9000'0018; A += 8) {
-    this->Facility.lookup(A, Base, Bound);
-    EXPECT_EQ(Base, 1u) << "slot " << std::hex << A;
-    EXPECT_EQ(Bound, 10u);
+    Bounds B = this->Facility.lookup(A);
+    EXPECT_EQ(B.Base, 1u) << "slot " << std::hex << A;
+    EXPECT_EQ(B.Bound, 10u);
   }
 }
 
 TYPED_TEST(FacilityTest, ResetDropsEverything) {
   this->Facility.update(0x7000'0000, 1, 2);
   this->Facility.reset();
-  uint64_t Base, Bound;
-  this->Facility.lookup(0x7000'0000, Base, Bound);
-  EXPECT_EQ(Base, 0u);
+  EXPECT_EQ(this->Facility.lookup(0x7000'0000).Base, 0u);
   EXPECT_EQ(this->Facility.stats().Lookups, 1u);
+}
+
+TYPED_TEST(FacilityTest, BatchLookupMatchesScalar) {
+  // lookupN over a mix of present, missing, and shard-crossing slots
+  // must agree element-wise with scalar lookup.
+  for (uint64_t I = 0; I < 16; I += 2)
+    this->Facility.update(0x2000'0000 + I * 8, I + 1, I + 100);
+  std::vector<uint64_t> Addrs;
+  for (uint64_t I = 0; I < 16; ++I)
+    Addrs.push_back(0x2000'0000 + I * 8);
+  Addrs.push_back(0x2000'0000 + (1ULL << 20)); // Different stripe.
+  std::vector<Bounds> Out(Addrs.size());
+  this->Facility.lookupN(Addrs.data(), Out.data(), Addrs.size());
+  for (size_t I = 0; I < Addrs.size(); ++I) {
+    Bounds Want = this->Facility.lookup(Addrs[I]);
+    EXPECT_EQ(Out[I].Base, Want.Base) << "index " << I;
+    EXPECT_EQ(Out[I].Bound, Want.Bound) << "index " << I;
+  }
+}
+
+TYPED_TEST(FacilityTest, BatchUpdateMatchesScalar) {
+  std::vector<uint64_t> Addrs;
+  std::vector<Bounds> Vals;
+  for (uint64_t I = 0; I < 24; ++I) {
+    Addrs.push_back(0x8000'0000 + I * (1ULL << 17)); // Spans stripes.
+    Vals.push_back(Bounds{I + 1, I + 50});
+  }
+  this->Facility.updateN(Addrs.data(), Vals.data(), Addrs.size());
+  for (size_t I = 0; I < Addrs.size(); ++I) {
+    Bounds B = this->Facility.lookup(Addrs[I]);
+    EXPECT_EQ(B.Base, Vals[I].Base) << "index " << I;
+    EXPECT_EQ(B.Bound, Vals[I].Bound) << "index " << I;
+  }
 }
 
 TYPED_TEST(FacilityTest, CostModelMatchesPaper) {
@@ -171,15 +189,24 @@ TYPED_TEST(FacilityTest, CostModelMatchesPaper) {
   }
 }
 
+TYPED_TEST(FacilityTest, DefaultConfigurationIsSingleThread) {
+  EXPECT_EQ(this->Facility.shards(), 1u);
+  EXPECT_EQ(this->Facility.concurrency(), ConcurrencyModel::SingleThread);
+  this->Facility.update(0x2000'0000, 1, 2);
+  this->Facility.lookup(0x2000'0000);
+  MetadataStats S = this->Facility.stats();
+  EXPECT_EQ(S.LockAcquires, 0u) << "SingleThread mode must stay lock-free";
+  EXPECT_EQ(S.contentionSimCost(), 0u);
+}
+
 TEST(HashTableMetadata, GrowsPastInitialCapacity) {
   HashTableMetadata M(4); // 16 entries.
   for (uint64_t I = 0; I < 1000; ++I)
     M.update(0x1000 + I * 8, I + 1, I + 100);
   for (uint64_t I = 0; I < 1000; ++I) {
-    uint64_t Base, Bound;
-    M.lookup(0x1000 + I * 8, Base, Bound);
-    ASSERT_EQ(Base, I + 1);
-    ASSERT_EQ(Bound, I + 100);
+    Bounds B = M.lookup(0x1000 + I * 8);
+    ASSERT_EQ(B.Base, I + 1);
+    ASSERT_EQ(B.Bound, I + 100);
   }
 }
 
@@ -192,12 +219,11 @@ TEST(HashTableMetadata, TombstonesDoNotBreakProbing) {
   for (uint64_t I = 0; I < 32; ++I)
     M.update(0x9000 + I * 8, 100 + I, 200 + I);
   for (uint64_t I = 0; I < 64; ++I) {
-    uint64_t Base, Bound;
-    M.lookup(0x9000 + I * 8, Base, Bound);
+    Bounds B = M.lookup(0x9000 + I * 8);
     if (I < 32) {
-      EXPECT_EQ(Base, 100 + I);
+      EXPECT_EQ(B.Base, 100 + I);
     } else {
-      EXPECT_EQ(Base, I + 1);
+      EXPECT_EQ(B.Base, I + 1);
     }
   }
 }
@@ -219,11 +245,10 @@ TEST(FacilityEquivalence, HashMatchesShadowOracle) {
       break;
     }
     case 2: {
-      uint64_t HB, HE, SB, SE;
-      Hash.lookup(Addr, HB, HE);
-      Shadow.lookup(Addr, SB, SE);
-      ASSERT_EQ(HB, SB) << "divergence at op " << Op;
-      ASSERT_EQ(HE, SE);
+      Bounds H = Hash.lookup(Addr);
+      Bounds S = Shadow.lookup(Addr);
+      ASSERT_EQ(H.Base, S.Base) << "divergence at op " << Op;
+      ASSERT_EQ(H.Bound, S.Bound);
       break;
     }
     default: {
