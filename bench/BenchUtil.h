@@ -36,7 +36,7 @@ inline Measurement measure(const BuildResult &Prog,
                            const RunOptions &Opts = {}) {
   Measurement M;
   auto T0 = std::chrono::steady_clock::now();
-  M.R = runProgram(Prog, Opts);
+  M.R = runSession(Prog, Opts).Combined;
   auto T1 = std::chrono::steady_clock::now();
   M.WallSeconds = std::chrono::duration<double>(T1 - T0).count();
   return M;

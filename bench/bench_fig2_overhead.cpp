@@ -55,6 +55,13 @@
 ///                            address-stripe locks (rounded to a power
 ///                            of two). Lookup/update results and the
 ///                            gated counts are shard-independent.
+///   --lockfree               run the facility in the LockFreeRead
+///                            model (docs/runtime.md "Lock-free
+///                            reads"): lookups are seqlock-validated
+///                            copies with zero mutex acquisitions; the
+///                            JSON gains non-gated `lockfree` and
+///                            `contention_seqlock_*` keys. Results and
+///                            gated counts are model-independent.
 ///
 /// The simulated cost is the §5.1 checking-cost component of a run,
 /// separated from the program's own instructions:
@@ -201,7 +208,8 @@ void fillHotSites(WorkloadNumbers &Num, const Module &M,
 const char *DefaultSpec = "optimize,softbound,checkopt";
 
 void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
-               unsigned Lanes, unsigned Shards, const std::string &Path) {
+               unsigned Lanes, unsigned Shards, bool LockFree,
+               const std::string &Path) {
   JsonWriter W;
   W.beginObject();
   W.kv("schema", "softbound-bench-fig2-v1");
@@ -210,6 +218,7 @@ void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
   // ever reads single-lane counts.
   W.kv("lanes", static_cast<uint64_t>(Lanes));
   W.kv("shards", static_cast<uint64_t>(Shards));
+  W.kv("lockfree", LockFree);
   W.key("workloads");
   W.beginObject();
   for (const auto &N : All) {
@@ -221,6 +230,8 @@ void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
     // prices are docs/runtime.md's: uncontended 1, contended 40.
     W.kv("contention_lock_acquires", N.MetaStats.LockAcquires);
     W.kv("contention_lock_contended", N.MetaStats.LockContended);
+    W.kv("contention_seqlock_reads", N.MetaStats.SeqlockReads);
+    W.kv("contention_seqlock_retries", N.MetaStats.SeqlockRetries);
     W.kv("contention_sim_cost", N.MetaStats.contentionSimCost());
     for (int C = 0; C < 4; ++C)
       W.kv(std::string("overhead_pct_") + Configs[C].Name, N.OverheadPct[C]);
@@ -522,6 +533,7 @@ int main(int argc, char **argv) {
   std::string JsonPath, BaselinePath, WriteBaselinePath, SummaryPath,
       TracePath;
   bool Profile = false;
+  bool LockFree = false;
   unsigned Lanes = 1, Shards = 1;
   std::set<std::string> OnlyWorkloads;
   for (int I = 1; I < argc; ++I) {
@@ -550,12 +562,14 @@ int main(int argc, char **argv) {
       Lanes = static_cast<unsigned>(std::atoi(NeedArg("--lanes")));
     else if (std::strcmp(argv[I], "--shards") == 0)
       Shards = static_cast<unsigned>(std::atoi(NeedArg("--shards")));
+    else if (std::strcmp(argv[I], "--lockfree") == 0)
+      LockFree = true;
     else {
       std::fprintf(stderr,
                    "unknown flag '%s' (flags: --json <path>, --baseline "
                    "<path>, --write-baseline <path>, --summary <path>, "
                    "--profile, --trace <path>, --workload <name>, "
-                   "--lanes <N>, --shards <N>)\n",
+                   "--lanes <N>, --shards <N>, --lockfree)\n",
                    argv[I]);
       return 2;
     }
@@ -636,6 +650,7 @@ int main(int argc, char **argv) {
       R.Facility = Configs[C].Facility;
       R.Lanes = Lanes;
       R.FacilityShards = Shards;
+      R.LockFreeReads = LockFree;
       Measurement M = measure(Prog, R);
       if (!M.R.ok()) {
         std::fprintf(stderr, "%s/%s failed: trap=%s msg=%s\n", W.Name.c_str(),
@@ -726,6 +741,7 @@ int main(int argc, char **argv) {
       RunOptions R;
       R.Lanes = Lanes;
       R.FacilityShards = Shards;
+      R.LockFreeReads = LockFree;
       if (Observed) {
         R.Telem = &Telem;
         R.ProfileOut = &Prof;
@@ -797,7 +813,7 @@ int main(int argc, char **argv) {
               N);
 
   if (!JsonPath.empty())
-    writeJson(All, Profile, Lanes, Shards, JsonPath);
+    writeJson(All, Profile, Lanes, Shards, LockFree, JsonPath);
   if (!TracePath.empty()) {
     if (!Telem.writeChromeTrace(TracePath)) {
       std::fprintf(stderr, "cannot write %s\n", TracePath.c_str());

@@ -17,8 +17,13 @@
 ///                 still holds per lane because lanes are deterministic.
 ///   --shards <N>  shard the metadata facility over N address-stripe
 ///                 locks (rounded to a power of two).
+///   --lockfree    run the facility in the LockFreeRead model
+///                 (docs/runtime.md "Lock-free reads"): lookups acquire
+///                 no locks and the contention_* keys gain seqlock
+///                 read/retry counters.
 ///   --json <path> machine-readable results, including the non-gated
-///                 `lanes`, `shards`, and `contention_*` keys.
+///                 `lanes`, `shards`, `lockfree`, and `contention_*`
+///                 keys.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +53,7 @@ struct CaseResult {
 
 int main(int argc, char **argv) {
   unsigned Lanes = 1, Shards = 1;
+  bool LockFree = false;
   std::string JsonPath;
   for (int I = 1; I < argc; ++I) {
     auto NeedArg = [&](const char *Flag) -> const char * {
@@ -61,12 +67,14 @@ int main(int argc, char **argv) {
       Lanes = static_cast<unsigned>(std::atoi(NeedArg("--lanes")));
     else if (std::strcmp(argv[I], "--shards") == 0)
       Shards = static_cast<unsigned>(std::atoi(NeedArg("--shards")));
+    else if (std::strcmp(argv[I], "--lockfree") == 0)
+      LockFree = true;
     else if (std::strcmp(argv[I], "--json") == 0)
       JsonPath = NeedArg("--json");
     else {
       std::fprintf(stderr,
                    "unknown flag '%s' (flags: --lanes <N>, --shards <N>, "
-                   "--json <path>)\n",
+                   "--lockfree, --json <path>)\n",
                    argv[I]);
       return 2;
     }
@@ -77,8 +85,9 @@ int main(int argc, char **argv) {
   }
 
   std::printf("=== §6.4: source-compatibility case studies ===\n");
-  if (Lanes > 1 || Shards > 1)
-    std::printf("(%u lanes, %u facility shards)\n", Lanes, Shards);
+  if (Lanes > 1 || Shards > 1 || LockFree)
+    std::printf("(%u lanes, %u facility shards%s)\n", Lanes, Shards,
+                LockFree ? ", lock-free reads" : "");
   std::printf("\n");
   TablePrinter T({"server", "sessions", "plain ok", "full ok",
                   "output identical", "full overhead %", "store overhead %"});
@@ -99,6 +108,7 @@ int main(int argc, char **argv) {
     R.Args = C.Args;
     R.Lanes = Lanes;
     R.FacilityShards = Shards;
+    R.LockFreeReads = LockFree;
     BuildResult Plain = mustBuild(C.Src, BuildOptions{});
     Measurement MP = measure(Plain, R);
 
@@ -153,7 +163,9 @@ int main(int argc, char **argv) {
   RV.Args = {1};
   RV.Lanes = Lanes;
   RV.FacilityShards = Shards;
-  RunResult V = compileAndRun(httpServerSource(), BS, RV);
+  RV.LockFreeReads = LockFree;
+  RunResult V =
+      runSession(planFromBuildOptions(httpServerSource(), BS), RV).Combined;
   std::printf("\nvulnerable query-copy variant under store-only checking: "
               "%s (paper: store-only stops all such attacks)\n",
               V.violationDetected() ? "stopped" : "MISSED");
@@ -166,6 +178,7 @@ int main(int argc, char **argv) {
     // lock contention is scheduling-dependent for Lanes > 1.
     W.kv("lanes", static_cast<uint64_t>(Lanes));
     W.kv("shards", static_cast<uint64_t>(Shards));
+    W.kv("lockfree", LockFree);
     W.key("servers");
     W.beginObject();
     for (const auto &Res : Results) {
@@ -179,6 +192,8 @@ int main(int argc, char **argv) {
       W.kv("store_overhead_pct", Res.StoreOverheadPct);
       W.kv("contention_lock_acquires", Res.MetaStats.LockAcquires);
       W.kv("contention_lock_contended", Res.MetaStats.LockContended);
+      W.kv("contention_seqlock_reads", Res.MetaStats.SeqlockReads);
+      W.kv("contention_seqlock_retries", Res.MetaStats.SeqlockRetries);
       W.kv("contention_sim_cost", Res.MetaStats.contentionSimCost());
       W.endObject();
     }

@@ -73,13 +73,13 @@ int main() {
 bool softboundDetects(const char *Src) {
   BuildOptions B;
   B.Instrument = true;
-  return compileAndRun(Src, B).violationDetected();
+  return runSession(planFromBuildOptions(Src, B)).Combined.violationDetected();
 }
 
 bool softboundRunsClean(const char *Src) {
   BuildOptions B;
   B.Instrument = true;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = runSession(planFromBuildOptions(Src, B)).Combined;
   return R.ok() && R.ExitCode == 0;
 }
 
@@ -95,7 +95,7 @@ int main() {
   // overflow must be caught.
   BuildOptions B;
   B.Instrument = true;
-  RunResult WC = compileAndRun(WildCastProbe, B);
+  RunResult WC = runSession(planFromBuildOptions(WildCastProbe, B)).Combined;
   bool WildCasts = WC.violationDetected(); // Overflow caught after casts.
   bool Layout = softboundRunsClean(LayoutProbe);
 
@@ -104,7 +104,9 @@ int main() {
   // pointer-heavy kernel here.
   BuildOptions BT;
   BT.Instrument = true;
-  RunResult Tr = compileAndRun(benchmarkSuite()[14].Source, BT);
+  RunResult Tr =
+      runSession(planFromBuildOptions(benchmarkSuite()[14].Source, BT))
+          .Combined;
   bool NoSrcChange = Tr.ok();
 
   // Separate compilation: the transformation is purely intra-procedural —
@@ -126,13 +128,15 @@ int main() { return apply(twice, 21) == 42 ? 0 : 1; }
   ROT.RedzonePad = 16;
   ROT.GlobalPad = 16;
   bool ObjTableSubObject =
-      compileAndRun(SubObjectProbe, BuildOptions{}, ROT).violationDetected();
+      runSession(planFromBuildOptions(SubObjectProbe, BuildOptions{}), ROT)
+          .Combined.violationDetected();
 
   // MSCC-like (no shrink) measured sub-object miss.
   BuildOptions BM;
   BM.Instrument = true;
   BM.SB.ShrinkBounds = false;
-  bool MsccSubObject = compileAndRun(SubObjectProbe, BM).violationDetected();
+  bool MsccSubObject = runSession(planFromBuildOptions(SubObjectProbe, BM))
+                           .Combined.violationDetected();
 
   TablePrinter T({"scheme", "no src change", "complete (subfield)",
                   "memory layout", "arbitrary casts", "dyn-link lib"});

@@ -24,17 +24,17 @@ int main() {
   int Landed = 0, FullDet = 0, StoreDet = 0;
   for (const auto &A : attackSuite()) {
     BuildResult Plain = mustBuild(A.Source, BuildOptions{});
-    RunResult RPlain = runProgram(Plain);
+    RunResult RPlain = runSession(Plain).Combined;
 
     BuildOptions BF;
     BF.Instrument = true;
     BF.SB.Mode = CheckMode::Full;
-    RunResult RFull = runProgram(mustBuild(A.Source, BF));
+    RunResult RFull = runSession(mustBuild(A.Source, BF)).Combined;
 
     BuildOptions BS;
     BS.Instrument = true;
     BS.SB.Mode = CheckMode::StoreOnly;
-    RunResult RStore = runProgram(mustBuild(A.Source, BS));
+    RunResult RStore = runSession(mustBuild(A.Source, BS)).Combined;
 
     bool L = RPlain.attackLanded();
     bool F = RFull.violationDetected();

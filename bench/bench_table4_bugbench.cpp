@@ -47,25 +47,27 @@ int main() {
     RunOptions RMC;
     RMC.Checker = &MC;
     RMC.RedzonePad = MemcheckLite::RecommendedRedzone;
-    bool Valgrind = runProgram(Plain, RMC).violationDetected();
+    bool Valgrind = runSession(Plain, RMC).Combined.violationDetected();
 
     ObjectTableChecker OT;
     RunOptions ROT;
     ROT.Checker = &OT;
     ROT.RedzonePad = 16;
     ROT.GlobalPad = 16;
-    bool Mudflap = runProgram(mustBuild(Bug.Source, BuildOptions{}), ROT)
-                       .violationDetected();
+    bool Mudflap = runSession(mustBuild(Bug.Source, BuildOptions{}), ROT)
+                       .Combined.violationDetected();
 
     BuildOptions BS;
     BS.Instrument = true;
     BS.SB.Mode = CheckMode::StoreOnly;
-    bool Store = runProgram(mustBuild(Bug.Source, BS)).violationDetected();
+    bool Store =
+        runSession(mustBuild(Bug.Source, BS)).Combined.violationDetected();
 
     BuildOptions BF;
     BF.Instrument = true;
     BF.SB.Mode = CheckMode::Full;
-    bool Full = runProgram(mustBuild(Bug.Source, BF)).violationDetected();
+    bool Full =
+        runSession(mustBuild(Bug.Source, BF)).Combined.violationDetected();
 
     bool Match = Valgrind == Paper[Idx][0] && Mudflap == Paper[Idx][1] &&
                  Store == Paper[Idx][2] && Full == Paper[Idx][3];

@@ -58,7 +58,7 @@ int main() {
 
   // Without setbound: sub-blocks carry the arena's bounds, so the
   // neighbour overflow stays inside the arena and is missed.
-  RunResult Plainish = runPipeline(Instrumented(MakeProgram(false)));
+  RunResult Plainish = runSession(Instrumented(MakeProgram(false))).Combined;
   std::printf("arena without setbound: trap=%s exit=%lld\n",
               trapName(Plainish.Trap),
               static_cast<long long>(Plainish.ExitCode));
@@ -66,7 +66,7 @@ int main() {
               "stayed in the arena\n\n");
 
   // With setbound: each block gets its own extent; the overflow traps.
-  RunResult Bounded = runPipeline(Instrumented(MakeProgram(true)));
+  RunResult Bounded = runSession(Instrumented(MakeProgram(true))).Combined;
   std::printf("arena with setbound:    trap=%s\n  %s\n",
               trapName(Bounded.Trap), Bounded.Message.c_str());
 

@@ -53,7 +53,8 @@ int main() {
 
   // 1. Unprotected run: the program "works" but silently corrupts state.
   //    A pipeline is just frontend + optimizer.
-  RunResult Plain = runPipeline(PipelinePlan().frontend(Program).optimize());
+  RunResult Plain =
+      runSession(PipelinePlan().frontend(Program).optimize()).Combined;
   std::printf("unprotected run:  trap=%s exit=%lld\n", trapName(Plain.Trap),
               static_cast<long long>(Plain.ExitCode));
   std::printf("  output: %s", Plain.Output.c_str());
@@ -82,7 +83,7 @@ int main() {
     std::printf("  pass %-10s %6.2f ms\n", T.Pass.c_str(), T.Millis);
   std::printf("\n");
 
-  RunResult Protected = runProgram(Prog);
+  RunResult Protected = runSession(Prog).Combined;
   std::printf("protected run:    trap=%s\n", trapName(Protected.Trap));
   std::printf("  message: %s\n\n", Protected.Message.c_str());
 

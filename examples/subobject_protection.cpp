@@ -48,7 +48,7 @@ int main() {
 
   // 1. Unprotected: function pointer corrupted, call goes wild.
   PipelinePlan Uninstrumented = PipelinePlan().frontend(Program).optimize();
-  RunResult Plain = runPipeline(Uninstrumented);
+  RunResult Plain = runSession(Uninstrumented).Combined;
   std::printf("unprotected:            trap=%s (%s)\n", trapName(Plain.Trap),
               Plain.Message.c_str());
 
@@ -58,7 +58,7 @@ int main() {
   R.Checker = &OT;
   R.RedzonePad = 16;
   R.GlobalPad = 16;
-  RunResult Obj = runPipeline(Uninstrumented, R);
+  RunResult Obj = runSession(Uninstrumented, R).Combined;
   std::printf("object table (mudflap): trap=%s  <- in-object overflow "
               "invisible\n",
               trapName(Obj.Trap));
@@ -72,14 +72,16 @@ int main() {
     std::fprintf(stderr, "bad pipeline spec: %s\n", Err.c_str());
     return 1;
   }
-  RunResult NS = runPipeline(NoShrink);
+  RunResult NS = runSession(NoShrink).Combined;
   std::printf("softbound, no shrink:   trap=%s  <- caught at the indirect "
               "call\n",
               trapName(NS.Trap));
 
   // 4. Full SoftBound: the overflowing strcpy itself is rejected.
-  RunResult SB = runPipeline(
-      PipelinePlan().frontend(Program).optimize().softbound().checkOpt());
+  RunResult SB =
+      runSession(
+          PipelinePlan().frontend(Program).optimize().softbound().checkOpt())
+          .Combined;
   std::printf("softbound (full):       trap=%s  <- caught at the write\n",
               trapName(SB.Trap));
   std::printf("  %s\n", SB.Message.c_str());

@@ -39,12 +39,12 @@ int main() {
   RunOptions Traffic;
   Traffic.Args = {0};
 
-  RunResult Plain = runPipeline(Stock, Traffic);
+  RunResult Plain = runSession(Stock, Traffic).Combined;
   std::printf("1. stock server:       %llu cycles, %d requests OK\n",
               static_cast<unsigned long long>(Plain.Counters.Cycles),
               Plain.ExitCode == 0 ? 120 : 0);
 
-  RunResult F = runPipeline(Full, Traffic);
+  RunResult F = runSession(Full, Traffic).Combined;
   std::printf("2. full checking:      %llu cycles (%.1f%% overhead), "
               "output identical: %s\n",
               static_cast<unsigned long long>(F.Counters.Cycles),
@@ -53,7 +53,7 @@ int main() {
                        1.0),
               F.Output == Plain.Output ? "yes" : "NO");
 
-  RunResult S = runPipeline(Store, Traffic);
+  RunResult S = runSession(Store, Traffic).Combined;
   std::printf("3. store-only (prod):  %llu cycles (%.1f%% overhead), "
               "output identical: %s\n\n",
               static_cast<unsigned long long>(S.Counters.Cycles),
@@ -66,11 +66,11 @@ int main() {
   // through an unbounded strcpy (the vulnerable code path).
   RunOptions Attack;
   Attack.Args = {1};
-  RunResult Hit = runPipeline(Stock, Attack);
+  RunResult Hit = runSession(Stock, Attack).Combined;
   std::printf("attack vs stock server:      trap=%s (exploitable "
               "corruption)\n",
               trapName(Hit.Trap));
-  RunResult Blocked = runPipeline(Store, Attack);
+  RunResult Blocked = runSession(Store, Attack).Combined;
   std::printf("attack vs store-only server: trap=%s\n  %s\n",
               trapName(Blocked.Trap), Blocked.Message.c_str());
 

@@ -70,13 +70,16 @@ SessionResult softbound::runSession(const BuildResult &Prog,
   Cfg.CheckCost = Req.CheckCost;
 
   if (Prog.Instrumented) {
-    // Lanes == 1 with one shard keeps the lock-free SingleThread
-    // facility — the configuration every gated baseline was recorded
-    // under. Anything else stripes the facility behind per-shard locks.
+    // Lanes == 1 with one shard (and no LockFreeReads) keeps the
+    // unlocked SingleThread facility — the configuration every gated
+    // baseline was recorded under. Otherwise the facility stripes its
+    // address space: LockFreeReads selects the seqlock read path,
+    // anything else the shared-mutex Sharded model.
     FacilityOptions FO;
     FO.Shards = Req.FacilityShards ? Req.FacilityShards : 1;
-    FO.Model = (Lanes > 1 || FO.Shards > 1) ? ConcurrencyModel::Sharded
-                                            : ConcurrencyModel::SingleThread;
+    FO.Model = Req.LockFreeReads ? ConcurrencyModel::LockFreeRead
+               : (Lanes > 1 || FO.Shards > 1) ? ConcurrencyModel::Sharded
+                                              : ConcurrencyModel::SingleThread;
     if (Req.Facility == FacilityKind::Shadow)
       Meta = std::make_unique<ShadowSpaceMetadata>(FO);
     else

@@ -94,6 +94,16 @@ struct RunRequest {
   /// power-of-two locks (ConcurrencyModel::Sharded), which adds
   /// contention accounting but never changes lookup/update results.
   unsigned FacilityShards = 1;
+  /// Lock-free facility reads (docs/runtime.md "Lock-free reads"). When
+  /// true the facility runs in ConcurrencyModel::LockFreeRead — writers
+  /// still take the exclusive stripe lock, but lookups validate a copied
+  /// entry against the stripe's seqlock instead of acquiring anything.
+  /// Lookup/update *results* are unchanged; only the contention
+  /// accounting moves from lock counters to seqlock read/retry counters
+  /// (both priced in the non-gated contention_* group). The default
+  /// false keeps single-lane/single-shard runs in SingleThread mode,
+  /// byte-identical to the gated baselines.
+  bool LockFreeReads = false;
   /// Entry function name ("_sb_"-renamed form resolved automatically).
   /// Must be "main" (or a function with no direct call sites) when the
   /// module was built with checkopt(interproc): the whole-program

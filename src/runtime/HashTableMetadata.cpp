@@ -13,6 +13,19 @@
 
 using namespace softbound;
 
+namespace {
+
+// Entry words are relaxed atomics everywhere (see the header); these
+// shorthands keep the probe loops readable.
+inline uint64_t ld(const std::atomic<uint64_t> &W) {
+  return W.load(std::memory_order_relaxed);
+}
+inline void st(std::atomic<uint64_t> &W, uint64_t V) {
+  W.store(V, std::memory_order_relaxed);
+}
+
+} // namespace
+
 HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size,
                                      FacilityOptions Options)
     : Opts(Options) {
@@ -20,7 +33,9 @@ HashTableMetadata::HashTableMetadata(unsigned InitialLog2Size,
   Shards.reserve(Opts.Shards);
   for (unsigned K = 0; K < Opts.Shards; ++K) {
     Shards.push_back(std::make_unique<Shard>());
-    Shards.back()->Entries.resize(size_t(1) << InitialLog2Size);
+    Shard &S = *Shards.back();
+    S.Tables.push_back(std::make_unique<Table>(size_t(1) << InitialLog2Size));
+    S.Tab.store(S.Tables.back().get(), std::memory_order_release);
   }
 }
 
@@ -39,13 +54,15 @@ void HashTableMetadata::flushTelemetry() {
   if (!Telem)
     return;
   uint64_t Live = 0, TableEntries = 0, Collisions = 0;
-  uint64_t Acquires = 0, Contended = 0;
+  uint64_t Acquires = 0, Contended = 0, SeqReads = 0, SeqRetries = 0;
   for (const auto &S : Shards) {
     Live += S->Live;
-    TableEntries += S->Entries.size();
+    TableEntries += S->Tab.load(std::memory_order_relaxed)->Size;
     Collisions += S->Collisions.load(std::memory_order_relaxed);
     Acquires += S->Lock.Acquires.load(std::memory_order_relaxed);
     Contended += S->Lock.Contended.load(std::memory_order_relaxed);
+    SeqReads += S->Seq.Reads.load(std::memory_order_relaxed);
+    SeqRetries += S->Seq.Retries.load(std::memory_order_relaxed);
   }
   Telem->counter(TelemetryPrefix + "/live_entries") = Live;
   Telem->counter(TelemetryPrefix + "/table_entries") = TableEntries;
@@ -61,7 +78,7 @@ void HashTableMetadata::flushTelemetry() {
       CopyCalls.load(std::memory_order_relaxed);
   Telem->counter(TelemetryPrefix + "/copy_entries") =
       CopyEntries.load(std::memory_order_relaxed);
-  if (Opts.Model == ConcurrencyModel::Sharded) {
+  if (Opts.Model != ConcurrencyModel::SingleThread) {
     Telem->counter(TelemetryPrefix + "/lock_acquires") = Acquires;
     Telem->counter(TelemetryPrefix + "/lock_contended") = Contended;
     for (size_t K = 0; K < Shards.size(); ++K) {
@@ -73,23 +90,29 @@ void HashTableMetadata::flushTelemetry() {
           Shards[K]->Lock.Contended.load(std::memory_order_relaxed);
     }
   }
+  if (Opts.Model == ConcurrencyModel::LockFreeRead) {
+    Telem->counter(TelemetryPrefix + "/seqlock_reads") = SeqReads;
+    Telem->counter(TelemetryPrefix + "/seqlock_retries") = SeqRetries;
+  }
 }
 
 HashTableMetadata::Entry *HashTableMetadata::find(Shard &S, uint64_t Addr,
                                                   bool ForInsert) {
   // Tag is the slot address itself; addresses 0 and 1 never hold pointers.
-  size_t Idx = hash(Addr, S.Entries.size());
+  Table &T = *S.Tab.load(std::memory_order_relaxed);
+  size_t Idx = hash(Addr, T.Size);
   Entry *FirstTombstone = nullptr;
-  for (size_t Probe = 0; Probe < S.Entries.size(); ++Probe) {
-    Entry &E = S.Entries[(Idx + Probe) & (S.Entries.size() - 1)];
-    if (E.Tag == Addr) {
+  for (size_t Probe = 0; Probe < T.Size; ++Probe) {
+    Entry &E = T.Slots[(Idx + Probe) & (T.Size - 1)];
+    uint64_t Tag = ld(E.Tag);
+    if (Tag == Addr) {
       if (Probe)
         S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
       if (S.ProbeHist)
         S.ProbeHist->record(Probe + 1);
       return &E;
     }
-    if (E.Tag == EmptyTag) {
+    if (Tag == EmptyTag) {
       if (Probe)
         S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
       if (S.ProbeHist)
@@ -98,33 +121,82 @@ HashTableMetadata::Entry *HashTableMetadata::find(Shard &S, uint64_t Addr,
         return FirstTombstone ? FirstTombstone : &E;
       return nullptr;
     }
-    if (E.Tag == TombstoneTag && !FirstTombstone)
+    if (Tag == TombstoneTag && !FirstTombstone)
       FirstTombstone = &E;
   }
   if (S.ProbeHist)
-    S.ProbeHist->record(S.Entries.size());
+    S.ProbeHist->record(T.Size);
   return ForInsert ? FirstTombstone : nullptr;
+}
+
+Bounds HashTableMetadata::lookupLockFree(Shard &S, uint64_t Addr) {
+  // The classic seqlock read: copy the candidate entry between two
+  // sequence reads and retry when a writer's window overlapped. The
+  // probe itself acquires nothing; the table generation is published
+  // through an atomic pointer so even a concurrent grow() cannot leave
+  // this probe on a freed array (old generations are retired, not
+  // freed). Probe statistics are recorded per attempt — a retried read
+  // really does re-walk the chain, and the histogram should say so.
+  uint64_t S0 = S.Seq.readBegin();
+  for (;;) {
+    Bounds B{};
+    Table &T = *S.Tab.load(std::memory_order_acquire);
+    size_t Idx = hash(Addr, T.Size);
+    for (size_t Probe = 0; Probe < T.Size; ++Probe) {
+      Entry &E = T.Slots[(Idx + Probe) & (T.Size - 1)];
+      uint64_t Tag = ld(E.Tag);
+      if (Tag == Addr) {
+        B = Bounds{ld(E.Base), ld(E.Bound)};
+        if (Probe)
+          S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
+        if (S.ProbeHist)
+          S.ProbeHist->record(Probe + 1);
+        break;
+      }
+      if (Tag == EmptyTag) {
+        if (Probe)
+          S.Collisions.fetch_add(Probe, std::memory_order_relaxed);
+        if (S.ProbeHist)
+          S.ProbeHist->record(Probe + 1);
+        break;
+      }
+    }
+    if (S.Seq.readValidate(S0))
+      return B;
+    S0 = S.Seq.stableSeq();
+  }
 }
 
 Bounds HashTableMetadata::lookup(uint64_t Addr) {
   Shard &S = *Shards[shardOf(Addr)];
-  ShardSharedGuard Guard(lockOf(S));
   S.Lookups.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.Model == ConcurrencyModel::LockFreeRead)
+    return lookupLockFree(S, Addr);
+  ShardSharedGuard Guard(readLockOf(S));
   if (Entry *E = find(S, Addr, /*ForInsert=*/false))
-    return Bounds{E->Base, E->Bound};
+    return Bounds{ld(E->Base), ld(E->Bound)};
   return Bounds{};
 }
 
 void HashTableMetadata::lookupN(const uint64_t *Addrs, Bounds *Out, size_t N) {
+  if (Opts.Model == ConcurrencyModel::LockFreeRead) {
+    // No lock to amortize: every slot is an independent seqlock read.
+    for (size_t I = 0; I < N; ++I) {
+      Shard &S = *Shards[shardOf(Addrs[I])];
+      S.Lookups.fetch_add(1, std::memory_order_relaxed);
+      Out[I] = lookupLockFree(S, Addrs[I]);
+    }
+    return;
+  }
   // One shared acquisition per run of same-shard addresses, not per slot.
   size_t I = 0;
   while (I < N) {
     Shard &S = *Shards[shardOf(Addrs[I])];
-    ShardSharedGuard Guard(lockOf(S));
+    ShardSharedGuard Guard(readLockOf(S));
     do {
       S.Lookups.fetch_add(1, std::memory_order_relaxed);
       Entry *E = find(S, Addrs[I], /*ForInsert=*/false);
-      Out[I] = E ? Bounds{E->Base, E->Bound} : Bounds{};
+      Out[I] = E ? Bounds{ld(E->Base), ld(E->Bound)} : Bounds{};
       ++I;
     } while (I < N && Shards[shardOf(Addrs[I])].get() == &S);
   }
@@ -132,18 +204,19 @@ void HashTableMetadata::lookupN(const uint64_t *Addrs, Bounds *Out, size_t N) {
 
 void HashTableMetadata::updateLocked(Shard &S, uint64_t Addr, Bounds B) {
   S.Updates.fetch_add(1, std::memory_order_relaxed);
-  if (S.Used * 2 >= S.Entries.size())
+  SeqlockWriteScope Writing(seqOf(S));
+  if (S.Used * 2 >= S.Tab.load(std::memory_order_relaxed)->Size)
     grow(S);
   Entry *E = find(S, Addr, /*ForInsert=*/true);
   assert(E && "hash table full despite growth policy");
-  if (E->Tag != Addr) {
-    if (E->Tag == EmptyTag)
+  if (ld(E->Tag) != Addr) {
+    if (ld(E->Tag) == EmptyTag)
       ++S.Used;
-    E->Tag = Addr;
+    st(E->Tag, Addr);
     ++S.Live;
   }
-  E->Base = B.Base;
-  E->Bound = B.Bound;
+  st(E->Base, B.Base);
+  st(E->Bound, B.Bound);
 }
 
 void HashTableMetadata::update(uint64_t Addr, Bounds B) {
@@ -168,12 +241,14 @@ void HashTableMetadata::updateN(const uint64_t *Addrs, const Bounds *In,
 uint64_t HashTableMetadata::clearChunkLocked(Shard &S, uint64_t Addr,
                                              uint64_t Size) {
   uint64_t Cleared = 0;
+  SeqlockWriteScope Writing(seqOf(S));
   for (uint64_t A = Addr; A < Addr + Size; A += 8) {
     Entry *E = find(S, A, /*ForInsert=*/false);
     if (!E)
       continue;
-    E->Tag = TombstoneTag;
-    E->Base = E->Bound = 0;
+    st(E->Tag, TombstoneTag);
+    st(E->Base, 0);
+    st(E->Bound, 0);
     --S.Live;
     ++Cleared;
   }
@@ -218,10 +293,14 @@ uint64_t HashTableMetadata::copyRange(uint64_t Dst, uint64_t Src,
     bool Have = false;
     Bounds B;
     {
+      // copyRange is a write-path operation; its source read keeps the
+      // shared acquisition in both concurrent models (a shared_mutex
+      // read alongside exclusive writers), so presence-vs-null-bounds
+      // semantics stay identical across all three models.
       Shard &S = *Shards[shardOf(SA)];
       ShardSharedGuard Guard(lockOf(S));
       if (Entry *E = find(S, SA, /*ForInsert=*/false)) {
-        B = Bounds{E->Base, E->Bound};
+        B = Bounds{ld(E->Base), ld(E->Bound)};
         Have = true;
       }
     }
@@ -243,7 +322,7 @@ uint64_t HashTableMetadata::memoryBytes() const {
   uint64_t Bytes = 0;
   for (const auto &S : Shards) {
     ShardSharedGuard Guard(lockOf(*S));
-    Bytes += S->Entries.size() * sizeof(Entry);
+    Bytes += S->Tab.load(std::memory_order_relaxed)->Size * sizeof(Entry);
   }
   return Bytes;
 }
@@ -253,7 +332,7 @@ double HashTableMetadata::loadFactor() const {
   for (const auto &S : Shards) {
     ShardSharedGuard Guard(lockOf(*S));
     Live += S->Live;
-    TableEntries += S->Entries.size();
+    TableEntries += S->Tab.load(std::memory_order_relaxed)->Size;
   }
   return TableEntries ? static_cast<double>(Live) /
                             static_cast<double>(TableEntries)
@@ -269,15 +348,28 @@ MetadataStats HashTableMetadata::stats() const {
     Out.Collisions += S->Collisions.load(std::memory_order_relaxed);
     Out.LockAcquires += S->Lock.Acquires.load(std::memory_order_relaxed);
     Out.LockContended += S->Lock.Contended.load(std::memory_order_relaxed);
+    Out.SeqlockReads += S->Seq.Reads.load(std::memory_order_relaxed);
+    Out.SeqlockRetries += S->Seq.Retries.load(std::memory_order_relaxed);
   }
   return Out;
 }
 
 void HashTableMetadata::reset() {
+  // Quiescence required (MetadataFacility contract): retired generations
+  // are reclaimed here, so no lock-free reader may be in flight.
   for (auto &S : Shards) {
     ShardExclusiveGuard Guard(lockOf(*S));
-    for (auto &E : S->Entries)
-      E = Entry();
+    Table *Live = S->Tab.load(std::memory_order_relaxed);
+    for (size_t I = 0; I < Live->Size; ++I) {
+      st(Live->Slots[I].Tag, 0);
+      st(Live->Slots[I].Base, 0);
+      st(Live->Slots[I].Bound, 0);
+    }
+    if (S->Tables.size() > 1) {
+      std::unique_ptr<Table> Keep = std::move(S->Tables.back());
+      S->Tables.clear();
+      S->Tables.push_back(std::move(Keep));
+    }
     S->Live = S->Used = 0;
     S->Lookups.store(0, std::memory_order_relaxed);
     S->Updates.store(0, std::memory_order_relaxed);
@@ -285,6 +377,9 @@ void HashTableMetadata::reset() {
     S->Collisions.store(0, std::memory_order_relaxed);
     S->Lock.Acquires.store(0, std::memory_order_relaxed);
     S->Lock.Contended.store(0, std::memory_order_relaxed);
+    S->Seq.Seq.store(0, std::memory_order_relaxed);
+    S->Seq.Reads.store(0, std::memory_order_relaxed);
+    S->Seq.Retries.store(0, std::memory_order_relaxed);
   }
   ClearCalls.store(0, std::memory_order_relaxed);
   ClearEntries.store(0, std::memory_order_relaxed);
@@ -293,18 +388,32 @@ void HashTableMetadata::reset() {
 }
 
 void HashTableMetadata::grow(Shard &S) {
-  std::vector<Entry> Old;
-  Old.swap(S.Entries);
-  S.Entries.resize(Old.size() * 2);
+  // Build the next generation off to the side, publish it with a release
+  // store, and retire the old one. In the LockFreeRead model a reader
+  // may still be probing the retired generation, so it is kept until
+  // reset()/destruction (total retained memory is bounded by the live
+  // size — generations grow geometrically); the other models free it
+  // immediately.
+  Table *Old = S.Tab.load(std::memory_order_relaxed);
+  auto Next = std::make_unique<Table>(Old->Size * 2);
   S.Live = S.Used = 0;
-  for (const auto &E : Old) {
-    if (E.Tag == EmptyTag || E.Tag == TombstoneTag)
+  S.Tables.push_back(std::move(Next));
+  S.Tab.store(S.Tables.back().get(), std::memory_order_release);
+  for (size_t I = 0; I < Old->Size; ++I) {
+    uint64_t Tag = ld(Old->Slots[I].Tag);
+    if (Tag == EmptyTag || Tag == TombstoneTag)
       continue;
-    Entry *N = find(S, E.Tag, /*ForInsert=*/true);
-    N->Tag = E.Tag;
-    N->Base = E.Base;
-    N->Bound = E.Bound;
+    Entry *N = find(S, Tag, /*ForInsert=*/true);
+    st(N->Tag, Tag);
+    st(N->Base, ld(Old->Slots[I].Base));
+    st(N->Bound, ld(Old->Slots[I].Bound));
     ++S.Live;
     ++S.Used;
+  }
+  if (Opts.Model != ConcurrencyModel::LockFreeRead) {
+    // Only the freshly published generation needs to stay alive.
+    std::unique_ptr<Table> Keep = std::move(S.Tables.back());
+    S.Tables.clear();
+    S.Tables.push_back(std::move(Keep));
   }
 }

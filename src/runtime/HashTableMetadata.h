@@ -18,6 +18,15 @@
 /// probe sequences, collision counts and growth points are identical to
 /// the unsharded pre-v2 table.
 ///
+/// Lock-free reads (ConcurrencyModel::LockFreeRead): entry words are
+/// relaxed atomics and every shard's table generation is published
+/// through an atomic pointer, so a lookup probes with zero mutex
+/// acquisitions and validates its copied entry against the stripe's
+/// seqlock (StripeSeqlock) — writers, still under the exclusive
+/// ShardLock, bump the sequence around each mutation, and grow() retires
+/// the old generation instead of freeing it so a concurrent reader never
+/// traverses a dangling table.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_HASHTABLEMETADATA_H
@@ -65,22 +74,42 @@ public:
   double loadFactor() const;
 
 private:
+  /// One table slot. The words are relaxed atomics so the LockFreeRead
+  /// probe can race a writer without host-level undefined behaviour (the
+  /// seqlock discards any torn copy); on x86/ARM a relaxed load/store is
+  /// a plain move, so the SingleThread path pays nothing for this.
   struct Entry {
-    uint64_t Tag = 0; ///< Slot address | state; 0 = empty, 1 = tombstone.
-    uint64_t Base = 0;
-    uint64_t Bound = 0;
+    std::atomic<uint64_t> Tag{0}; ///< Slot address; 0 = empty, 1 = tombstone.
+    std::atomic<uint64_t> Base{0};
+    std::atomic<uint64_t> Bound{0};
   };
   static constexpr uint64_t EmptyTag = 0;
   static constexpr uint64_t TombstoneTag = 1;
 
+  /// One generation of a shard's open-addressing table. Grown
+  /// generations are immutable-from-then-on and, in the LockFreeRead
+  /// model, retired rather than freed (a lock-free reader may still be
+  /// probing them) until reset() or destruction.
+  struct Table {
+    explicit Table(size_t N) : Size(N), Slots(new Entry[N]) {}
+    size_t Size;
+    std::unique_ptr<Entry[]> Slots;
+  };
+
   /// One address-range stripe: an independent open-addressing table plus
-  /// its lock and statistics. Stats are relaxed atomics because lookups
-  /// (shared acquisitions) bump them concurrently.
+  /// its lock, seqlock, and statistics. Stats are relaxed atomics because
+  /// lookups (shared acquisitions or lock-free reads) bump them
+  /// concurrently.
   struct Shard {
-    std::vector<Entry> Entries;
+    /// The live generation; readers acquire-load, writers publish with a
+    /// release store. Ownership lives in Tables.
+    std::atomic<Table *> Tab{nullptr};
+    /// Every generation ever allocated; back() is live. Writer-only.
+    std::vector<std::unique_ptr<Table>> Tables;
     size_t Live = 0;
     size_t Used = 0; ///< Live + tombstones.
     ShardLock Lock;
+    StripeSeqlock Seq;
     std::atomic<uint64_t> Lookups{0};
     std::atomic<uint64_t> Updates{0};
     std::atomic<uint64_t> Clears{0};
@@ -102,14 +131,31 @@ private:
                                (Shards.size() - 1));
   }
 
-  /// The stripe lock to guard with, or null in SingleThread mode.
+  /// The stripe lock writers (and aggregate readers) guard with, or null
+  /// in SingleThread mode. Both concurrent models lock the write path.
   const ShardLock *lockOf(const Shard &S) const {
+    return Opts.Model == ConcurrencyModel::SingleThread ? nullptr : &S.Lock;
+  }
+
+  /// The stripe lock the *read* path guards with: only the Sharded model
+  /// takes it — SingleThread needs none, LockFreeRead reads through the
+  /// seqlock instead.
+  const ShardLock *readLockOf(const Shard &S) const {
     return Opts.Model == ConcurrencyModel::Sharded ? &S.Lock : nullptr;
+  }
+
+  /// The stripe seqlock writers bump, or null outside LockFreeRead.
+  StripeSeqlock *seqOf(Shard &S) const {
+    return Opts.Model == ConcurrencyModel::LockFreeRead ? &S.Seq : nullptr;
   }
 
   /// Finds the entry for Addr in \p S, or the insertion slot; counts
   /// collisions. Caller holds the shard's lock (or runs SingleThread).
   Entry *find(Shard &S, uint64_t Addr, bool ForInsert);
+
+  /// The lock-free read path: probes the published generation and
+  /// validates the copied entry against the stripe's seqlock.
+  Bounds lookupLockFree(Shard &S, uint64_t Addr);
 
   /// update() body minus locking; caller holds the shard exclusively.
   void updateLocked(Shard &S, uint64_t Addr, Bounds B);

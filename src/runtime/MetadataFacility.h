@@ -19,6 +19,17 @@
 /// at all and is bit-for-bit identical to the pre-v2 behaviour the
 /// bench gate's baselines were recorded against.
 ///
+/// Lock-free reads (`ConcurrencyModel::LockFreeRead`): the write path is
+/// unchanged — updates and range operations still take the stripe's
+/// exclusive ShardLock — but lookups acquire no mutex at all. Each
+/// stripe carries a seqlock (StripeSeqlock): writers bump an atomic
+/// sequence odd before mutating and even after; readers copy the entry
+/// between two sequence reads and retry when the window was dirty.
+/// Structures a reader traverses are published RCU-style (hash tables
+/// retire grown generations, shadow pages install fully-initialized
+/// behind a release store), so a racing reader can observe stale — but
+/// never torn or dangling — state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_METADATAFACILITY_H
@@ -29,6 +40,7 @@
 #include <cstdint>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 
 namespace softbound {
 
@@ -61,6 +73,11 @@ enum class ConcurrencyModel {
   /// exclusive one. Required whenever more than one VM lane shares the
   /// facility.
   Sharded,
+  /// Sharded write path (updates and range ops still take the stripe's
+  /// exclusive ShardLock), but the read path is lock-free: lookups
+  /// validate a copied entry against the stripe's seqlock and retry on
+  /// a dirty window instead of acquiring any mutex.
+  LockFreeRead,
 };
 
 /// log2 of the address-range stripe that maps to one shard: 32 KB, one
@@ -78,6 +95,13 @@ inline constexpr unsigned ShardStripeLog2 = 15;
 inline constexpr uint64_t UncontendedLockCost = 1;
 inline constexpr uint64_t ContendedLockCost = 40;
 
+/// One seqlock read retry (LockFreeRead model) is priced like a
+/// contended lock acquisition: the reader observed a writer's dirty
+/// window, which on real hardware is the same coherence miss plus
+/// re-read. Clean seqlock reads are free — the sequence load rides the
+/// entry's cache line, which is the whole point of the lock-free path.
+inline constexpr uint64_t SeqlockRetryCost = ContendedLockCost;
+
 /// Constructor-time facility configuration.
 struct FacilityOptions {
   ConcurrencyModel Model = ConcurrencyModel::SingleThread;
@@ -93,14 +117,18 @@ struct MetadataStats {
   uint64_t Updates = 0;
   uint64_t Clears = 0;
   uint64_t Collisions = 0;    ///< Extra probes (hash table only).
-  uint64_t LockAcquires = 0;  ///< Striped-lock acquisitions (Sharded only).
+  uint64_t LockAcquires = 0;  ///< Striped-lock acquisitions (concurrent modes).
   uint64_t LockContended = 0; ///< Acquisitions that found the lock held.
+  uint64_t SeqlockReads = 0;   ///< Lock-free lookups (LockFreeRead only).
+  uint64_t SeqlockRetries = 0; ///< Reads re-run after a dirty seqlock window.
 
   /// The contention component of the simulated cost model (priced with
-  /// UncontendedLockCost / ContendedLockCost; zero when SingleThread).
+  /// UncontendedLockCost / ContendedLockCost / SeqlockRetryCost; zero
+  /// when SingleThread). Clean seqlock reads carry no price.
   uint64_t contentionSimCost() const {
     return (LockAcquires - LockContended) * UncontendedLockCost +
-           LockContended * ContendedLockCost;
+           LockContended * ContendedLockCost +
+           SeqlockRetries * SeqlockRetryCost;
   }
 };
 
@@ -162,6 +190,85 @@ private:
   const ShardLock *L;
 };
 
+/// One stripe's seqlock: the sequence word writers bump around every
+/// mutation in the LockFreeRead model, plus the read-side tallies behind
+/// the SeqlockReads / SeqlockRetries statistics.
+///
+/// Protocol (the classic seqlock, with the data itself held in relaxed
+/// atomics so racing copies are defined behaviour):
+///
+///   writer  — already holding the stripe's ShardLock exclusively, so
+///             writers never race each other —
+///             writeBegin(): Seq += 1 (now odd), release fence;
+///             ...mutate (relaxed stores)...;
+///             writeEnd():   Seq += 1 (now even, release).
+///   reader  S0 = readBegin() (acquire; spins past odd, yielding so a
+///             descheduled writer on a single-core host gets the CPU);
+///             ...copy (relaxed loads)...;
+///             readValidate(S0): acquire fence, re-read Seq; a changed
+///             sequence means the copy may be torn — count a retry and
+///             re-run the read.
+struct StripeSeqlock {
+  std::atomic<uint64_t> Seq{0};
+  mutable std::atomic<uint64_t> Reads{0};
+  mutable std::atomic<uint64_t> Retries{0};
+
+  void writeBegin() {
+    Seq.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void writeEnd() { Seq.fetch_add(1, std::memory_order_release); }
+
+  /// Starts one counted read attempt sequence; returns an even sequence
+  /// value to validate against.
+  uint64_t readBegin() const {
+    Reads.fetch_add(1, std::memory_order_relaxed);
+    return stableSeq();
+  }
+
+  /// An even (no write in flight) sequence value. Each odd observation
+  /// counts as one retry — the reader is paying for a writer's window.
+  uint64_t stableSeq() const {
+    for (;;) {
+      uint64_t S = Seq.load(std::memory_order_acquire);
+      if (!(S & 1))
+        return S;
+      Retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  }
+
+  /// True when a copy taken since sequence \p S0 is consistent; on
+  /// failure the retry is counted and the caller re-runs its read.
+  bool readValidate(uint64_t S0) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (Seq.load(std::memory_order_relaxed) == S0)
+      return true;
+    Retries.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+};
+
+/// RAII writer window: brackets a mutation with writeBegin/writeEnd when
+/// \p SL is non-null (the LockFreeRead model); free otherwise. Callers
+/// hold the stripe's ShardLock exclusively for the whole window.
+class SeqlockWriteScope {
+public:
+  explicit SeqlockWriteScope(StripeSeqlock *SL) : SL(SL) {
+    if (SL)
+      SL->writeBegin();
+  }
+  ~SeqlockWriteScope() {
+    if (SL)
+      SL->writeEnd();
+  }
+  SeqlockWriteScope(const SeqlockWriteScope &) = delete;
+  SeqlockWriteScope &operator=(const SeqlockWriteScope &) = delete;
+
+private:
+  StripeSeqlock *SL;
+};
+
 /// Abstract interface of the disjoint metadata space.
 ///
 /// Contract:
@@ -175,6 +282,14 @@ private:
 ///    `copyRange`) are atomic per stripe but not across stripes — a
 ///    concurrent reader may observe a partially cleared/copied range,
 ///    which matches what a real multithreaded memcpy/free exposes.
+///  - The LockFreeRead model keeps those write-path guarantees (writers
+///    still serialize on the stripe's exclusive ShardLock) and makes the
+///    same atomicity promise for lock-free lookups: a lookup racing an
+///    update returns either the old or the new {base, bound} pair,
+///    never a mix — the seqlock retry discards any torn copy.
+///  - `reset()` and destruction require quiescence (no concurrent
+///    callers): they reclaim the RCU-retired structures lock-free
+///    readers may still be traversing otherwise.
 ///  - Statistics and telemetry never change behaviour or modelled costs.
 class MetadataFacility {
 public:
@@ -185,7 +300,8 @@ public:
   /// Returns the bounds recorded for the pointer stored at \p Addr;
   /// the null bounds — which fail every dereference check — when no
   /// metadata was ever recorded. Sharded model: shared (reader)
-  /// acquisition only, so lookups scale across lanes.
+  /// acquisition only, so lookups scale across lanes. LockFreeRead
+  /// model: zero mutex acquisitions — a seqlock-validated copy.
   virtual Bounds lookup(uint64_t Addr) = 0;
 
   /// Records bounds for the pointer stored at \p Addr.

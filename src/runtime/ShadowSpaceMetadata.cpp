@@ -12,6 +12,17 @@
 
 using namespace softbound;
 
+namespace {
+
+inline uint64_t ld(const std::atomic<uint64_t> &W) {
+  return W.load(std::memory_order_relaxed);
+}
+inline void st(std::atomic<uint64_t> &W, uint64_t V) {
+  W.store(V, std::memory_order_relaxed);
+}
+
+} // namespace
+
 ShadowSpaceMetadata::ShadowSpaceMetadata(FacilityOptions Options)
     : Opts(Options) {
   Opts.Shards = normalizeShards(Opts.Shards);
@@ -24,10 +35,13 @@ void ShadowSpaceMetadata::flushTelemetry() {
   if (!Telem)
     return;
   uint64_t Pages = 0, Acquires = 0, Contended = 0;
+  uint64_t SeqReads = 0, SeqRetries = 0;
   for (const auto &S : Shards) {
-    Pages += S->Pages.size();
+    Pages += S->PageCount;
     Acquires += S->Lock.Acquires.load(std::memory_order_relaxed);
     Contended += S->Lock.Contended.load(std::memory_order_relaxed);
+    SeqReads += S->Seq.Reads.load(std::memory_order_relaxed);
+    SeqRetries += S->Seq.Retries.load(std::memory_order_relaxed);
   }
   Telem->counter(TelemetryPrefix + "/pages_materialized") = Pages;
   Telem->counter(TelemetryPrefix + "/memory_bytes") = memoryBytes();
@@ -39,39 +53,76 @@ void ShadowSpaceMetadata::flushTelemetry() {
       CopyCalls.load(std::memory_order_relaxed);
   Telem->counter(TelemetryPrefix + "/copy_entries") =
       CopyEntries.load(std::memory_order_relaxed);
-  if (Opts.Model == ConcurrencyModel::Sharded) {
+  if (Opts.Model != ConcurrencyModel::SingleThread) {
     Telem->counter(TelemetryPrefix + "/lock_acquires") = Acquires;
     Telem->counter(TelemetryPrefix + "/lock_contended") = Contended;
     for (size_t K = 0; K < Shards.size(); ++K) {
       std::string P = TelemetryPrefix + "/shard" + std::to_string(K);
-      Telem->counter(P + "/pages_materialized") = Shards[K]->Pages.size();
+      Telem->counter(P + "/pages_materialized") = Shards[K]->PageCount;
       Telem->counter(P + "/lock_acquires") =
           Shards[K]->Lock.Acquires.load(std::memory_order_relaxed);
       Telem->counter(P + "/lock_contended") =
           Shards[K]->Lock.Contended.load(std::memory_order_relaxed);
     }
   }
+  if (Opts.Model == ConcurrencyModel::LockFreeRead) {
+    Telem->counter(TelemetryPrefix + "/seqlock_reads") = SeqReads;
+    Telem->counter(TelemetryPrefix + "/seqlock_retries") = SeqRetries;
+  }
+}
+
+ShadowSpaceMetadata::Pair *ShadowSpaceMetadata::findSlot(const Shard &S,
+                                                         uint64_t Addr) const {
+  uint64_t Slot = Addr >> 3;
+  uint64_t PageId = Slot / SlotsPerPage;
+  for (PageNode *N =
+           S.Buckets[bucketOf(PageId)].load(std::memory_order_acquire);
+       N; N = N->Next)
+    if (N->PageId == PageId)
+      return &N->Slots[Slot % SlotsPerPage];
+  return nullptr;
 }
 
 ShadowSpaceMetadata::Pair *
 ShadowSpaceMetadata::slotFor(Shard &S, uint64_t Addr, bool Materialize) {
+  if (Pair *P = findSlot(S, Addr))
+    return P;
+  if (!Materialize)
+    return nullptr;
   uint64_t Slot = Addr >> 3;
   uint64_t PageId = Slot / SlotsPerPage;
-  auto It = S.Pages.find(PageId);
-  if (It == S.Pages.end()) {
-    if (!Materialize)
-      return nullptr;
-    It = S.Pages.emplace(PageId, std::make_unique<Pair[]>(SlotsPerPage)).first;
+  std::atomic<PageNode *> &Head = S.Buckets[bucketOf(PageId)];
+  // The node is complete — zero-filled slots, id, next link — before the
+  // release store makes it reachable; a racing lock-free reader therefore
+  // sees either the old chain (page miss, null bounds: exactly what
+  // zero-fill-on-demand would return) or the finished node.
+  S.Nodes.push_back(std::make_unique<PageNode>(
+      PageId, Head.load(std::memory_order_relaxed)));
+  Head.store(S.Nodes.back().get(), std::memory_order_release);
+  ++S.PageCount;
+  return &S.Nodes.back()->Slots[Slot % SlotsPerPage];
+}
+
+Bounds ShadowSpaceMetadata::lookupLockFree(Shard &S, uint64_t Addr) {
+  uint64_t S0 = S.Seq.readBegin();
+  for (;;) {
+    Bounds B{};
+    if (Pair *P = findSlot(S, Addr))
+      B = Bounds{ld(P->Base), ld(P->Bound)};
+    if (S.Seq.readValidate(S0))
+      return B;
+    S0 = S.Seq.stableSeq();
   }
-  return &It->second[Slot % SlotsPerPage];
 }
 
 Bounds ShadowSpaceMetadata::lookup(uint64_t Addr) {
   Shard &S = *Shards[shardOf(Addr)];
-  ShardSharedGuard Guard(lockOf(S));
   S.Lookups.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.Model == ConcurrencyModel::LockFreeRead)
+    return lookupLockFree(S, Addr);
+  ShardSharedGuard Guard(readLockOf(S));
   if (Pair *P = slotFor(S, Addr, /*Materialize=*/false))
-    return Bounds{P->Base, P->Bound};
+    return Bounds{ld(P->Base), ld(P->Bound)};
   return Bounds{};
 }
 
@@ -79,9 +130,10 @@ void ShadowSpaceMetadata::update(uint64_t Addr, Bounds B) {
   Shard &S = *Shards[shardOf(Addr)];
   ShardExclusiveGuard Guard(lockOf(S));
   S.Updates.fetch_add(1, std::memory_order_relaxed);
+  SeqlockWriteScope Writing(seqOf(S));
   Pair *P = slotFor(S, Addr, /*Materialize=*/true);
-  P->Base = B.Base;
-  P->Bound = B.Bound;
+  st(P->Base, B.Base);
+  st(P->Bound, B.Bound);
 }
 
 uint64_t ShadowSpaceMetadata::clearRange(uint64_t Addr, uint64_t Size) {
@@ -95,12 +147,14 @@ uint64_t ShadowSpaceMetadata::clearRange(uint64_t Addr, uint64_t Size) {
     Shard &S = *Shards[shardOf(A)];
     {
       ShardExclusiveGuard Guard(lockOf(S));
+      SeqlockWriteScope Writing(seqOf(S));
       uint64_t ChunkCleared = 0;
       for (uint64_t A2 = A; A2 < ChunkEnd; A2 += 8) {
         Pair *P = slotFor(S, A2, /*Materialize=*/false);
-        if (!P || (P->Base == 0 && P->Bound == 0))
+        if (!P || (ld(P->Base) == 0 && ld(P->Bound) == 0))
           continue;
-        *P = Pair();
+        st(P->Base, 0);
+        st(P->Bound, 0);
         ++ChunkCleared;
       }
       S.Clears.fetch_add(ChunkCleared, std::memory_order_relaxed);
@@ -123,11 +177,14 @@ uint64_t ShadowSpaceMetadata::copyRange(uint64_t Dst, uint64_t Src,
     bool Have = false;
     Bounds B;
     {
+      // Write-path operation: the source read keeps its shared
+      // acquisition in both concurrent models (see HashTableMetadata's
+      // copyRange for the rationale).
       Shard &S = *Shards[shardOf(A)];
       ShardSharedGuard Guard(lockOf(S));
       Pair *SP = slotFor(S, A, /*Materialize=*/false);
-      if (SP && (SP->Base || SP->Bound)) {
-        B = Bounds{SP->Base, SP->Bound};
+      if (SP && (ld(SP->Base) || ld(SP->Bound))) {
+        B = Bounds{ld(SP->Base), ld(SP->Bound)};
         Have = true;
       }
     }
@@ -137,8 +194,11 @@ uint64_t ShadowSpaceMetadata::copyRange(uint64_t Dst, uint64_t Src,
     } else {
       Shard &DS = *Shards[shardOf(DA)];
       ShardExclusiveGuard Guard(lockOf(DS));
-      if (Pair *DP = slotFor(DS, DA, /*Materialize=*/false))
-        *DP = Pair();
+      SeqlockWriteScope Writing(seqOf(DS));
+      if (Pair *DP = slotFor(DS, DA, /*Materialize=*/false)) {
+        st(DP->Base, 0);
+        st(DP->Bound, 0);
+      }
     }
   }
   if (Telem) {
@@ -152,7 +212,7 @@ uint64_t ShadowSpaceMetadata::memoryBytes() const {
   uint64_t Bytes = 0;
   for (const auto &S : Shards) {
     ShardSharedGuard Guard(lockOf(*S));
-    Bytes += S->Pages.size() * SlotsPerPage * sizeof(Pair);
+    Bytes += S->PageCount * SlotsPerPage * sizeof(Pair);
   }
   return Bytes;
 }
@@ -165,19 +225,29 @@ MetadataStats ShadowSpaceMetadata::stats() const {
     Out.Clears += S->Clears.load(std::memory_order_relaxed);
     Out.LockAcquires += S->Lock.Acquires.load(std::memory_order_relaxed);
     Out.LockContended += S->Lock.Contended.load(std::memory_order_relaxed);
+    Out.SeqlockReads += S->Seq.Reads.load(std::memory_order_relaxed);
+    Out.SeqlockRetries += S->Seq.Retries.load(std::memory_order_relaxed);
   }
   return Out;
 }
 
 void ShadowSpaceMetadata::reset() {
+  // Quiescence required (MetadataFacility contract): published page
+  // nodes are reclaimed here, so no lock-free reader may be in flight.
   for (auto &S : Shards) {
     ShardExclusiveGuard Guard(lockOf(*S));
-    S->Pages.clear();
+    for (auto &Head : S->Buckets)
+      Head.store(nullptr, std::memory_order_relaxed);
+    S->Nodes.clear();
+    S->PageCount = 0;
     S->Lookups.store(0, std::memory_order_relaxed);
     S->Updates.store(0, std::memory_order_relaxed);
     S->Clears.store(0, std::memory_order_relaxed);
     S->Lock.Acquires.store(0, std::memory_order_relaxed);
     S->Lock.Contended.store(0, std::memory_order_relaxed);
+    S->Seq.Seq.store(0, std::memory_order_relaxed);
+    S->Seq.Reads.store(0, std::memory_order_relaxed);
+    S->Seq.Retries.store(0, std::memory_order_relaxed);
   }
   ClearCalls.store(0, std::memory_order_relaxed);
   ClearEntries.store(0, std::memory_order_relaxed);

@@ -16,6 +16,15 @@
 /// a page never splits across stripe locks. The default single-shard,
 /// SingleThread configuration behaves exactly like the pre-v2 space.
 ///
+/// Lock-free reads (ConcurrencyModel::LockFreeRead): pages are published
+/// RCU-style — a writer installs a fully-initialized (zero-filled) page
+/// node at the head of its bucket chain with a release store, and a
+/// reader acquire-loads the head and walks the immutable chain, so a
+/// page-miss racing a materialization sees either no page (null bounds)
+/// or a complete one, never a torn node. Slot words are relaxed atomics
+/// and the per-stripe seqlock (StripeSeqlock) validates the copied
+/// {base, bound} pair against concurrent in-place updates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOFTBOUND_RUNTIME_SHADOWSPACEMETADATA_H
@@ -23,8 +32,8 @@
 
 #include "runtime/MetadataFacility.h"
 
+#include <array>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 namespace softbound {
@@ -61,16 +70,43 @@ private:
   static_assert(SlotsPerPage * 8 == (uint64_t(1) << ShardStripeLog2),
                 "a shadow page must span exactly one shard stripe");
 
+  /// One shadow slot. Relaxed atomics for the same reason as the hash
+  /// table's Entry: the LockFreeRead copy may race a writer and the
+  /// seqlock discards torn pairs; plain moves on x86/ARM otherwise.
   struct Pair {
-    uint64_t Base = 0;
-    uint64_t Bound = 0;
+    std::atomic<uint64_t> Base{0};
+    std::atomic<uint64_t> Bound{0};
   };
-  using Page = std::unique_ptr<Pair[]>;
+
+  /// One materialized shadow page, linked into its bucket's chain.
+  /// Fully initialized (zero-filled slots, PageId, Next) *before* the
+  /// release store that publishes it; PageId and Next are immutable
+  /// afterwards, so readers walk the chain without synchronization
+  /// beyond the acquire on the bucket head.
+  struct PageNode {
+    PageNode(uint64_t Id, PageNode *N)
+        : PageId(Id), Slots(new Pair[SlotsPerPage]), Next(N) {}
+    uint64_t PageId;
+    std::unique_ptr<Pair[]> Slots;
+    PageNode *Next;
+  };
+
+  /// Buckets per shard for the page-pointer table. Pages are found via a
+  /// multiplicative mix of the page id, so ids that are congruent modulo
+  /// the shard count still spread across buckets.
+  static constexpr size_t PageBuckets = 64;
 
   /// One address-range stripe: its demand-paged shadow plus lock/stats.
   struct Shard {
-    std::unordered_map<uint64_t, Page> Pages;
+    /// Chain heads; readers acquire-load, writers (under the exclusive
+    /// lock) release-store freshly initialized nodes.
+    std::array<std::atomic<PageNode *>, PageBuckets> Buckets{};
+    /// Ownership of every node ever published. Writer-only; reclaimed at
+    /// reset()/destruction (quiescent, per the facility contract).
+    std::vector<std::unique_ptr<PageNode>> Nodes;
+    uint64_t PageCount = 0;
     ShardLock Lock;
+    StripeSeqlock Seq;
     std::atomic<uint64_t> Lookups{0};
     std::atomic<uint64_t> Updates{0};
     std::atomic<uint64_t> Clears{0};
@@ -81,12 +117,41 @@ private:
                                (Shards.size() - 1));
   }
 
+  static size_t bucketOf(uint64_t PageId) {
+    return static_cast<size_t>((PageId * 0x9e3779b97f4a7c15ULL) >>
+                               (64 - 6)) &
+           (PageBuckets - 1);
+  }
+
+  /// The stripe lock writers (and aggregate readers) guard with, or null
+  /// in SingleThread mode. Both concurrent models lock the write path.
   const ShardLock *lockOf(const Shard &S) const {
+    return Opts.Model == ConcurrencyModel::SingleThread ? nullptr : &S.Lock;
+  }
+
+  /// The stripe lock the *read* path guards with: only the Sharded model
+  /// takes it — SingleThread needs none, LockFreeRead reads through the
+  /// seqlock instead.
+  const ShardLock *readLockOf(const Shard &S) const {
     return Opts.Model == ConcurrencyModel::Sharded ? &S.Lock : nullptr;
   }
 
-  /// Caller holds the shard's lock (or runs SingleThread).
+  /// The stripe seqlock writers bump, or null outside LockFreeRead.
+  StripeSeqlock *seqOf(Shard &S) const {
+    return Opts.Model == ConcurrencyModel::LockFreeRead ? &S.Seq : nullptr;
+  }
+
+  /// Finds the page holding \p Addr's slot by walking its bucket chain.
+  /// Safe to call from the lock-free read path (acquire head, immutable
+  /// chain); returns null when the page is not materialized.
+  Pair *findSlot(const Shard &S, uint64_t Addr) const;
+
+  /// findSlot plus materialization; caller holds the shard exclusively
+  /// (or runs SingleThread).
   Pair *slotFor(Shard &S, uint64_t Addr, bool Materialize);
+
+  /// The lock-free read path: seqlock-validated copy of the slot.
+  Bounds lookupLockFree(Shard &S, uint64_t Addr);
 
   FacilityOptions Opts;
   std::vector<std::unique_ptr<Shard>> Shards;

@@ -25,7 +25,8 @@ class AttackSuite : public ::testing::TestWithParam<int> {};
 
 TEST_P(AttackSuite, LandsWithoutProtection) {
   const AttackCase &A = attackSuite()[GetParam()];
-  RunResult R = compileAndRun(A.Source, BuildOptions{});
+  RunResult R =
+      runSession(planFromBuildOptions(A.Source, BuildOptions{})).Combined;
   EXPECT_TRUE(R.attackLanded())
       << A.Name << ": trap=" << trapName(R.Trap) << " exit=" << R.ExitCode
       << " msg=" << R.Message;
@@ -36,7 +37,7 @@ TEST_P(AttackSuite, DetectedByFullChecking) {
   BuildOptions B;
   B.Instrument = true;
   B.SB.Mode = CheckMode::Full;
-  RunResult R = compileAndRun(A.Source, B);
+  RunResult R = runSession(planFromBuildOptions(A.Source, B)).Combined;
   EXPECT_TRUE(R.violationDetected())
       << A.Name << ": trap=" << trapName(R.Trap) << " exit=" << R.ExitCode;
   EXPECT_FALSE(R.attackLanded()) << A.Name;
@@ -47,7 +48,7 @@ TEST_P(AttackSuite, DetectedByStoreOnlyChecking) {
   BuildOptions B;
   B.Instrument = true;
   B.SB.Mode = CheckMode::StoreOnly;
-  RunResult R = compileAndRun(A.Source, B);
+  RunResult R = runSession(planFromBuildOptions(A.Source, B)).Combined;
   EXPECT_TRUE(R.violationDetected())
       << A.Name << ": trap=" << trapName(R.Trap) << " exit=" << R.ExitCode;
   EXPECT_FALSE(R.attackLanded()) << A.Name;

@@ -33,7 +33,8 @@ bool detectedByMemcheck(const std::string &Src) {
   RunOptions R;
   R.Checker = &Checker;
   R.RedzonePad = MemcheckLite::RecommendedRedzone;
-  return compileAndRun(Src, BuildOptions{}, R).violationDetected();
+  return runSession(planFromBuildOptions(Src, BuildOptions{}), R)
+      .Combined.violationDetected();
 }
 
 bool detectedByObjTable(const std::string &Src) {
@@ -44,14 +45,15 @@ bool detectedByObjTable(const std::string &Src) {
   R.Checker = &Checker;
   R.RedzonePad = 16;
   R.GlobalPad = 16;
-  return compileAndRun(Src, BuildOptions{}, R).violationDetected();
+  return runSession(planFromBuildOptions(Src, BuildOptions{}), R)
+      .Combined.violationDetected();
 }
 
 bool detectedBySoftBound(const std::string &Src, CheckMode Mode) {
   BuildOptions B;
   B.Instrument = true;
   B.SB.Mode = Mode;
-  return compileAndRun(Src, B).violationDetected();
+  return runSession(planFromBuildOptions(Src, B)).Combined.violationDetected();
 }
 
 struct Expect {
@@ -97,7 +99,10 @@ INSTANTIATE_TEST_SUITE_P(AllBugs, BugBenchMatrix, ::testing::Range(0, 4),
 TEST(Servers, HttpTransformsWithNoFalsePositives) {
   RunOptions Plain;
   Plain.Args = {0};
-  RunResult Base = compileAndRun(httpServerSource(), BuildOptions{}, Plain);
+  RunResult Base =
+      runSession(planFromBuildOptions(httpServerSource(), BuildOptions{}),
+                 Plain)
+          .Combined;
   ASSERT_TRUE(Base.ok()) << Base.Message;
   ASSERT_EQ(Base.ExitCode, 0);
 
@@ -105,7 +110,9 @@ TEST(Servers, HttpTransformsWithNoFalsePositives) {
     BuildOptions B;
     B.Instrument = true;
     B.SB.Mode = Mode;
-    RunResult R = compileAndRun(httpServerSource(), B, Plain);
+    RunResult R =
+        runSession(planFromBuildOptions(httpServerSource(), B), Plain)
+            .Combined;
     EXPECT_TRUE(R.ok()) << R.Message;
     EXPECT_EQ(R.ExitCode, 0);
     EXPECT_EQ(R.Output, Base.Output);
@@ -117,25 +124,32 @@ TEST(Servers, HttpVulnerableModeCaught) {
   Vuln.Args = {1};
   // Without protection: the long query overruns query[32] into path[],
   // silently corrupting the response (no crash).
-  RunResult Base = compileAndRun(httpServerSource(), BuildOptions{}, Vuln);
+  RunResult Base =
+      runSession(planFromBuildOptions(httpServerSource(), BuildOptions{}),
+                 Vuln)
+          .Combined;
   EXPECT_TRUE(Base.ok());
 
   BuildOptions B;
   B.Instrument = true;
   B.SB.Mode = CheckMode::StoreOnly; // Production mode is enough (§6.3).
-  RunResult R = compileAndRun(httpServerSource(), B, Vuln);
+  RunResult R =
+      runSession(planFromBuildOptions(httpServerSource(), B), Vuln).Combined;
   EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
 }
 
 TEST(Servers, FtpTransformsWithNoFalsePositives) {
-  RunResult Base = compileAndRun(ftpServerSource(), BuildOptions{});
+  RunResult Base =
+      runSession(planFromBuildOptions(ftpServerSource(), BuildOptions{}))
+          .Combined;
   ASSERT_TRUE(Base.ok()) << Base.Message;
 
   for (CheckMode Mode : {CheckMode::Full, CheckMode::StoreOnly}) {
     BuildOptions B;
     B.Instrument = true;
     B.SB.Mode = Mode;
-    RunResult R = compileAndRun(ftpServerSource(), B);
+    RunResult R =
+        runSession(planFromBuildOptions(ftpServerSource(), B)).Combined;
     EXPECT_TRUE(R.ok()) << R.Message;
     EXPECT_EQ(R.ExitCode, Base.ExitCode);
     EXPECT_EQ(R.Output, Base.Output);

@@ -61,7 +61,7 @@ BuildResult planBuild(const std::string &Src, const SoftBoundConfig &SB = {},
 
 RunResult planRun(const std::string &Src, const SoftBoundConfig &SB = {},
                   const CheckOptConfig &CO = {}, const RunOptions &RO = {}) {
-  return runPipeline(plan(Src, SB, CO), RO);
+  return runSession(plan(Src, SB, CO), RO).Combined;
 }
 
 //===----------------------------------------------------------------------===//
@@ -311,7 +311,7 @@ TEST(CheckOptLoops, MonotonicLoopCollapsesToHull) {
   EXPECT_GE(Prog.Pipeline.CheckOpt.LoopChecksHoisted, 1u);
   EXPECT_EQ(countChecks(*Prog.M), 2u) << "one hull check per endpoint";
 
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 120);
   EXPECT_EQ(R.Counters.Checks, 2u) << "O(trip count) -> O(1) dynamic checks";
@@ -321,7 +321,7 @@ TEST(CheckOptLoops, MonotonicLoopCollapsesToHull) {
   Off.Enable = false;
   BuildResult ProgOff = planBuild(Src, {}, Off);
   ASSERT_TRUE(ProgOff.ok());
-  RunResult ROff = runProgram(ProgOff);
+  RunResult ROff = runSession(ProgOff).Combined;
   EXPECT_EQ(ROff.ExitCode, R.ExitCode);
   EXPECT_GE(ROff.Counters.Checks, 16u);
 }
@@ -340,7 +340,7 @@ TEST(CheckOptLoops, NestedCountedLoopsCascade) {
       "}";
   BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 45);
   EXPECT_LE(R.Counters.Checks, 8u)
@@ -380,7 +380,7 @@ TEST(CheckOptLoops, ExtremeConstantsDoNotWrapTripCount) {
       "}";
   BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  EXPECT_EQ(runProgram(Prog).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 TEST(CheckOptLoops, ZeroTripLoopNeverFalselyTraps) {
@@ -505,7 +505,7 @@ TEST(RuntimeHulls, VariableLimitLoopCollapsesToGuardedHull) {
 
   RunOptions RO;
   RO.Args = {16};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 12);
   EXPECT_EQ(R.Counters.Checks, 2u) << "O(n) -> O(1) dynamic checks";
@@ -517,7 +517,7 @@ TEST(RuntimeHulls, VariableLimitLoopCollapsesToGuardedHull) {
   BuildResult Off = planBuild(VarLimitSweepSrc, {}, NoRT);
   ASSERT_TRUE(Off.ok());
   EXPECT_EQ(Off.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
-  RunResult ROff = runProgram(Off, RO);
+  RunResult ROff = runSession(Off, RO).Combined;
   EXPECT_EQ(ROff.ExitCode, R.ExitCode);
   EXPECT_GE(ROff.Counters.Checks, 16u);
 }
@@ -528,7 +528,7 @@ TEST(RuntimeHulls, ZeroTripAndNegativeLimitsPerformNoCheck) {
   for (int64_t N : {int64_t(0), int64_t(-3)}) {
     RunOptions RO;
     RO.Args = {N};
-    RunResult R = runProgram(Prog, RO);
+    RunResult R = runSession(Prog, RO).Combined;
     ASSERT_TRUE(R.ok()) << "n=" << N << " " << trapName(R.Trap) << " "
                         << R.Message;
     EXPECT_EQ(R.ExitCode, 0);
@@ -543,9 +543,9 @@ TEST(RuntimeHulls, OverflowingLimitTrapsViaHull) {
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   RunOptions RO;
   RO.Args = {64};
-  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "n == extent is clean";
+  EXPECT_TRUE(runSession(Prog, RO).Combined.ok()) << "n == extent is clean";
   RO.Args = {65};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   EXPECT_EQ(R.Trap, TrapKind::SpatialViolation) << trapName(R.Trap);
   EXPECT_EQ(R.Counters.Checks, 2u) << "the hull traps before the loop";
 }
@@ -563,19 +563,19 @@ TEST(RuntimeHulls, DecreasingLoopWithSymbolicLowerLimit) {
 
   RunOptions RO;
   RO.Args = {60};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 4);
   EXPECT_EQ(R.Counters.Checks, 2u);
 
   RO.Args = {64}; // Zero-trip downward loop.
-  R = runProgram(Prog, RO);
+  R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 0);
   EXPECT_EQ(R.Counters.Checks, 0u);
 
   RO.Args = {-1}; // Underflows buf[-1]: the low hull corner traps.
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 TEST(RuntimeHulls, LimitMutatedInLoopIsRejected) {
@@ -597,7 +597,7 @@ TEST(RuntimeHulls, LimitMutatedInLoopIsRejected) {
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   EXPECT_EQ(Prog.Pipeline.CheckOpt.LoopsCountedRuntime, 0u);
   EXPECT_EQ(Prog.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
 
   EXPECT_GE(R.Counters.Checks, 8u)
@@ -627,13 +627,13 @@ TEST(RuntimeHulls, OutOfWindowLimitFallsBackToInLoopChecks) {
 
   RunOptions RO;
   RO.Args = {4};
-  RunResult RIn = runProgram(Prog, RO);
+  RunResult RIn = runSession(Prog, RO).Combined;
   ASSERT_TRUE(RIn.ok()) << RIn.Message;
   EXPECT_EQ(RIn.ExitCode, 6);
   EXPECT_EQ(RIn.Counters.Checks, 2u) << "inside the window: hulls only";
 
   RO.Args = {6};
-  RunResult ROut = runProgram(Prog, RO);
+  RunResult ROut = runSession(Prog, RO).Combined;
   ASSERT_TRUE(ROut.ok()) << ROut.Message;
   EXPECT_EQ(ROut.ExitCode, 15);
   EXPECT_EQ(ROut.Counters.Checks, 6u)
@@ -658,15 +658,16 @@ TEST(RuntimeHulls, WrappingEndpointFallsBackAndStillTraps) {
 
   RunOptions RO;
   RO.Args = {1};
-  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "n=1 stays inside the window";
+  EXPECT_TRUE(runSession(Prog, RO).Combined.ok())
+      << "n=1 stays inside the window";
   RO.Args = {2};
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 
   CheckOptConfig Off;
   Off.Enable = false;
   BuildResult POff = planBuild(Src, {}, Off);
   ASSERT_TRUE(POff.ok());
-  EXPECT_EQ(runProgram(POff, RO).Trap, TrapKind::SpatialViolation)
+  EXPECT_EQ(runSession(POff, RO).Combined.Trap, TrapKind::SpatialViolation)
       << "reference: the unoptimized build traps identically";
 }
 
@@ -687,7 +688,7 @@ TEST(RuntimeHulls, InterProcArgumentRangesDischargeGuards) {
   EXPECT_GE(Prog.Pipeline.CheckOpt.RuntimeGuardsDischarged, 1u);
   EXPECT_TRUE(Prog.M->hasInterProcContract());
 
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 60);
   EXPECT_EQ(R.Counters.Checks, 4u) << "two unguarded hulls per call";
@@ -696,7 +697,7 @@ TEST(RuntimeHulls, InterProcArgumentRangesDischargeGuards) {
   // Entering fill directly would bypass the range proof; refused.
   RunOptions RO;
   RO.Entry = "fill";
-  RunResult RBad = runProgram(Prog, RO);
+  RunResult RBad = runSession(Prog, RO).Combined;
   EXPECT_FALSE(RBad.ok());
 }
 
@@ -721,17 +722,17 @@ TEST(RuntimeHulls, SymbolicNestWithDistinctLimitsStaysSound) {
 
   RunOptions RO;
   RO.Args = {8, 32};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 56);
   EXPECT_GE(R.Counters.Checks, 1u) << "the hull must actually execute";
   EXPECT_LE(R.Counters.Checks, 4u);
 
   RO.Args = {8, 65}; // Inner limit overruns a[64]: must trap, not run clean.
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 
   RO.Args = {0, 65}; // Outer zero-trip: nothing runs, nothing traps.
-  RunResult RZ = runProgram(Prog, RO);
+  RunResult RZ = runSession(Prog, RO).Combined;
   ASSERT_TRUE(RZ.ok()) << RZ.Message;
   EXPECT_EQ(RZ.Counters.Checks, 0u);
 }
@@ -763,13 +764,13 @@ TEST(RuntimeHulls, TwoSymbolSweepCollapsesToGuardedHull) {
 
   RunOptions RO;
   RO.Args = {0, 16};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 12);
   EXPECT_EQ(R.Counters.Checks, 2u) << "O(hi-lo) -> O(1) dynamic checks";
 
   RO.Args = {5, 13}; // Interior window.
-  R = runProgram(Prog, RO);
+  R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 56);
   EXPECT_EQ(R.Counters.Checks, 2u);
@@ -781,7 +782,7 @@ TEST(RuntimeHulls, TwoSymbolSweepCollapsesToGuardedHull) {
   ASSERT_TRUE(Off.ok());
   EXPECT_EQ(Off.Pipeline.CheckOpt.RuntimeHullChecks, 0u);
   RO.Args = {0, 16};
-  RunResult ROff = runProgram(Off, RO);
+  RunResult ROff = runSession(Off, RO).Combined;
   EXPECT_EQ(ROff.ExitCode, 12);
   EXPECT_GE(ROff.Counters.Checks, 16u);
 }
@@ -797,7 +798,7 @@ TEST(RuntimeHulls, TwoSymbolZeroTripPerformsNoCheck) {
                         {100, -100}}) {
     RunOptions RO;
     RO.Args = {Lo, Hi};
-    RunResult R = runProgram(Prog, RO);
+    RunResult R = runSession(Prog, RO).Combined;
     ASSERT_TRUE(R.ok()) << "lo=" << Lo << " hi=" << Hi << " "
                         << trapName(R.Trap) << " " << R.Message;
     EXPECT_EQ(R.ExitCode, 0);
@@ -812,13 +813,13 @@ TEST(RuntimeHulls, TwoSymbolHullTrapsOnEitherEndpoint) {
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   RunOptions RO;
   RO.Args = {0, 64};
-  EXPECT_TRUE(runProgram(Prog, RO).ok()) << "hi == extent is clean";
+  EXPECT_TRUE(runSession(Prog, RO).Combined.ok()) << "hi == extent is clean";
   RO.Args = {0, 65}; // Overflow: the high hull corner traps.
-  RunResult RHi = runProgram(Prog, RO);
+  RunResult RHi = runSession(Prog, RO).Combined;
   EXPECT_EQ(RHi.Trap, TrapKind::SpatialViolation) << trapName(RHi.Trap);
   EXPECT_EQ(RHi.Counters.Checks, 2u) << "the hull traps before the loop";
   RO.Args = {-1, 4}; // Underflow: the low hull corner traps first.
-  RunResult RLo = runProgram(Prog, RO);
+  RunResult RLo = runSession(Prog, RO).Combined;
   EXPECT_EQ(RLo.Trap, TrapKind::SpatialViolation) << trapName(RLo.Trap);
   EXPECT_EQ(RLo.Counters.Checks, 1u);
 }
@@ -841,19 +842,19 @@ TEST(RuntimeHulls, DecreasingFromSymbolicInitStillTrapsUnderflow) {
 
   RunOptions RO;
   RO.Args = {64};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 64);
   EXPECT_EQ(R.Counters.Checks, 2u) << "O(n) -> O(1) dynamic checks";
 
   RO.Args = {0}; // i starts at -1: zero-trip downward, no check.
-  R = runProgram(Prog, RO);
+  R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 0);
   EXPECT_EQ(R.Counters.Checks, 0u);
 
   RO.Args = {65}; // buf[64] overflows: the high hull corner traps.
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 const char *StridedSweepSrc = "long buf[96];\n"
@@ -875,25 +876,25 @@ TEST(RuntimeHulls, StrideDivisibilityGuardGatesTheHull) {
 
   RunOptions RO;
   RO.Args = {16}; // Divisible span: hull pair covers the loop.
-  RunResult RIn = runProgram(Prog, RO);
+  RunResult RIn = runSession(Prog, RO).Combined;
   ASSERT_TRUE(RIn.ok()) << RIn.Message;
   EXPECT_EQ(RIn.ExitCode, 4);
   EXPECT_EQ(RIn.Counters.Checks, 2u) << "divisible: hulls only";
 
   RO.Args = {14}; // 14 % 4 != 0: the divisibility fallback must fire.
-  RunResult ROut = runProgram(Prog, RO);
+  RunResult ROut = runSession(Prog, RO).Combined;
   ASSERT_TRUE(ROut.ok()) << ROut.Message;
   EXPECT_EQ(ROut.ExitCode, 4);
   EXPECT_EQ(ROut.Counters.Checks, 4u)
       << "non-divisible spans keep exact per-iteration checking";
 
   RO.Args = {100}; // buf[96] overflows; 100 % 4 == 0: the hull traps.
-  RunResult RTrap = runProgram(Prog, RO);
+  RunResult RTrap = runSession(Prog, RO).Combined;
   EXPECT_EQ(RTrap.Trap, TrapKind::SpatialViolation) << trapName(RTrap.Trap);
   EXPECT_EQ(RTrap.Counters.Checks, 2u);
 
   RO.Args = {99}; // Overflow on a non-divisible span: the fallback traps.
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 TEST(RuntimeHulls, MutatedBoundVariablesStaySound) {
@@ -921,7 +922,7 @@ TEST(RuntimeHulls, MutatedBoundVariablesStaySound) {
   for (int64_t N : {int64_t(0), int64_t(1), int64_t(3)}) {
     RunOptions RO;
     RO.Args = {N};
-    RunResult R = runProgram(Prog, RO);
+    RunResult R = runSession(Prog, RO).Combined;
     RunResult ROff = planRun(MutHi, {}, Off, RO);
     ASSERT_TRUE(R.ok() && ROff.ok()) << "n=" << N;
     EXPECT_EQ(R.ExitCode, ROff.ExitCode) << "n=" << N;
@@ -941,7 +942,7 @@ TEST(RuntimeHulls, MutatedBoundVariablesStaySound) {
   for (int64_t N : {int64_t(0), int64_t(5), int64_t(12)}) {
     RunOptions RO;
     RO.Args = {N};
-    RunResult R = runProgram(Prog2, RO);
+    RunResult R = runSession(Prog2, RO).Combined;
     RunResult ROff = planRun(MutLo, {}, Off, RO);
     ASSERT_TRUE(R.ok() && ROff.ok()) << "n=" << N;
     EXPECT_EQ(R.ExitCode, ROff.ExitCode) << "n=" << N;
@@ -970,7 +971,7 @@ TEST(RuntimeHulls, TriangularNestWithDerivedSymbolNeverFalselyTraps) {
   for (int64_t N : {int64_t(0), int64_t(2), int64_t(5)}) {
     RunOptions RO;
     RO.Args = {N};
-    RunResult R = runProgram(Prog, RO);
+    RunResult R = runSession(Prog, RO).Combined;
     RunResult ROff = planRun(Src, {}, Off, RO);
     ASSERT_TRUE(ROff.ok()) << "n=" << N;
     ASSERT_TRUE(R.ok()) << "n=" << N << " " << trapName(R.Trap) << " "
@@ -980,7 +981,7 @@ TEST(RuntimeHulls, TriangularNestWithDerivedSymbolNeverFalselyTraps) {
   // And the genuinely violating span still traps.
   RunOptions RO;
   RO.Args = {6}; // i reaches 5: a[5*16+7] = a[87] >= 68.
-  EXPECT_EQ(runProgram(Prog, RO).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, RO).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 TEST(RuntimeHulls, TwoSymbolInterProcRangesDischargeGuards) {
@@ -1001,7 +1002,7 @@ TEST(RuntimeHulls, TwoSymbolInterProcRangesDischargeGuards) {
   EXPECT_GE(Prog.Pipeline.CheckOpt.RuntimeGuardsDischarged, 1u);
   EXPECT_TRUE(Prog.M->hasInterProcContract());
 
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 114);
   EXPECT_EQ(R.Counters.Checks, 4u) << "two unguarded hulls per call";
@@ -1010,7 +1011,7 @@ TEST(RuntimeHulls, TwoSymbolInterProcRangesDischargeGuards) {
   // Entering fill directly would bypass the range proof; refused.
   RunOptions RO;
   RO.Entry = "fill";
-  RunResult RBad = runProgram(Prog, RO);
+  RunResult RBad = runSession(Prog, RO).Combined;
   EXPECT_FALSE(RBad.ok());
 }
 
@@ -1035,7 +1036,7 @@ TEST(RuntimeHulls, NestedConstantLoopRehoistsGuardedHulls) {
       "}";
   BuildResult Prog = planBuild(Src);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_LE(R.Counters.Checks, 4u)
       << "11k per-iteration checks collapse to one hull pair per loop nest";
@@ -1068,7 +1069,7 @@ TEST(CheckOptRCE, StructFieldRepeatsEliminatedAcrossBlocks) {
       << "branch store and final load are both covered by the first check";
   RunOptions RO;
   RO.Args = {1};
-  RunResult R = runProgram(Prog, RO);
+  RunResult R = runSession(Prog, RO).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 6);
 }

@@ -17,7 +17,14 @@
 ///  - a 1-lane session is counter-identical to the classic runProgram
 ///    path the gated baselines were recorded against;
 ///  - multi-lane sessions surface contention accounting and merge lane
-///    outputs deterministically.
+///    outputs deterministically;
+///  - the LockFreeRead model (docs/runtime.md "Lock-free reads"): a
+///    writer-hammer seqlock stress where lookups racing updates must
+///    return the old pair or the new pair, never a mix; read-only
+///    hammers whose lock-acquire counter stays flat (zero mutex
+///    acquisitions on the read path); seqlock read/retry accounting and
+///    its contentionSimCost() pricing; and the 4-lane attack + BugBench
+///    sweeps repeated under LockFreeRead with zero missed detections.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +35,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -270,7 +278,7 @@ TEST(MultiLaneSessions, ContentionCountersAndDeterministicMerge) {
   B.SB.Mode = CheckMode::Full;
   BuildResult Prog = buildProgram(Chosen->Source, B);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
-  RunResult Single = runProgram(Prog);
+  RunResult Single = runSession(Prog).Combined;
   ASSERT_TRUE(Single.ok()) << Single.Message;
   ASSERT_GT(Single.Counters.MetaLoads + Single.Counters.MetaStores, 0u);
 
@@ -303,6 +311,220 @@ TEST(MultiLaneSessions, ContentionCountersAndDeterministicMerge) {
   // the session-level facility stats must show lock traffic.
   EXPECT_GT(S.Meta.LockAcquires, 0u);
   EXPECT_GT(S.Meta.contentionSimCost(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// LockFreeRead: seqlock stress, retry accounting, end-to-end sweeps
+//===----------------------------------------------------------------------===//
+
+/// Writer-hammer seqlock stress over one facility: a writer flips a
+/// fixed set of slots between two bound pairs while readers hammer
+/// lookups. Every observed value must be PairA, PairB, or (for slots
+/// the writer has not reached yet) null — never a Base from one pair
+/// with a Bound from the other, which is exactly the torn read the
+/// seqlock exists to discard.
+template <typename Facility, typename... CtorArgs>
+void writerHammerNeverTearsPairs(CtorArgs... Args) {
+  Facility M(Args..., FacilityOptions{ConcurrencyModel::LockFreeRead, 4});
+  ASSERT_EQ(M.concurrency(), ConcurrencyModel::LockFreeRead);
+  constexpr uint64_t Base = 0x9000'0000;
+  constexpr uint64_t NumSlots = 64; // Spread over all four stripes.
+  const Bounds PairA{0x1111'1111'1111'1110ULL, 0x1111'1111'1111'1111ULL};
+  const Bounds PairB{0x2222'2222'2222'2220ULL, 0x2222'2222'2222'2222ULL};
+  auto SlotAddr = [](uint64_t I) { return Base + I * (Stripe / 8); };
+  for (uint64_t I = 0; I < NumSlots; ++I)
+    M.update(SlotAddr(I), PairA);
+
+  std::atomic<bool> Done{false};
+  std::thread Writer([&] {
+    // Alternate the whole slot set between the two pairs, and keep
+    // inserting fresh addresses so the hash facility grows (publishing
+    // new table generations) under the readers' feet.
+    uint64_t Fresh = Base + 0x100'0000;
+    for (unsigned Round = 0; !Done.load(std::memory_order_relaxed); ++Round) {
+      const Bounds &P = Round % 2 ? PairB : PairA;
+      for (uint64_t I = 0; I < NumSlots; ++I)
+        M.update(SlotAddr(I), P);
+      for (unsigned K = 0; K < 64; ++K, Fresh += 8)
+        M.update(Fresh, Fresh, Fresh + 8);
+    }
+  });
+
+  constexpr unsigned Readers = 3;
+  constexpr uint64_t ReadsPerThread = 1 << 15;
+  std::vector<std::thread> Pool;
+  std::atomic<uint64_t> Torn{0};
+  for (unsigned T = 0; T < Readers; ++T)
+    Pool.emplace_back([&, T] {
+      for (uint64_t I = 0; I < ReadsPerThread; ++I) {
+        Bounds B = M.lookup(SlotAddr((I + T) % NumSlots));
+        if (!(B == PairA || B == PairB))
+          Torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+  Done.store(true, std::memory_order_relaxed);
+  Writer.join();
+
+  EXPECT_EQ(Torn.load(), 0u) << "a lookup observed a torn base/bound pair";
+  MetadataStats St = M.stats();
+  EXPECT_EQ(St.SeqlockReads, uint64_t(Readers) * ReadsPerThread);
+}
+
+TEST(LockFreeRead, HashWriterHammerNeverTearsPairs) {
+  writerHammerNeverTearsPairs<HashTableMetadata>(/*InitialLog2Size=*/8);
+}
+
+TEST(LockFreeRead, ShadowWriterHammerNeverTearsPairs) {
+  writerHammerNeverTearsPairs<ShadowSpaceMetadata>();
+}
+
+TEST(LockFreeRead, ReadOnlyHammerAcquiresNoLocks) {
+  // The acceptance criterion for the lock-free read path: across a
+  // multi-threaded read-only hammer the lock-acquire counter stays
+  // exactly flat — every acquisition happened during the write phase.
+  HashTableMetadata M(16, FacilityOptions{ConcurrencyModel::LockFreeRead, 4});
+  constexpr uint64_t Slots = 1 << 12;
+  for (uint64_t I = 0; I < Slots; ++I) {
+    uint64_t A = 0x3000'0000 + I * 8;
+    M.update(A, A + 1, A + 64);
+  }
+  const uint64_t WriteAcquires = M.stats().LockAcquires;
+  EXPECT_EQ(WriteAcquires, Slots); // One exclusive acquisition per update.
+
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t ReadsPerThread = 1 << 14;
+  std::vector<std::thread> Pool;
+  std::atomic<uint64_t> Wrong{0}; // Verified from the main thread below.
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&M, &Wrong] {
+      for (uint64_t I = 0; I < ReadsPerThread; ++I) {
+        uint64_t A = 0x3000'0000 + (I % Slots) * 8;
+        if (!(M.lookup(A) == Bounds{A + 1, A + 64}))
+          Wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (auto &Th : Pool)
+    Th.join();
+  EXPECT_EQ(Wrong.load(), 0u);
+
+  MetadataStats St = M.stats();
+  EXPECT_EQ(St.LockAcquires, WriteAcquires) << "read path acquired a lock";
+  EXPECT_EQ(St.SeqlockReads, uint64_t(Threads) * ReadsPerThread);
+  // No writer ran, so no retry was possible.
+  EXPECT_EQ(St.SeqlockRetries, 0u);
+}
+
+TEST(LockFreeRead, RetryAccountingPricesLikeContendedAcquisition) {
+  // The pricing identity behind the non-gated contention_* keys: clean
+  // seqlock reads are free, each retry costs one contended acquisition.
+  MetadataStats St;
+  St.LockAcquires = 10;
+  St.LockContended = 3;
+  St.SeqlockReads = 1000;
+  St.SeqlockRetries = 5;
+  EXPECT_EQ(St.contentionSimCost(), 7 * UncontendedLockCost +
+                                        3 * ContendedLockCost +
+                                        5 * SeqlockRetryCost);
+  EXPECT_EQ(SeqlockRetryCost, ContendedLockCost);
+
+  // Live accounting: a single-threaded LockFreeRead facility counts one
+  // seqlock read per lookup and never retries, and its sim cost is the
+  // write-phase acquisitions plus nothing for the clean reads.
+  ShadowSpaceMetadata M(FacilityOptions{ConcurrencyModel::LockFreeRead, 1});
+  for (uint64_t I = 0; I < 256; ++I)
+    M.update(0x1000 + I * 8, I, I + 8);
+  for (uint64_t I = 0; I < 512; ++I)
+    (void)M.lookup(0x1000 + (I % 256) * 8);
+  MetadataStats Live = M.stats();
+  EXPECT_EQ(Live.SeqlockReads, 512u);
+  EXPECT_EQ(Live.SeqlockRetries, 0u);
+  EXPECT_EQ(Live.LockAcquires, 256u);
+  EXPECT_EQ(Live.contentionSimCost(),
+            (Live.LockAcquires - Live.LockContended) * UncontendedLockCost +
+                Live.LockContended * ContendedLockCost);
+}
+
+/// Deterministic single-threaded mixed-op equivalence: LockFreeRead must
+/// be a pure read-path optimization — every lookup/update/range result
+/// identical to the SingleThread oracle.
+template <typename Facility, typename... CtorArgs>
+void lockFreeMatchesOracle(CtorArgs... Args) {
+  Facility M(Args..., FacilityOptions{ConcurrencyModel::LockFreeRead, 4});
+  Facility Oracle(Args..., FacilityOptions{});
+  const uint64_t Lo = 0x8000'0000;
+  for (uint64_t I = 0; I < 2048; ++I) {
+    uint64_t A = Lo + I * 24; // Unaligned stride: hits and misses both.
+    M.update(A & ~7ULL, A, A + 96);
+    Oracle.update(A & ~7ULL, A, A + 96);
+  }
+  EXPECT_EQ(M.clearRange(Lo + 512, 3 * Stripe + 40),
+            Oracle.clearRange(Lo + 512, 3 * Stripe + 40));
+  EXPECT_EQ(M.copyRange(Lo + 8 * Stripe, Lo, Stripe + 256),
+            Oracle.copyRange(Lo + 8 * Stripe, Lo, Stripe + 256));
+  for (uint64_t A = Lo; A < Lo + 9 * Stripe; A += 8)
+    ASSERT_EQ(M.lookup(A), Oracle.lookup(A)) << "slot " << A;
+  EXPECT_EQ(M.stats().SeqlockRetries, 0u); // Single-threaded: no writer race.
+  // The oracle never touches the seqlock.
+  EXPECT_EQ(Oracle.stats().SeqlockReads, 0u);
+}
+
+TEST(LockFreeRead, HashMixedOpsMatchOracle) {
+  lockFreeMatchesOracle<HashTableMetadata>(/*InitialLog2Size=*/8);
+}
+
+TEST(LockFreeRead, ShadowMixedOpsMatchOracle) {
+  lockFreeMatchesOracle<ShadowSpaceMetadata>();
+}
+
+TEST(LockFreeRead, FourLaneAttackSweepMissesNothing) {
+  for (const AttackCase &A : attackSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = CheckMode::Full;
+    BuildResult Prog = buildProgram(A.Source, B);
+    ASSERT_TRUE(Prog.ok()) << A.Name << ": " << Prog.errorText();
+
+    RunRequest Req;
+    Req.Lanes = 4;
+    Req.FacilityShards = 4;
+    Req.LockFreeReads = true;
+    SessionResult S = runSession(Prog, Req);
+    ASSERT_EQ(S.PerLane.size(), 4u) << A.Name;
+    for (size_t L = 0; L < S.PerLane.size(); ++L) {
+      const RunResult &R = S.PerLane[L];
+      EXPECT_TRUE(R.violationDetected())
+          << A.Name << " lane " << L << ": trap=" << trapName(R.Trap)
+          << " exit=" << R.ExitCode << " msg=" << R.Message;
+      EXPECT_FALSE(R.attackLanded()) << A.Name << " lane " << L;
+    }
+    EXPECT_TRUE(S.Combined.violationDetected()) << A.Name;
+    // Every facility lookup went through the seqlock read path.
+    EXPECT_EQ(S.Meta.SeqlockReads, S.Meta.Lookups) << A.Name;
+  }
+}
+
+TEST(LockFreeRead, FourLaneBugBenchSweepMissesNothing) {
+  for (const BugCase &Bug : bugbenchSuite()) {
+    BuildOptions B;
+    B.Instrument = true;
+    B.SB.Mode = CheckMode::Full;
+    BuildResult Prog = buildProgram(Bug.Source, B);
+    ASSERT_TRUE(Prog.ok()) << Bug.Name << ": " << Prog.errorText();
+
+    RunRequest Req;
+    Req.Lanes = 4;
+    Req.FacilityShards = 4;
+    Req.LockFreeReads = true;
+    SessionResult S = runSession(Prog, Req);
+    ASSERT_EQ(S.PerLane.size(), 4u) << Bug.Name;
+    for (size_t L = 0; L < S.PerLane.size(); ++L)
+      EXPECT_TRUE(S.PerLane[L].violationDetected())
+          << Bug.Name << " lane " << L
+          << ": trap=" << trapName(S.PerLane[L].Trap);
+    EXPECT_EQ(S.Meta.SeqlockReads, S.Meta.Lookups) << Bug.Name;
+  }
 }
 
 } // namespace

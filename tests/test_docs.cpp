@@ -177,7 +177,9 @@ TEST(DocsDrift, RuntimeDocCurrent) {
   for (const char *Needle :
        {"runSession", "RunRequest", "SessionResult", "FacilityOptions",
         "lookupN", "updateN", "clearRange", "copyRange", "--lanes",
-        "--shards", "MetaStatsOut", "test_concurrency.cpp"})
+        "--shards", "--lockfree", "MetaStatsOut", "test_concurrency.cpp",
+        "LockFreeRead", "LockFreeReads", "StripeSeqlock", "SeqlockRetryCost",
+        "SeqlockReads", "SeqlockRetries"})
     EXPECT_NE(Doc.find(Needle), std::string::npos)
         << "docs/runtime.md no longer mentions '" << Needle << "'";
 
@@ -202,6 +204,8 @@ TEST(DocsDrift, RuntimeDocCurrent) {
          "UncontendedLockCost";
   EXPECT_TRUE(RowHas("contended", ContendedLockCost))
       << "docs/runtime.md contended price drifted from ContendedLockCost";
+  EXPECT_TRUE(RowHas("seqlock retry", SeqlockRetryCost))
+      << "docs/runtime.md seqlock retry price drifted from SeqlockRetryCost";
 }
 
 TEST(DocsDrift, ObservabilityDocCurrent) {

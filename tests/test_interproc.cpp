@@ -144,7 +144,7 @@ TEST(InterProcSoundness, CalleeOverflowStillTrapsWhenSiteProvesLess) {
                     "  return f(q);\n"
                     "}";
   BuildResult R = buildSpec(Src, "optimize,softbound,checkopt");
-  RunResult RR = runProgram(R);
+  RunResult RR = runSession(R).Combined;
   EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
 }
 
@@ -159,7 +159,7 @@ TEST(InterProcSoundness, RecursiveCalleeOverflowStillTraps) {
                     "  return walk(q, 2);\n"
                     "}";
   BuildResult R = buildSpec(Src, "optimize,softbound,checkopt");
-  RunResult RR = runProgram(R);
+  RunResult RR = runSession(R).Combined;
   EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
 }
 
@@ -174,7 +174,7 @@ TEST(InterProcSoundness, FunctionPointerCalleeIsNeverElided) {
                     "  return fn(q);\n"
                     "}";
   BuildResult R = buildSpec(Src, "optimize,softbound,checkopt");
-  RunResult RR = runProgram(R);
+  RunResult RR = runSession(R).Combined;
   EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
 }
 
@@ -200,7 +200,7 @@ TEST(InterProcSoundness, WrappedI64ArithmeticIsNotRangeElided) {
   BuildResult R = buildSpec(Src, "optimize,softbound,checkopt");
   EXPECT_EQ(R.Pipeline.CheckOpt.InterProcRangeElided, 0u)
       << "no static proof exists: y wraps";
-  RunResult RR = runProgram(R);
+  RunResult RR = runSession(R).Combined;
   EXPECT_EQ(RR.Trap, TrapKind::SpatialViolation) << trapName(RR.Trap);
 }
 
@@ -219,11 +219,11 @@ TEST(InterProcSoundness, InternalEntryRejectedAfterInterProc) {
 
   RunOptions RO;
   RO.Entry = "take";
-  RunResult RR = runProgram(On, RO);
+  RunResult RR = runSession(On, RO).Combined;
   EXPECT_FALSE(RR.ok());
   EXPECT_NE(RR.Message.find("interproc"), std::string::npos) << RR.Message;
 
-  RunResult Main = runProgram(On);
+  RunResult Main = runSession(On).Combined;
   ASSERT_TRUE(Main.ok()) << Main.Message;
   EXPECT_EQ(Main.ExitCode, 5);
 
@@ -232,7 +232,7 @@ TEST(InterProcSoundness, InternalEntryRejectedAfterInterProc) {
   BuildResult Off =
       buildSpec(Src, "optimize,softbound,checkopt(redundant,range,hoist)");
   EXPECT_FALSE(Off.M->hasInterProcContract());
-  RunResult OffTake = runProgram(Off, RO);
+  RunResult OffTake = runSession(Off, RO).Combined;
   EXPECT_EQ(OffTake.Message.find("interproc"), std::string::npos)
       << OffTake.Message;
 }
@@ -243,7 +243,7 @@ TEST(InterProcSoundness, AttackAndBugBenchSuitesStayDetected) {
   for (const AttackCase &A : attackSuite()) {
     BuildResult R =
         buildSpec(A.Source, "optimize,softbound,checkopt(interproc)");
-    RunResult RR = runProgram(R);
+    RunResult RR = runSession(R).Combined;
     EXPECT_TRUE(RR.violationDetected())
         << A.Name << ": trap=" << trapName(RR.Trap);
     EXPECT_FALSE(RR.attackLanded()) << A.Name;
@@ -251,7 +251,7 @@ TEST(InterProcSoundness, AttackAndBugBenchSuitesStayDetected) {
   for (const BugCase &Bug : bugbenchSuite()) {
     BuildResult R =
         buildSpec(Bug.Source, "optimize,softbound,checkopt(interproc)");
-    RunResult RR = runProgram(R);
+    RunResult RR = runSession(R).Combined;
     EXPECT_TRUE(RR.violationDetected())
         << Bug.Name << ": trap=" << trapName(RR.Trap);
   }
@@ -278,8 +278,8 @@ TEST(InterProcPrecision, CalleeChecksElidedWhenEverySiteProves) {
   ASSERT_NE(Take, nullptr);
   EXPECT_EQ(countChecksIn(*Take), 0u);
 
-  RunResult ROff = runProgram(Off);
-  RunResult ROn = runProgram(On);
+  RunResult ROff = runSession(Off).Combined;
+  RunResult ROn = runSession(On).Combined;
   ASSERT_TRUE(ROff.ok() && ROn.ok());
   EXPECT_EQ(ROn.ExitCode, ROff.ExitCode);
   EXPECT_LT(ROn.Counters.Checks, ROff.Counters.Checks);
@@ -297,7 +297,7 @@ TEST(InterProcPrecision, CallerRecheckElidedViaMustCheckSummary) {
                     "}";
   BuildResult On = buildSpec(Src, "optimize,softbound,checkopt");
   EXPECT_GE(On.Pipeline.CheckOpt.InterProcCallerElided, 1u);
-  RunResult RR = runProgram(On);
+  RunResult RR = runSession(On).Combined;
   ASSERT_TRUE(RR.ok()) << RR.Message;
   EXPECT_EQ(RR.ExitCode, 18);
 }
@@ -316,7 +316,7 @@ TEST(InterProcPrecision, ReturnSummarySeedsCallerFacts) {
   EXPECT_GE(On.Pipeline.CheckOpt.InterProcRetSummaries, 1u);
   EXPECT_GE(On.Pipeline.CheckOpt.InterProcCallerElided, 1u)
       << "q[0] was checked against the returned bounds inside mk";
-  RunResult RR = runProgram(On);
+  RunResult RR = runSession(On).Combined;
   ASSERT_TRUE(RR.ok()) << RR.Message;
   EXPECT_EQ(RR.ExitCode, 7);
 }
@@ -337,8 +337,8 @@ TEST(InterProcPrecision, GuardedGlobalIndexElidedByRanges) {
       buildSpec(Src, "optimize,softbound,checkopt(redundant,range,hoist)");
   BuildResult On = buildSpec(Src, "optimize,softbound,checkopt");
   EXPECT_GE(On.Pipeline.CheckOpt.InterProcRangeElided, 1u);
-  RunResult ROff = runProgram(Off);
-  RunResult ROn = runProgram(On);
+  RunResult ROff = runSession(Off).Combined;
+  RunResult ROn = runSession(On).Combined;
   ASSERT_TRUE(ROff.ok() && ROn.ok());
   EXPECT_EQ(ROn.ExitCode, ROff.ExitCode);
   EXPECT_LT(ROn.Counters.Checks, ROff.Counters.Checks);
@@ -361,7 +361,7 @@ TEST(InterProcPrecision, ArgumentRangesPropagateThroughRecursion) {
   Function *F = On.M->getFunction("_sb_depth2");
   ASSERT_NE(F, nullptr);
   EXPECT_EQ(countChecksIn(*F), 0u) << "no dynamic checks remain in depth2";
-  RunResult RR = runProgram(On);
+  RunResult RR = runSession(On).Combined;
   ASSERT_TRUE(RR.ok()) << RR.Message;
   EXPECT_EQ(RR.ExitCode, 7);
 }
@@ -579,8 +579,8 @@ TEST(InterProcAcceptance, FewerDynamicChecksOnRecursiveWorkloads) {
                                 "optimize,softbound,checkopt(redundant,"
                                 "range,hoist)");
     BuildResult On = buildSpec(W->Source, "optimize,softbound,checkopt");
-    RunResult ROff = runProgram(Off);
-    RunResult ROn = runProgram(On);
+    RunResult ROff = runSession(Off).Combined;
+    RunResult ROn = runSession(On).Combined;
     ASSERT_TRUE(ROff.ok()) << Name << ": " << ROff.Message;
     ASSERT_TRUE(ROn.ok()) << Name << ": " << ROn.Message;
     EXPECT_EQ(ROn.ExitCode, ROff.ExitCode) << Name;

@@ -298,7 +298,7 @@ TEST(PartitionLattice, FunctionPointerTableMembersStayInstrumented) {
     EXPECT_NE(V->Reason.find("address taken"), std::string::npos)
         << Name << ": " << V->Reason;
   }
-  RunResult RR = runProgram(R);
+  RunResult RR = runSession(R).Combined;
   ASSERT_TRUE(RR.ok()) << RR.Message;
   EXPECT_EQ(RR.ExitCode, 13);
 }
@@ -412,8 +412,8 @@ TEST(PartitionReconstruction, NullInitStoreIntoFreshMallocElided) {
   BuildResult On = buildSpec(Src, "optimize,softbound,checkopt");
   EXPECT_GE(On.Pipeline.CheckOpt.PartitionMetaStoresRemoved, 1u);
 
-  RunResult ROff = runProgram(Off);
-  RunResult ROn = runProgram(On);
+  RunResult ROff = runSession(Off).Combined;
+  RunResult ROn = runSession(On).Combined;
   ASSERT_TRUE(ROff.ok() && ROn.ok());
   EXPECT_EQ(ROn.ExitCode, ROff.ExitCode);
   EXPECT_LT(ROn.Counters.MetaStores, ROff.Counters.MetaStores);
@@ -465,8 +465,8 @@ TEST(PartitionAcceptance, ReducesMetadataOpsOnPointerChasingWorkloads) {
     BuildResult On = buildSpec(W.Source, "optimize,softbound,checkopt");
     EXPECT_GE(On.Pipeline.CheckOpt.PartitionProven, 1u) << Name;
 
-    RunResult ROff = runProgram(Off);
-    RunResult ROn = runProgram(On);
+    RunResult ROff = runSession(Off).Combined;
+    RunResult ROn = runSession(On).Combined;
     ASSERT_TRUE(ROff.ok() && ROn.ok()) << Name;
     EXPECT_EQ(ROn.ExitCode, ROff.ExitCode) << Name;
     EXPECT_EQ(ROn.Output, ROff.Output) << Name;
@@ -485,7 +485,7 @@ TEST(PartitionSoundness, AttackAndBugBenchSuitesStayDetected) {
   for (const AttackCase &A : attackSuite()) {
     BuildResult R =
         buildSpec(A.Source, "optimize,softbound,checkopt(partition)");
-    RunResult RR = runProgram(R);
+    RunResult RR = runSession(R).Combined;
     EXPECT_TRUE(RR.violationDetected())
         << A.Name << ": trap=" << trapName(RR.Trap);
     EXPECT_FALSE(RR.attackLanded()) << A.Name;
@@ -493,7 +493,7 @@ TEST(PartitionSoundness, AttackAndBugBenchSuitesStayDetected) {
   for (const BugCase &Bug : bugbenchSuite()) {
     BuildResult R =
         buildSpec(Bug.Source, "optimize,softbound,checkopt(partition)");
-    RunResult RR = runProgram(R);
+    RunResult RR = runSession(R).Combined;
     EXPECT_TRUE(RR.violationDetected())
         << Bug.Name << ": trap=" << trapName(RR.Trap);
   }
@@ -522,13 +522,13 @@ TEST(PartitionContract, StrippedModuleRefusesCustomEntry) {
   EXPECT_GE(V->MetaLoadsRemoved, 1u);
   EXPECT_TRUE(On.M->hasInterProcContract());
 
-  RunResult Main = runProgram(On);
+  RunResult Main = runSession(On).Combined;
   ASSERT_TRUE(Main.ok()) << Main.Message;
   EXPECT_EQ(Main.ExitCode, 42);
 
   RunOptions RO;
   RO.Entry = "use";
-  RunResult RR = runProgram(On, RO);
+  RunResult RR = runSession(On, RO).Combined;
   EXPECT_FALSE(RR.ok());
   EXPECT_NE(RR.Message.find("partition"), std::string::npos) << RR.Message;
 }

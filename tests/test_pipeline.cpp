@@ -241,7 +241,7 @@ TEST(PipelineSpec, InterProcKnobSelectsOnlyInterProc) {
   EXPECT_EQ(P.Pipeline.CheckOpt.RangeEliminated, 0u);
   EXPECT_EQ(P.Pipeline.CheckOpt.LoopChecksHoisted, 0u);
   EXPECT_EQ(P.Pipeline.CheckOpt.SafeChecksElided, 0u);
-  RunResult R = runProgram(P);
+  RunResult R = runSession(P).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 9);
 
@@ -294,8 +294,8 @@ TEST(PipelineEquivalence, WrapperAndFluentPlanAgree) {
     expectSameCheckOptStats(Legacy.Pipeline.CheckOpt,
                             Fluent.Pipeline.CheckOpt);
 
-    RunResult RL = runProgram(Legacy);
-    RunResult RF = runProgram(Fluent);
+    RunResult RL = runSession(Legacy).Combined;
+    RunResult RF = runSession(Fluent).Combined;
     EXPECT_EQ(RL.ExitCode, RF.ExitCode);
     EXPECT_EQ(RL.Counters.Checks, RF.Counters.Checks);
     EXPECT_EQ(RL.Counters.Cycles, RF.Counters.Cycles);
@@ -323,8 +323,8 @@ TEST(PipelineEquivalence, DefaultSpecMatchesLegacyDefaultsOnBenchCorpus) {
     expectSameSoftBoundStats(Legacy.Stats, Spec.Stats);
     expectSameCheckOptStats(Legacy.Pipeline.CheckOpt, Spec.Pipeline.CheckOpt);
 
-    RunResult RL = runProgram(Legacy);
-    RunResult RS = runProgram(Spec);
+    RunResult RL = runSession(Legacy).Combined;
+    RunResult RS = runSession(Spec).Combined;
     EXPECT_EQ(RL.ExitCode, RS.ExitCode) << W.Name;
     EXPECT_EQ(RL.Output, RS.Output) << W.Name;
     EXPECT_EQ(RL.Counters.Checks, RS.Counters.Checks) << W.Name;
@@ -349,7 +349,7 @@ TEST(SafeElision, ElidesProvableChecksAndKeepsViolations) {
   PipelineResult P = Plan.frontend(Safe).build();
   ASSERT_TRUE(P.ok()) << P.errorText();
   EXPECT_GE(P.Pipeline.CheckOpt.SafeChecksElided, 1u);
-  RunResult R = runProgram(P);
+  RunResult R = runSession(P).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 5);
 
@@ -360,7 +360,7 @@ TEST(SafeElision, ElidesProvableChecksAndKeepsViolations) {
   PipelinePlan BadPlan;
   ASSERT_TRUE(
       BadPlan.appendSpec("optimize,softbound(no-reopt),safe-elision", &Err));
-  RunResult RB = runPipeline(BadPlan.frontend(Bad));
+  RunResult RB = runSession(BadPlan.frontend(Bad)).Combined;
   EXPECT_EQ(RB.Trap, TrapKind::SpatialViolation) << trapName(RB.Trap);
 }
 
@@ -397,8 +397,8 @@ TEST(SafeElision, SubObjectTradeOffMatchesLegacyFlagExactly) {
             N.Pipeline.CheckOpt.SafeChecksElided);
   EXPECT_GE(N.Pipeline.CheckOpt.SafeChecksElided, 3u);
 
-  RunResult RL = runProgram(L);
-  RunResult RN = runProgram(N);
+  RunResult RL = runSession(L).Combined;
+  RunResult RN = runSession(N).Combined;
   EXPECT_EQ(RL.Trap, TrapKind::None) << trapName(RL.Trap);
   EXPECT_EQ(RN.Trap, RL.Trap);
   EXPECT_EQ(RN.ExitCode, RL.ExitCode); // Both see the corrupted count.
@@ -406,7 +406,7 @@ TEST(SafeElision, SubObjectTradeOffMatchesLegacyFlagExactly) {
   // Without elision, SoftBound's shrunk field bounds catch the write.
   BuildOptions Full;
   Full.Instrument = true;
-  RunResult RF = compileAndRun(Src, Full);
+  RunResult RF = runSession(planFromBuildOptions(Src, Full)).Combined;
   EXPECT_EQ(RF.Trap, TrapKind::SpatialViolation) << trapName(RF.Trap);
 }
 
@@ -431,8 +431,8 @@ TEST(SafeElision, LegacyFlagAndCheckOptKnobAgree) {
                       .build();
   ASSERT_TRUE(N.ok()) << N.errorText();
 
-  RunResult RL = runProgram(L);
-  RunResult RN = runProgram(N);
+  RunResult RL = runSession(L).Combined;
+  RunResult RN = runSession(N).Combined;
   ASSERT_TRUE(RL.ok() && RN.ok());
   EXPECT_EQ(RL.ExitCode, RN.ExitCode);
 }

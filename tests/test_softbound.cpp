@@ -34,7 +34,7 @@ RunResult runSB(const std::string &Src, CheckMode Mode,
   RunOptions R;
   R.Facility = Facility;
   R.Args = std::move(Args);
-  RunResult Out = compileAndRun(Src, B, R);
+  RunResult Out = runSession(planFromBuildOptions(Src, B), R).Combined;
   EXPECT_NE(Out.Message.substr(0, 12), "build failed") << Out.Message;
   return Out;
 }
@@ -42,7 +42,7 @@ RunResult runSB(const std::string &Src, CheckMode Mode,
 RunResult runPlain(const std::string &Src, std::vector<int64_t> Args = {}) {
   RunOptions R;
   R.Args = std::move(Args);
-  return compileAndRun(Src, BuildOptions{}, R);
+  return runSession(planFromBuildOptions(Src, BuildOptions{}), R).Combined;
 }
 
 //===----------------------------------------------------------------------===//
@@ -176,9 +176,9 @@ TEST(SoftBoundDetect, GlobalArrayOverflow) {
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   RunOptions R;
   R.Args = {16};
-  EXPECT_TRUE(runProgram(Prog, R).ok());
+  EXPECT_TRUE(runSession(Prog, R).Combined.ok());
   R.Args = {17};
-  EXPECT_EQ(runProgram(Prog, R).Trap, TrapKind::SpatialViolation);
+  EXPECT_EQ(runSession(Prog, R).Combined.Trap, TrapKind::SpatialViolation);
 }
 
 TEST(SoftBoundDetect, SubObjectOverflowCaught) {
@@ -204,7 +204,7 @@ TEST(SoftBoundDetect, SubObjectOverflowCaught) {
   B.Instrument = true;
   B.SB.Mode = CheckMode::Full;
   B.SB.ShrinkBounds = false;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = runSession(planFromBuildOptions(Src, B)).Combined;
   EXPECT_TRUE(R.ok()) << R.Message;
   EXPECT_NE(R.ExitCode, 1000); // n.count was silently overwritten.
 }
@@ -231,7 +231,7 @@ TEST(SoftBoundDetect, SubObjectOverflowIntoFunctionPointer) {
   BuildOptions B;
   B.Instrument = true;
   B.SB.ShrinkBounds = false;
-  RunResult R = compileAndRun(Src, B);
+  RunResult R = runSession(planFromBuildOptions(Src, B)).Combined;
   EXPECT_EQ(R.Trap, TrapKind::FuncPtrViolation) << trapName(R.Trap);
 }
 
@@ -396,7 +396,7 @@ TEST(SoftBoundPassStats, RedundantCheckElimination) {
   BuildResult Prog = buildProgram(Src, B);
   ASSERT_TRUE(Prog.ok()) << Prog.errorText();
   EXPECT_GT(Prog.Stats.ChecksEliminated, 0u);
-  RunResult R = runProgram(Prog);
+  RunResult R = runSession(Prog).Combined;
   EXPECT_TRUE(R.ok()) << R.Message;
   EXPECT_EQ(R.ExitCode, 3);
 }

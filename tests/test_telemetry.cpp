@@ -118,7 +118,7 @@ TEST(Telemetry, DisabledModeIsObservationFree) {
   // docs/observability.md zero-cost contract, and what keeps the CI
   // bench gate's baselines valid whether or not --profile is passed.
   BuildResult Plain = buildInstrumented();
-  RunResult RPlain = runProgram(Plain);
+  RunResult RPlain = runSession(Plain).Combined;
 
   Telemetry Telem;
   SiteProfile Prof;
@@ -129,7 +129,7 @@ TEST(Telemetry, DisabledModeIsObservationFree) {
   Opts.TraceTag = "test:";
   MetadataStats Meta;
   Opts.MetaStatsOut = &Meta;
-  RunResult RObs = runProgram(Observed, Opts);
+  RunResult RObs = runSession(Observed, Opts).Combined;
 
   ASSERT_EQ(RPlain.Trap, RObs.Trap);
   EXPECT_EQ(RPlain.ExitCode, RObs.ExitCode);
@@ -187,7 +187,7 @@ TEST(Telemetry, SiteProfilesAreIdenticalAcrossRuns) {
     SiteProfile P;
     RunOptions Opts;
     Opts.ProfileOut = &P;
-    RunResult R = runProgram(Prog, Opts);
+    RunResult R = runSession(Prog, Opts).Combined;
     EXPECT_TRUE(R.ok()) << R.Message;
     return P.Sites;
   };
@@ -268,7 +268,7 @@ TEST(Telemetry, ChromeTraceJsonIsWellFormed) {
   Opts.Telem = &Telem;
   Opts.ProfileOut = &Prof;
   Opts.TraceTag = "test:";
-  RunResult R = runProgram(Prog, Opts);
+  RunResult R = runSession(Prog, Opts).Combined;
   ASSERT_TRUE(R.ok()) << R.Message;
 
   // Pipeline timings flowed into the shared registry.

@@ -102,65 +102,63 @@ TEST(SimMemory, InvalidFreeReported) {
 TEST(VMControlData, GarbageReturnAddressIsACrash) {
   // Corrupting the return word with a non-function value is a crash
   // (CorruptedReturn), not a hijack.
-  RunResult R = compileAndRun("int f() {\n"
+  RunResult R = runSession(planFromBuildOptions("int f() {\n"
                               "  char buf[16];\n"
                               "  long* w = (long*)buf;\n"
                               "  w[3] = 0x41414141;\n"
                               "  return 1;\n"
                               "}\n"
                               "int main() { return f(); }",
-                              BuildOptions{});
+                              BuildOptions{}))
+                    .Combined;
   EXPECT_EQ(R.Trap, TrapKind::CorruptedReturn) << trapName(R.Trap);
 }
 
 TEST(VMControlData, FunctionAddressInReturnSlotHijacks) {
-  RunResult R = compileAndRun(
-      "int pay(int x) { return x; }\n"
+  RunResult R = runSession(planFromBuildOptions("int pay(int x) { return x; }\n"
       "int f() {\n"
       "  char buf[16];\n"
       "  long* w = (long*)buf;\n"
       "  w[3] = (long)pay;\n"
       "  return 1;\n"
       "}\n"
-      "int main() { return f(); }",
-      BuildOptions{});
+      "int main() { return f(); }", BuildOptions{})).Combined;
   EXPECT_EQ(R.Trap, TrapKind::Hijacked);
   EXPECT_EQ(R.HijackTarget, "pay");
 }
 
 TEST(VMControlData, CorruptedJmpBufMagicTraps) {
-  RunResult R = compileAndRun("long jb[4];\n"
+  RunResult R = runSession(planFromBuildOptions("long jb[4];\n"
                               "int main() {\n"
                               "  if (setjmp(jb) != 0) return 7;\n"
                               "  jb[0] = 12345;\n" // Smash the magic.
                               "  longjmp(jb, 1);\n"
                               "  return 0;\n"
-                              "}",
-                              BuildOptions{});
+                              "}", BuildOptions{})).Combined;
   EXPECT_EQ(R.Trap, TrapKind::CorruptedJmpBuf);
 }
 
 TEST(VMControlData, LongjmpToDeadFrameTraps) {
-  RunResult R = compileAndRun("long jb[4];\n"
+  RunResult R = runSession(planFromBuildOptions("long jb[4];\n"
                               "int arm() { return setjmp(jb); }\n"
                               "int main() {\n"
                               "  arm();\n" // The armed frame returns.
                               "  longjmp(jb, 1);\n"
                               "  return 0;\n"
-                              "}",
-                              BuildOptions{});
+                              "}", BuildOptions{})).Combined;
   EXPECT_EQ(R.Trap, TrapKind::CorruptedJmpBuf);
 }
 
 TEST(VMControlData, DeepRecursionHitsStackGuard) {
-  RunResult R = compileAndRun("int down(int n) {\n"
+  RunResult R = runSession(planFromBuildOptions("int down(int n) {\n"
                               "  long pad[64];\n"
                               "  pad[0] = n;\n"
                               "  if (n == 0) return 0;\n"
                               "  return down(n - 1) + (int)pad[0];\n"
                               "}\n"
                               "int main() { return down(1000000); }",
-                              BuildOptions{});
+                              BuildOptions{}))
+                    .Combined;
   EXPECT_EQ(R.Trap, TrapKind::StackOverflow);
 }
 
@@ -173,10 +171,11 @@ TEST(VMCounters, CycleModelComponentsAdd) {
                     "  q = p;\n"
                     "  return (int)q[9];\n"
                     "}";
-  RunResult Plain = compileAndRun(Src, BuildOptions{});
+  RunResult Plain =
+      runSession(planFromBuildOptions(Src, BuildOptions{})).Combined;
   BuildOptions B;
   B.Instrument = true;
-  RunResult SB = compileAndRun(Src, B);
+  RunResult SB = runSession(planFromBuildOptions(Src, B)).Combined;
   ASSERT_TRUE(Plain.ok() && SB.ok()) << SB.Message;
   EXPECT_EQ(SB.ExitCode, 9);
   uint64_t Expected = SB.Counters.Insts + 3 * SB.Counters.Checks +
@@ -188,12 +187,13 @@ TEST(VMCounters, CycleModelComponentsAdd) {
 }
 
 TEST(VMCounters, MaxFrameDepthTracksRecursion) {
-  RunResult R = compileAndRun("int f(int n) {\n"
+  RunResult R = runSession(planFromBuildOptions("int f(int n) {\n"
                               "  if (n == 0) return 0;\n"
                               "  return f(n - 1) + 1;\n"
                               "}\n"
                               "int main() { return f(40); }",
-                              BuildOptions{});
+                              BuildOptions{}))
+                    .Combined;
   EXPECT_EQ(R.ExitCode, 40);
   EXPECT_GE(R.Counters.MaxFrameDepth, 41u);
 }

@@ -34,7 +34,8 @@ TEST_P(WorkloadTransparency, InstrumentedMatchesPlain) {
       {CheckMode::StoreOnly, FacilityKind::Hash},
   };
 
-  RunResult Plain = compileAndRun(W.Source, BuildOptions{});
+  RunResult Plain =
+      runSession(planFromBuildOptions(W.Source, BuildOptions{})).Combined;
   ASSERT_TRUE(Plain.ok()) << W.Name << ": " << Plain.Message;
 
   BuildOptions B;
@@ -42,7 +43,7 @@ TEST_P(WorkloadTransparency, InstrumentedMatchesPlain) {
   B.SB.Mode = Cases[Cfg].first;
   RunOptions R;
   R.Facility = Cases[Cfg].second;
-  RunResult SB = compileAndRun(W.Source, B, R);
+  RunResult SB = runSession(planFromBuildOptions(W.Source, B), R).Combined;
   EXPECT_TRUE(SB.ok()) << W.Name << ": " << trapName(SB.Trap) << " "
                        << SB.Message;
   EXPECT_EQ(SB.ExitCode, Plain.ExitCode) << W.Name;
@@ -68,7 +69,8 @@ TEST(WorkloadSuite, PointerDensityRampMatchesFigure1) {
   // rough monotone shape (SPEC array codes low, Olden pointer codes high).
   std::vector<double> Density;
   for (const auto &W : benchmarkSuite()) {
-    RunResult R = compileAndRun(W.Source, BuildOptions{});
+    RunResult R =
+        runSession(planFromBuildOptions(W.Source, BuildOptions{})).Combined;
     ASSERT_TRUE(R.ok()) << W.Name << ": " << R.Message;
     Density.push_back(R.Counters.ptrOpFraction());
   }
@@ -87,7 +89,8 @@ TEST(WorkloadSuite, PointerDensityRampMatchesFigure1) {
 
 TEST(WorkloadSuite, AllBenchmarksAreNontrivial) {
   for (const auto &W : benchmarkSuite()) {
-    RunResult R = compileAndRun(W.Source, BuildOptions{});
+    RunResult R =
+        runSession(planFromBuildOptions(W.Source, BuildOptions{})).Combined;
     ASSERT_TRUE(R.ok()) << W.Name;
     EXPECT_GT(R.Counters.Insts, 50'000u) << W.Name << " is too small";
     EXPECT_GT(R.Counters.memOps(), 5'000u) << W.Name;
@@ -98,8 +101,9 @@ TEST(WorkloadSuite, OptimizerPreservesBehaviour) {
   for (const auto &W : benchmarkSuite()) {
     BuildOptions NoOpt;
     NoOpt.Optimize = false;
-    RunResult Raw = compileAndRun(W.Source, NoOpt);
-    RunResult Opt = compileAndRun(W.Source, BuildOptions{});
+    RunResult Raw = runSession(planFromBuildOptions(W.Source, NoOpt)).Combined;
+    RunResult Opt =
+        runSession(planFromBuildOptions(W.Source, BuildOptions{})).Combined;
     ASSERT_TRUE(Raw.ok() && Opt.ok()) << W.Name;
     EXPECT_EQ(Raw.ExitCode, Opt.ExitCode) << W.Name;
     // Register promotion must reduce dynamic memory operations.
