@@ -24,6 +24,7 @@
 #define SOFTBOUND_BENCH_BENCHJSON_H
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -158,6 +159,10 @@ struct JsonValue {
   std::string Str;
   std::vector<JsonValue> Arr;
   std::map<std::string, JsonValue> Obj;
+  /// Object keys in document order (Obj itself sorts alphabetically).
+  /// writeJsonValue re-emits in this order, so a read-modify-write of a
+  /// baseline file preserves the committed section layout.
+  std::vector<std::string> ObjOrder;
 
   bool isObject() const { return K == Kind::Object; }
   bool isNumber() const { return K == Kind::Number; }
@@ -212,6 +217,8 @@ inline bool parseJson(const std::string &Text, JsonValue &Out,
         if (I >= Text.size() || Text[I] != ':')
           return Fail(I);
         ++I;
+        if (V.Obj.find(KeyV.Str) == V.Obj.end())
+          V.ObjOrder.push_back(KeyV.Str);
         JsonValue &Slot = V.Obj[KeyV.Str];
         if (!Parse(Slot))
           return false;
@@ -302,6 +309,49 @@ inline bool parseJson(const std::string &Text, JsonValue &Out,
     return false;
   Skip();
   return I == Text.size() || Fail(I);
+}
+
+/// Re-emits a parsed value through \p W (document key order preserved
+/// via ObjOrder). Lets one bench rewrite its own baseline section while
+/// carrying every other bench's sections through untouched. Integral
+/// numbers round-trip without a decimal point.
+inline void writeJsonValue(JsonWriter &W, const JsonValue &V) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    // The benches never emit null; a quoted placeholder keeps the
+    // round-trip total without teaching JsonWriter raw tokens.
+    W.value("null");
+    return;
+  case JsonValue::Kind::Bool:
+    // JsonWriter has no bool shape (the benches emit bools as 0/1).
+    W.value(V.B ? 1 : 0);
+    return;
+  case JsonValue::Kind::Number: {
+    double Whole;
+    if (std::modf(V.Num, &Whole) == 0.0 && V.Num >= -9.2e18 && V.Num <= 9.2e18)
+      W.value(static_cast<int64_t>(V.Num));
+    else
+      W.value(V.Num);
+    return;
+  }
+  case JsonValue::Kind::String:
+    W.value(V.Str);
+    return;
+  case JsonValue::Kind::Array:
+    W.beginArray();
+    for (const JsonValue &E : V.Arr)
+      writeJsonValue(W, E);
+    W.endArray();
+    return;
+  case JsonValue::Kind::Object:
+    W.beginObject();
+    for (const std::string &Key : V.ObjOrder) {
+      W.key(Key);
+      writeJsonValue(W, V.Obj.at(Key));
+    }
+    W.endObject();
+    return;
+  }
 }
 
 /// Reads and parses \p Path; false when unreadable or malformed.

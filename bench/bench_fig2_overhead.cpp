@@ -346,6 +346,12 @@ void writeJson(const std::vector<WorkloadNumbers> &All, bool Profile,
 
 void writeBaseline(const std::vector<WorkloadNumbers> &All,
                    const std::string &Path) {
+  // The baseline file is shared: bench_sec64_servers keeps its traffic
+  // section in the same document. Carry any existing section this bench
+  // does not own through the refresh instead of clobbering it.
+  JsonValue Existing;
+  std::string Err;
+  bool HaveExisting = parseJsonFile(Path, Existing, Err);
   JsonWriter W;
   W.beginObject();
   W.kv("schema", "softbound-check-counts-v1");
@@ -364,6 +370,13 @@ void writeBaseline(const std::vector<WorkloadNumbers> &All,
     W.endObject();
   }
   W.endObject();
+  if (HaveExisting && Existing.isObject())
+    for (const std::string &Key : Existing.ObjOrder) {
+      if (Key == "schema" || Key == "pipeline" || Key == "workloads")
+        continue;
+      W.key(Key);
+      writeJsonValue(W, Existing.Obj.at(Key));
+    }
   W.endObject();
   if (!W.writeTo(Path)) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());

@@ -9,6 +9,8 @@
 #include "runtime/HashTableMetadata.h"
 #include "runtime/ShadowSpaceMetadata.h"
 
+#include <algorithm>
+
 using namespace softbound;
 
 PipelinePlan softbound::planFromBuildOptions(const std::string &Source,
@@ -147,6 +149,21 @@ SessionResult softbound::runSession(const BuildResult &Prog,
     }
     if (S.Combined.Trap == TrapKind::None && !S.PerLane.empty())
       S.Combined.ExitCode = S.PerLane.front().ExitCode;
+    // Per-request streams merge elementwise in lane order: counters add,
+    // the first lane (in lane order) with a contained trap at an index
+    // names the combined trap. Lanes run the same driver, so streams
+    // normally agree in length; a lane that died early truncates the
+    // combined stream to what every lane completed.
+    size_t MinReq = S.PerLane.empty() ? 0 : S.PerLane.front().Requests.size();
+    for (const RunResult &L : S.PerLane)
+      MinReq = std::min(MinReq, L.Requests.size());
+    S.Combined.Requests.resize(MinReq);
+    for (size_t RI = 0; RI < MinReq; ++RI)
+      for (const RunResult &L : S.PerLane) {
+        S.Combined.Requests[RI].Delta.accumulate(L.Requests[RI].Delta);
+        if (S.Combined.Requests[RI].Trap == TrapKind::None)
+          S.Combined.Requests[RI].Trap = L.Requests[RI].Trap;
+      }
     if (Meta)
       S.Combined.MetadataMemory = Meta->memoryBytes();
     S.Combined.HeapHighWater = Machine.memory().heapHighWater();

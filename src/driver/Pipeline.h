@@ -139,9 +139,12 @@ using RunOptions = RunRequest;
 
 /// Everything one session produced. Combined is the lane-merged view
 /// (counters summed, MaxFrameDepth maxed, trap taken from the first
-/// trapping lane, outputs concatenated in lane order); PerLane keeps
-/// each lane's untouched RunResult. Single-lane sessions have exactly
-/// one PerLane entry equal to Combined.
+/// trapping lane, outputs concatenated in lane order, per-request
+/// `Requests` snapshots merged elementwise); PerLane keeps each lane's
+/// untouched RunResult — including its own per-request stream, which is
+/// what the traffic tier's detection and divergence reporting read.
+/// Single-lane sessions have exactly one PerLane entry equal to
+/// Combined.
 struct SessionResult {
   RunResult Combined;
   std::vector<RunResult> PerLane;

@@ -411,6 +411,8 @@ bool Parser::run() {
   DeclBuiltin("sb_srand", Ctx.voidTy(), {Ctx.i64()});
   DeclBuiltin("setjmp", Ctx.i32(), {I64P});
   DeclBuiltin("longjmp", Ctx.voidTy(), {I64P, Ctx.i32()});
+  DeclBuiltin("sb_guard", Ctx.i32(), {});
+  DeclBuiltin("sb_request_end", Ctx.voidTy(), {});
   DeclBuiltin("__setbound", I8P, {I8P, Ctx.i64()});
   DeclBuiltin("__unbound", I8P, {I8P});
 

@@ -75,6 +75,8 @@ enum class Builtin {
   Srand,
   Setjmp,
   Longjmp,
+  RequestGuard,
+  RequestEnd,
   SetBound,
   Unbound,
   SBMemcpy,
@@ -104,6 +106,8 @@ Builtin builtinByName(const std::string &N) {
       {"sb_srand", Builtin::Srand},
       {"setjmp", Builtin::Setjmp},
       {"longjmp", Builtin::Longjmp},
+      {"sb_guard", Builtin::RequestGuard},
+      {"sb_request_end", Builtin::RequestEnd},
       {"__setbound", Builtin::SetBound},
       {"__unbound", Builtin::Unbound},
       {"_sb_memcpy", Builtin::SBMemcpy},
@@ -195,10 +199,28 @@ private:
   void trap(TrapKind K, const std::string &Msg) {
     if (Halted)
       return;
+    // SoftBound traps fire *before* the offending access, so memory is
+    // still sound at this point — a violation inside an armed request
+    // window can be contained: unwind to the sb_guard resume point and
+    // let the driver move on to the next request. Every other trap kind
+    // (and any violation outside a window) stays fatal.
+    if (GuardArmed &&
+        (K == TrapKind::SpatialViolation || K == TrapKind::FuncPtrViolation) &&
+        recoverToGuard(K))
+      return;
     Res.Trap = K;
     Res.Message = Msg;
     Halted = true;
   }
+
+  /// Pops frames until \p KeepIdx is the top, running the same alloca
+  /// bookkeeping as normal frame exit (checker onFree + metadata range
+  /// clears). Shared by longjmp and guard recovery.
+  void unwindFramesAbove(size_t KeepIdx);
+
+  /// Attempts to resume at the sb_guard record. Returns false when the
+  /// guard's frame is gone (record stale), leaving the trap fatal.
+  bool recoverToGuard(TrapKind K);
 
   void hijack(const std::string &Target) {
     Res.Trap = TrapKind::Hijacked;
@@ -313,6 +335,11 @@ private:
   std::vector<JmpRecord> JmpRecords;
   RunResult Res;
   VMCounters &C = Res.Counters;
+  /// Per-request machinery (sb_guard / sb_request_end builtins).
+  VMCounters RequestMark;                     ///< Counters at last window end.
+  JmpRecord GuardRec{};                       ///< Resume point armed by sb_guard.
+  bool GuardArmed = false;                    ///< A live sb_guard resume point.
+  TrapKind RequestTrap = TrapKind::None;      ///< Contained trap this window.
   /// Frame trace events only for call depths up to this (the full call
   /// tree of a recursive Olden kernel would be millions of events).
   static constexpr size_t MaxTraceDepth = 3;
@@ -1067,6 +1094,35 @@ bool VMExec::wrapperCheckLoad(uint64_t Ptr, uint64_t N, const VMVal &Bounds,
   return false;
 }
 
+void VMExec::unwindFramesAbove(size_t KeepIdx) {
+  while (Frames.size() > KeepIdx + 1) {
+    Frame &Dead = Frames.back();
+    if (Cfg.Checker)
+      for (auto &[Addr, Size] : Dead.Allocas)
+        Cfg.Checker->onFree(ObjectRegion::Stack, Addr, Size);
+    if (Cfg.Instrumented && Cfg.Meta && Cfg.ClearMetadataOnFrameExit)
+      C.Cycles +=
+          Cfg.Meta->clearRange(Dead.FrameLow, Dead.FrameTop - Dead.FrameLow);
+    Frames.pop_back();
+  }
+}
+
+bool VMExec::recoverToGuard(TrapKind K) {
+  if (GuardRec.FrameIdx >= Frames.size() ||
+      Frames[GuardRec.FrameIdx].Gen != GuardRec.FrameGen)
+    return false;
+  unwindFramesAbove(GuardRec.FrameIdx);
+  Frame &Target = Frames.back();
+  Target.BB = GuardRec.BB;
+  Target.IP = GuardRec.IP;
+  if (GuardRec.ResultSlot >= 0)
+    Target.Regs[GuardRec.ResultSlot] =
+        VMVal{K == TrapKind::SpatialViolation ? 1ULL : 2ULL, 0, 0};
+  RequestTrap = K;
+  C.Cycles += 20; // Unwind, priced like longjmp.
+  return true;
+}
+
 void VMExec::execBuiltin(Frame &Fr, const CallInst &CI, Builtin B) {
   ++C.Calls;
   std::vector<VMVal> A;
@@ -1331,21 +1387,36 @@ void VMExec::execBuiltin(Frame &Fr, const CallInst &CI, Builtin B) {
            "longjmp to a frame that is no longer live");
       return;
     }
-    while (Frames.size() > Rec->FrameIdx + 1) {
-      Frame &Dead = Frames.back();
-      if (Cfg.Checker)
-        for (auto &[Addr, Size] : Dead.Allocas)
-          Cfg.Checker->onFree(ObjectRegion::Stack, Addr, Size);
-      if (Cfg.Instrumented && Cfg.Meta && Cfg.ClearMetadataOnFrameExit)
-        C.Cycles +=
-            Cfg.Meta->clearRange(Dead.FrameLow, Dead.FrameTop - Dead.FrameLow);
-      Frames.pop_back();
-    }
+    unwindFramesAbove(Rec->FrameIdx);
     Frame &Target = Frames.back();
     Target.BB = Rec->BB;
     Target.IP = Rec->IP;
     if (Rec->ResultSlot >= 0)
       Target.Regs[Rec->ResultSlot] = VMVal{V == 0 ? 1 : V, 0, 0};
+    return;
+  }
+  case Builtin::RequestGuard:
+    // Arms (or re-arms) the request-window resume point right after this
+    // call: returns 0 now, or the contained-trap code (1 = spatial,
+    // 2 = function-pointer) when a violation unwinds back here.
+    C.Cycles += 2;
+    GuardRec =
+        JmpRecord{0, Frames.size() - 1, Fr.Gen, Fr.BB, Fr.IP, CI.slot()};
+    GuardArmed = true;
+    Ret(VMVal{0, 0, 0});
+    return;
+  case Builtin::RequestEnd: {
+    // Closes the current request window: records the counter delta and
+    // the contained trap (if any), then disarms the guard so traps
+    // between requests stay fatal.
+    C.Cycles += 2;
+    RequestSample S;
+    S.Delta = C.since(RequestMark);
+    S.Trap = RequestTrap;
+    Res.Requests.push_back(S);
+    RequestMark = C;
+    RequestTrap = TrapKind::None;
+    GuardArmed = false;
     return;
   }
   case Builtin::SetBound:

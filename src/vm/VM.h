@@ -94,6 +94,39 @@ struct VMCounters {
     if (O.MaxFrameDepth > MaxFrameDepth)
       MaxFrameDepth = O.MaxFrameDepth;
   }
+
+  /// Counter delta since snapshot \p Prev (per-request windows). Every
+  /// count subtracts; MaxFrameDepth keeps the current absolute value —
+  /// a per-window depth delta has no meaning.
+  VMCounters since(const VMCounters &Prev) const {
+    VMCounters D;
+    D.Insts = Insts - Prev.Insts;
+    D.Loads = Loads - Prev.Loads;
+    D.Stores = Stores - Prev.Stores;
+    D.PtrLoads = PtrLoads - Prev.PtrLoads;
+    D.PtrStores = PtrStores - Prev.PtrStores;
+    D.Checks = Checks - Prev.Checks;
+    D.CheckGuards = CheckGuards - Prev.CheckGuards;
+    D.GuardSkips = GuardSkips - Prev.GuardSkips;
+    D.FuncPtrChecks = FuncPtrChecks - Prev.FuncPtrChecks;
+    D.MetaLoads = MetaLoads - Prev.MetaLoads;
+    D.MetaStores = MetaStores - Prev.MetaStores;
+    D.Calls = Calls - Prev.Calls;
+    D.Cycles = Cycles - Prev.Cycles;
+    D.MaxFrameDepth = MaxFrameDepth;
+    return D;
+  }
+};
+
+/// One request window recorded by the `sb_request_end` builtin: the
+/// counter delta since the previous window boundary plus the contained
+/// trap (if any) that `sb_guard` recovered from inside the window.
+/// Traffic drivers (src/workloads/Traffic.h) bracket each simulated
+/// server request with sb_guard/sb_request_end so per-request cost and
+/// detection outcomes are observable without re-running single shots.
+struct RequestSample {
+  VMCounters Delta;
+  TrapKind Trap = TrapKind::None; ///< Contained violation, or None.
 };
 
 /// Result of one VM run.
@@ -104,6 +137,10 @@ struct RunResult {
   std::string HijackTarget; ///< Function name control flow escaped to.
   std::string Output;       ///< Text produced by print builtins.
   VMCounters Counters;
+  /// Per-request counter windows, in program order (sb_request_end
+  /// calls). By traffic-driver convention sample 0 covers the program
+  /// prologue (globals/table setup before the request loop).
+  std::vector<RequestSample> Requests;
   uint64_t MetadataMemory = 0;
   uint64_t HeapHighWater = 0;
 

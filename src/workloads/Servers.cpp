@@ -6,10 +6,13 @@
 ///
 /// \file
 /// The §6.4 compatibility case studies: an HTTP request handler
-/// (nhttpd-style) and an FTP command loop (tinyftp-style), driven by
-/// embedded synthetic sessions. The claim reproduced: SoftBound transforms
-/// them with no source changes and no false positives, while a classic
-/// unbounded-copy vulnerability (enabled by a flag) is caught.
+/// (nhttpd-style) and an FTP command loop (tinyftp-style). Each server is
+/// split into a handler-only fragment (globals + helpers + `handle`) and a
+/// classic single-shot driver, so the traffic tier (Traffic.h) can embed
+/// the same handler under a request-generator main. The claim reproduced:
+/// SoftBound transforms them with no source changes and no false
+/// positives, while classic unbounded-copy vulnerabilities (enabled by a
+/// flag) are caught.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,23 +20,16 @@
 
 using namespace softbound;
 
-std::string softbound::httpServerSource() {
+std::string softbound::httpHandlerSource() {
   return R"(
 /* nhttpd-style request handling: parse a request line, route it, build a
    response. All copies are bounded; vulnerable mode (g_vuln) uses the
-   classic unbounded strcpy on the query string. */
-
-char* g_requests[6] = {
-  "GET / HTTP/1.0",
-  "GET /index.html HTTP/1.0",
-  "GET /cgi-bin/form?name=alice&age=30&token=0123456789abcdef0123456789abcdef HTTP/1.0",
-  "POST /upload HTTP/1.0",
-  "GET /images/logo.png HTTP/1.0",
-  "GET /a/very/deep/path/with/segments/file.txt HTTP/1.0"
-};
+   classic unbounded strcpy on the query string. Handler-only fragment —
+   the single-shot driver and the traffic tier both embed it. */
 
 int g_vuln;
 long g_handled;
+long g_conns;
 
 int copyToken(char* dst, int cap, char* src, int start, int stopch) {
   int i = start;
@@ -80,6 +76,19 @@ int handle(char* req) {
   print_char('\n');
   return code;
 }
+)";
+}
+
+std::string softbound::httpServerSource() {
+  return httpHandlerSource() + R"(
+char* g_requests[6] = {
+  "GET / HTTP/1.0",
+  "GET /index.html HTTP/1.0",
+  "GET /cgi-bin/form?name=alice&age=30&token=0123456789abcdef0123456789abcdef HTTP/1.0",
+  "POST /upload HTTP/1.0",
+  "GET /images/logo.png HTTP/1.0",
+  "GET /a/very/deep/path/with/segments/file.txt HTTP/1.0"
+};
 
 int main(int vuln) {
   g_vuln = vuln;
@@ -94,27 +103,22 @@ int main(int vuln) {
 )";
 }
 
-std::string softbound::ftpServerSource() {
+std::string softbound::ftpHandlerSource() {
   return R"(
 /* tinyftp-style command loop: parse commands, track session state,
-   answer with status strings. All buffers bounded. */
-
-char* g_session[10] = {
-  "USER alice",
-  "PASS hunter2",
-  "SYST",
-  "PWD",
-  "CWD /pub/files",
-  "LIST",
-  "RETR readme.txt",
-  "CWD ..",
-  "RETR data/archive2024.tar",
-  "QUIT"
-};
+   answer with status strings. All buffers bounded, and every write to the
+   shared g_cwd is index-capped below 59 so concurrent lanes can never
+   push it out of bounds (bytes 59..63 stay zero, keeping strlen bounded).
+   Vulnerable mode (g_vuln) uses an unbounded strcpy of the USER name into
+   a 16-byte buffer; the overflow lands in the adjacent scratch buffer, so
+   unchecked runs stay deterministic. Handler-only fragment — the
+   single-shot driver and the traffic tier both embed it. */
 
 char g_cwd[64];
 int g_loggedin;
+int g_vuln;
 long g_sum;
+long g_conns;
 
 int startsWith(char* s, char* prefix) {
   int i = 0;
@@ -139,7 +143,23 @@ void reply(int code, char* text) {
 }
 
 void handle(char* cmd) {
-  if (startsWith(cmd, "USER ")) { reply(331, "user ok, need password"); return; }
+  if (startsWith(cmd, "USER ")) {
+    char pend[64];
+    char uname[16];
+    if (g_vuln) {
+      /* CVE-style bug: unbounded copy of the attacker-chosen user name. */
+      strcpy(uname, cmd + 5);
+    } else {
+      int i = 5; int o = 0;
+      while (cmd[i] != 0 && o < 15) { uname[o] = cmd[i]; o++; i++; }
+      uname[o] = 0;
+    }
+    pend[0] = 0;
+    strcat(pend, "password required for ");
+    strcat(pend, uname);
+    reply(331, pend);
+    return;
+  }
   if (startsWith(cmd, "PASS ")) { g_loggedin = 1; reply(230, "logged in"); return; }
   if (!g_loggedin) { reply(530, "not logged in"); return; }
   if (startsWith(cmd, "SYST")) { reply(215, "UNIX Type: L8"); return; }
@@ -156,12 +176,14 @@ void handle(char* cmd) {
       g_cwd[n] = 0;
       if (g_cwd[0] == 0) { g_cwd[0] = '/'; g_cwd[1] = 0; }
     } else if (arg[0] == '/') {
-      if (strlen(arg) < 60) strcpy(g_cwd, arg);
+      if (strlen(arg) < 59) strcpy(g_cwd, arg);
     } else {
-      if (strlen(g_cwd) + strlen(arg) + 2 < 60) {
-        if (strcmp(g_cwd, "/") != 0) strcat(g_cwd, "/");
-        strcat(g_cwd, arg);
-      }
+      long n = 0;
+      while (n < 58 && g_cwd[n] != 0) n++;
+      if (n > 1 && n < 58) { g_cwd[n] = '/'; n++; }
+      int j = 0;
+      while (arg[j] != 0 && n < 58) { g_cwd[n] = arg[j]; n++; j++; }
+      g_cwd[n] = 0;
     }
     reply(250, g_cwd);
     return;
@@ -180,8 +202,26 @@ void handle(char* cmd) {
   if (startsWith(cmd, "QUIT")) { reply(221, "goodbye"); return; }
   reply(500, "unknown command");
 }
+)";
+}
 
-int main() {
+std::string softbound::ftpServerSource() {
+  return ftpHandlerSource() + R"(
+char* g_session[10] = {
+  "USER alice",
+  "PASS hunter2",
+  "SYST",
+  "PWD",
+  "CWD /pub/files",
+  "LIST",
+  "RETR readme.txt",
+  "CWD ..",
+  "RETR data/archive2024.tar",
+  "QUIT"
+};
+
+int main(int vuln) {
+  g_vuln = vuln;
   g_cwd[0] = '/';
   g_cwd[1] = 0;
   for (int round = 0; round < 15; round++) {

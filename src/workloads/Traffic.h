@@ -1,0 +1,119 @@
+//===- workloads/Traffic.h - sustained-traffic request harness --*- C++ -*-===//
+//
+// Part of the SoftBound reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The traffic tier: a deterministic request generator that drives the
+/// §6.4 server handlers (Workloads.h handler fragments) through sustained
+/// load — connection churn, mixed request sizes, and adversarial payloads
+/// arriving as ordinary traffic. A generated mini-C driver brackets every
+/// request with the VM's `sb_guard`/`sb_request_end` builtins, so each
+/// request gets its own counter window (RequestSample) and a contained
+/// violation never poisons the requests after it. `TrafficReport` folds a
+/// lane's sample stream into the per-request metrics the bench baseline
+/// gate consumes (checks/request, metadata-ops/request, sim-cost/request,
+/// trapped/missed/false-trap detection outcomes).
+///
+/// Sample-stream convention: sample 0 is the driver prologue (globals and
+/// table setup before the request loop); samples 1..N map 1:1 onto the
+/// schedule's N requests, in order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOFTBOUND_WORKLOADS_TRAFFIC_H
+#define SOFTBOUND_WORKLOADS_TRAFFIC_H
+
+#include "vm/VM.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softbound {
+
+/// Which §6.4 server a schedule targets.
+enum class ServerKind { Http, Ftp };
+
+/// Printable name ("http" / "ftp").
+const char *serverKindName(ServerKind K);
+
+/// One request in a traffic schedule.
+struct TrafficRequest {
+  std::string Text;         ///< The request/command line the handler sees.
+  bool ConnStart = false;   ///< First request of a connection (churn point).
+  bool Adversarial = false; ///< Attack payload: must trap under checking.
+};
+
+/// Knobs of the seeded schedule generator. Identical configs produce
+/// byte-identical schedules (xorshift RNG, no global state).
+struct TrafficConfig {
+  uint64_t Seed = 64;
+  unsigned Requests = 1000;    ///< Total requests in the schedule.
+  unsigned AttackPerMille = 20; ///< Per-request adversarial probability.
+  unsigned SessionMin = 2;     ///< Connection length lower bound.
+  unsigned SessionMax = 8;     ///< Connection length upper bound.
+};
+
+/// A generated request schedule plus its driver-source emitters.
+struct TrafficSchedule {
+  ServerKind Kind = ServerKind::Http;
+  TrafficConfig Config;
+  std::vector<TrafficRequest> Requests;
+
+  /// Deterministically generates a schedule: sessions of SessionMin..
+  /// SessionMax requests (each session opens with ConnStart), request
+  /// texts drawn from per-server mixed-size pools, and each slot
+  /// replaced by an attack payload with probability AttackPerMille/1000.
+  static TrafficSchedule generate(ServerKind K, const TrafficConfig &C);
+
+  unsigned adversarialCount() const;
+
+  /// The generated mini-C traffic driver for this schedule: handler
+  /// fragment + request/connection tables + a request loop bracketed by
+  /// sb_guard/sb_request_end (plus one prologue sb_request_end).
+  std::string driverSource(bool Vuln) const;
+};
+
+/// Driver source for an explicit request list (tests slice schedules into
+/// prefixes/suffixes and single shots with this).
+std::string trafficDriverSource(ServerKind K,
+                                const std::vector<TrafficRequest> &Requests,
+                                bool Vuln);
+
+/// Per-request metrics folded from one lane's sample stream.
+struct TrafficReport {
+  uint64_t Requests = 0;    ///< Request samples folded (prologue excluded).
+  uint64_t Adversarial = 0; ///< Adversarial requests in the schedule.
+  uint64_t Trapped = 0;     ///< Requests ending in a contained violation.
+  uint64_t Missed = 0;      ///< Adversarial requests that did NOT trap.
+  uint64_t FalseTraps = 0;  ///< Benign requests that trapped.
+  uint64_t Checks = 0;      ///< Spatial checks (wrapper checks included).
+  uint64_t MetaOps = 0;     ///< Metadata loads + stores.
+  uint64_t GuardEvals = 0;  ///< Guard tests on guarded (hoisted) checks.
+  uint64_t Cycles = 0;      ///< Simulated cycles inside request windows.
+  uint64_t SimCost = 0;     ///< Same formula as the fig2 gate (see .cpp).
+
+  double checksPerRequest() const { return perRequest(Checks); }
+  double metaOpsPerRequest() const { return perRequest(MetaOps); }
+  double simCostPerRequest() const { return perRequest(SimCost); }
+
+  /// Folds one lane's samples against the request list that produced
+  /// them. \p LookupCost / \p UpdateCost price metadata ops (take them
+  /// from the run's facility); \p CheckCost matches VMConfig::CheckCost.
+  /// Accepts streams with or without the leading prologue sample.
+  static TrafficReport fromSamples(const std::vector<TrafficRequest> &Reqs,
+                                   const std::vector<RequestSample> &Samples,
+                                   uint64_t LookupCost, uint64_t UpdateCost,
+                                   uint64_t CheckCost = 3);
+
+private:
+  double perRequest(uint64_t Total) const {
+    return Requests ? static_cast<double>(Total) / Requests : 0.0;
+  }
+};
+
+} // namespace softbound
+
+#endif // SOFTBOUND_WORKLOADS_TRAFFIC_H

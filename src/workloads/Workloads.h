@@ -62,8 +62,17 @@ const std::vector<BugCase> &bugbenchSuite();
 
 /// §6.4 case studies: protocol servers driven by embedded sessions.
 /// Exit code 0 = all sessions handled; output holds response transcript.
+/// `main` takes a vuln flag (0 when absent from Args): nonzero enables
+/// the classic unbounded-copy bug in each handler.
 std::string httpServerSource();
 std::string ftpServerSource();
+
+/// Handler-only fragments of the two servers (globals + helpers +
+/// `handle(char*)`, no `main`). The single-shot sources above and the
+/// traffic tier's generated drivers (Traffic.h) embed these verbatim, so
+/// single-shot and traffic runs execute byte-identical handler code.
+std::string httpHandlerSource();
+std::string ftpHandlerSource();
 
 } // namespace softbound
 

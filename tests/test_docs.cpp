@@ -179,7 +179,11 @@ TEST(DocsDrift, RuntimeDocCurrent) {
         "lookupN", "updateN", "clearRange", "copyRange", "--lanes",
         "--shards", "--lockfree", "MetaStatsOut", "test_concurrency.cpp",
         "LockFreeRead", "LockFreeReads", "StripeSeqlock", "SeqlockRetryCost",
-        "SeqlockReads", "SeqlockRetries"})
+        "SeqlockReads", "SeqlockRetries",
+        // Traffic tier: builtins, sample plumbing, per-request keys.
+        "sb_guard", "sb_request_end", "RequestSample", "TrafficSchedule",
+        "TrafficReport", "checks_per_request", "sim_cost_per_request",
+        "test_traffic.cpp", "--requests"})
     EXPECT_NE(Doc.find(Needle), std::string::npos)
         << "docs/runtime.md no longer mentions '" << Needle << "'";
 
